@@ -1,0 +1,128 @@
+(* The levee command-line driver: the analogue of the paper's Levee
+   compiler wrapper. Compiles a MiniC source file, applies the requested
+   protection (the paper's -fcpi / -fcps / -fstack-protector-safe flags),
+   and runs it on the machine simulator.
+
+     levee [options] file.c
+       -fcpi                    code-pointer integrity (default)
+       -fcps                    code-pointer separation
+       -fstack-protector-safe   safe stack only
+       -fsoftbound              full spatial memory safety baseline
+       -fcfi | -fcookies | -fvanilla | -fhardened | -fcpi-debug
+       -emit-ir                 print the (instrumented) IR and exit
+       -stats                   print Table-2-style instrumentation stats
+       -input 1,2,3             input words fed to read_int/gets
+       -fuel N                  instruction budget (default 50M)
+       -store array|two-level|hash   safe-pointer-store organisation
+       -sfi                     use SFI isolation instead of info hiding
+       -time                    print cycle counts *)
+
+module P = Levee_core.Pipeline
+module M = Levee_machine
+
+let usage () =
+  prerr_endline
+    "usage: levee [-fcpi|-fcps|-fstack-protector-safe|-fsoftbound|-fcfi|\n\
+    \              -fcookies|-fvanilla|-fhardened|-fcpi-debug]\n\
+    \             [-emit-ir] [-stats] [-time] [-sfi]\n\
+    \             [-input w1,w2,...] [-fuel N] [-store array|two-level|hash]\n\
+    \             file.c";
+  exit 2
+
+let () =
+  let protection = ref P.Cpi in
+  let emit_ir = ref false in
+  let stats = ref false in
+  let time = ref false in
+  let input = ref [||] in
+  let fuel = ref 50_000_000 in
+  let store_impl = ref M.Safestore.Simple_array in
+  let isolation = ref M.Config.Info_hiding in
+  let file = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "-fcpi" :: rest -> protection := P.Cpi; parse rest
+    | "-fcps" :: rest -> protection := P.Cps; parse rest
+    | "-fstack-protector-safe" :: rest -> protection := P.Safe_stack; parse rest
+    | "-fsoftbound" :: rest -> protection := P.Softbound; parse rest
+    | "-fcfi" :: rest -> protection := P.Cfi; parse rest
+    | "-fcookies" :: rest -> protection := P.Cookies; parse rest
+    | "-fvanilla" :: rest -> protection := P.Vanilla; parse rest
+    | "-fhardened" :: rest -> protection := P.Hardened; parse rest
+    | "-fcpi-debug" :: rest -> protection := P.Cpi_debug; parse rest
+    | "-emit-ir" :: rest -> emit_ir := true; parse rest
+    | "-stats" :: rest -> stats := true; parse rest
+    | "-time" :: rest -> time := true; parse rest
+    | "-sfi" :: rest -> isolation := M.Config.Sfi; parse rest
+    | "-input" :: spec :: rest ->
+      input :=
+        Array.of_list
+          (List.map int_of_string
+             (List.filter (fun s -> s <> "") (String.split_on_char ',' spec)));
+      parse rest
+    | "-fuel" :: n :: rest -> fuel := int_of_string n; parse rest
+    | "-store" :: s :: rest ->
+      (store_impl :=
+         match s with
+         | "array" -> M.Safestore.Simple_array
+         | "two-level" -> M.Safestore.Two_level
+         | "hash" -> M.Safestore.Hashtable
+         | _ -> usage ());
+      parse rest
+    | f :: rest when String.length f > 0 && f.[0] <> '-' ->
+      file := Some f;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let file = match !file with Some f -> f | None -> usage () in
+  let src =
+    let ic = open_in_bin file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let checked, prog =
+    try Levee_minic.Lower.compile_checked ~name:file src with
+    | Failure msg ->
+      prerr_endline msg;
+      exit 1
+  in
+  let annotated = checked.Levee_minic.Typecheck.sensitive_structs in
+  let built =
+    P.build ~annotated ~store_impl:!store_impl ~isolation:!isolation !protection
+      prog
+  in
+  if !stats then begin
+    let s = built.P.stats in
+    Printf.printf "protection:            %s\n" (P.protection_name !protection);
+    Printf.printf "functions:             %d\n" s.Levee_core.Stats.funcs_total;
+    Printf.printf "FNUStack:              %.1f%%\n"
+      (100. *. Levee_core.Stats.fnustack s);
+    Printf.printf "memory ops:            %d\n" s.Levee_core.Stats.mem_ops_total;
+    Printf.printf "instrumented mem ops:  %d (%.1f%%)\n"
+      s.Levee_core.Stats.mem_ops_instrumented
+      (100. *. Levee_core.Stats.mo_instrumented s);
+    Printf.printf "checked mem ops:       %d\n" s.Levee_core.Stats.mem_ops_checked;
+    Printf.printf "indirect calls:        %d\n" s.Levee_core.Stats.indirect_calls
+  end;
+  if !emit_ir then begin
+    print_string (Levee_ir.Printer.program built.P.prog);
+    exit 0
+  end;
+  let r =
+    M.Interp.run_program ~input:!input ~fuel:!fuel built.P.prog built.P.config
+  in
+  print_string r.M.Interp.output;
+  if !time then begin
+    Printf.printf "[levee] cycles:  %d\n" r.M.Interp.cycles;
+    Printf.printf "[levee] instrs:  %d\n" r.M.Interp.instrs;
+    Printf.printf "[levee] mem ops: %d (%d instrumented)\n" r.M.Interp.mem_ops
+      r.M.Interp.instrumented_mem_ops
+  end;
+  match r.M.Interp.outcome with
+  | M.Trap.Exit n -> exit n
+  | o ->
+    Printf.eprintf "[levee] %s\n" (M.Trap.outcome_to_string o);
+    exit 101

@@ -1,0 +1,99 @@
+(* Example: the Perl-interpreter scenario from Section 3.3.
+
+   The paper uses Perl's opcode dispatch to explain the difference between
+   CFI, CPS and CPI: the interpreter represents a program as a sequence of
+   function pointers to opcode handlers. Under coarse CFI, a memory bug
+   lets an attacker execute ANY opcode handler (or any function); under
+   CPS, only code pointers the program actually stored can be called —
+   but a corrupted index can still pick the WRONG stored pointer; under
+   CPI, the dispatch table pointer itself is protected.
+
+     dune exec examples/protect_interpreter.exe *)
+
+module P = Levee_core.Pipeline
+module M = Levee_machine
+
+(* The interpreter has a benign opcode table plus one privileged handler
+   (op_admin, think "eval") whose address is stored in a separate table
+   that the sandboxed script must never reach. The vulnerability lets the
+   attacker corrupt the table POINTER. *)
+let source = {|
+int vm_acc;
+
+int op_add(int a) { vm_acc = vm_acc + a; return 0; }
+int op_mul(int a) { vm_acc = vm_acc * a; return 0; }
+int op_out(int a) { print_int(vm_acc + a); return 0; }
+
+int op_admin(int a) { system("admin-eval"); return a; }
+
+int (*user_ops[3])(int) = { op_add, op_mul, op_out };
+int (*admin_ops[1])(int) = { op_admin };
+
+struct vm { char name[8]; int (**ops)(int); };
+
+int script_op[6] = {0, 1, 0, 2, 0, 2};
+int script_arg[6] = {3, 4, 5, 0, 2, 1};
+
+int run_script(struct vm *m) {
+  int pc;
+  for (pc = 0; pc < 6; pc = pc + 1) {
+    m->ops[script_op[pc]](script_arg[pc]);
+  }
+  return vm_acc;
+}
+
+int main() {
+  struct vm *m;
+  m = (struct vm *) malloc(sizeof(struct vm));
+  m->ops = user_ops;
+  gets(m->name);            // attacker-controlled "vm name"
+  run_script(m);
+  return 0;
+}
+|}
+
+let () =
+  let prog = Levee_minic.Lower.compile ~name:"mini-perl.c" source in
+  (* The attack: overflow m->name so m->ops points at admin_ops; the
+     script's opcode 0 then dispatches op_admin. This is exactly the
+     "interchange valid code pointers" attack class. *)
+  let vanilla = P.build P.Vanilla prog in
+  let image = M.Loader.load vanilla.P.prog vanilla.P.config in
+  let admin_ops = Hashtbl.find image.M.Loader.global_addr "admin_ops" in
+  let payload = Array.make 9 0x41 in
+  payload.(8) <- admin_ops;   (* name[8] is followed by the ops pointer *)
+
+  print_endline "Mini-Perl opcode interpreter: corrupting the dispatch-table pointer";
+  Printf.printf "payload redirects m->ops at admin_ops (%#x)\n\n" admin_ops;
+  Printf.printf "%-12s %-14s %s\n" "config" "benign run" "under attack";
+  List.iter
+    (fun prot ->
+      let built = P.build prot prog in
+      let benign =
+        M.Interp.run_program ~input:[||] built.P.prog built.P.config
+      in
+      let attacked =
+        M.Interp.run_program ~input:payload built.P.prog built.P.config
+      in
+      Printf.printf "%-12s %-14s %s\n" (P.protection_name prot)
+        (M.Trap.outcome_to_string benign.M.Interp.outcome)
+        (M.Trap.outcome_to_string attacked.M.Interp.outcome))
+    [ P.Vanilla; P.Cfi; P.Cps; P.Cpi ];
+
+  print_endline "";
+  print_endline "Reading the table (matches Section 3.3's Perl discussion):";
+  print_endline
+    " - CFI permits the hijack: op_admin is a valid function, and coarse CFI";
+  print_endline "   only checks that indirect calls target some function entry.";
+  print_endline
+    " - CPS also permits it: admin_ops holds genuinely-stored code pointers,";
+  print_endline
+    "   and the table POINTER m->ops is not itself a code pointer, so CPS";
+  print_endline
+    "   does not protect it. The attacker can only reach stored opcodes,";
+  print_endline "   though — never injected or forged ones.";
+  print_endline
+    " - CPI protects m->ops itself (a pointer used to access code pointers";
+  print_endline
+    "   indirectly): the corrupted regular copy is ignored and the sandboxed";
+  print_endline "   script runs normally."

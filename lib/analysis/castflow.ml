@@ -1,0 +1,27 @@
+(** Data-flow augmentation for unsafe pointer casts (Section 3.2.1).
+
+    If a value is cast to a sensitive pointer type, the value itself must be
+    treated as sensitive so its based-on metadata survives the detour
+    through the non-sensitive type: in particular, the load that produced
+    it must be routed through the safe store. This is the paper's
+    augmentation of the purely type-based analysis; like the paper's, it
+    is local (intra-procedural) and may fail for flows it cannot recover,
+    which can cause false violation reports but no loss of protection. *)
+
+module I = Levee_ir.Instr
+module Prog = Levee_ir.Prog
+
+(** Positions of loads that must be force-instrumented because their result
+    flows (locally) into a cast to a sensitive pointer type. *)
+let forced_load_positions sens_ctx (fn : Prog.func) : (int * int, unit) Hashtbl.t =
+  let ud = Usedef.build fn in
+  let forced = Hashtbl.create 8 in
+  Prog.iter_instrs fn (fun (i : I.instr) ->
+      match i with
+      | I.Cast { ty; v; _ } when Sensitivity.is_sensitive sens_ctx ty ->
+        (match Usedef.origin ud v with
+         | Usedef.From_load pos ->
+           Hashtbl.replace forced (pos.Usedef.block, pos.Usedef.idx) ()
+         | _ -> ())
+      | _ -> ());
+  forced

@@ -1,0 +1,11 @@
+(** Data-flow augmentation for unsafe pointer casts (paper Section 3.2.1).
+
+    If a value is cast to a sensitive pointer type, the load that produced
+    it must also be routed through the safe store so its based-on metadata
+    survives the detour through the non-sensitive type. Like the paper's
+    analysis this is intra-procedural and may miss flows it cannot recover,
+    which can cause false violation reports but no loss of protection. *)
+
+(** Positions (block, index) of loads to force-instrument in [fn]. *)
+val forced_load_positions :
+  Sensitivity.ctx -> Levee_ir.Prog.func -> (int * int, unit) Hashtbl.t

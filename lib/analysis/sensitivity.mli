@@ -1,0 +1,22 @@
+(** Type-based sensitivity classification (paper Section 3.2.1, Fig. 7). *)
+
+module Ty = Levee_ir.Ty
+
+type ctx
+
+(** [create tenv ~annotated] builds a classification context;
+    [annotated] lists programmer-marked sensitive struct names. *)
+val create : Ty.env -> annotated:string list -> ctx
+
+(** The [sensitive] criterion of Fig. 7: function pointers, pointers to
+    sensitive types, pointers to composites with a sensitive member, and
+    universal pointers. *)
+val is_sensitive : ctx -> Ty.t -> bool
+
+(** CPS's restricted criterion: code pointers (and universal pointers,
+    which may hold code pointers at runtime) only. *)
+val is_cps_sensitive : ctx -> Ty.t -> bool
+
+(** Must a dereference *through* a pointer to [ty] be safety-checked?
+    True when [Ptr ty] is itself sensitive. *)
+val deref_needs_check : ctx -> Ty.t -> bool

@@ -1,0 +1,69 @@
+(** Safe stack analysis (Section 3.2.4).
+
+    An alloca can live on the safe stack iff every access to it is
+    statically provably safe: direct loads/stores of the slot, or accesses
+    through constant, in-bounds offsets whose derived pointers never
+    escape. Everything else — address passed to a callee or intrinsic,
+    stored to memory, dynamic indexing, casts — forces the object onto the
+    regular (unsafe) stack. Return addresses and spilled registers always
+    satisfy the criterion (they are not allocas here; the machine keeps
+    them on the safe stack when the configuration enables it). *)
+
+module I = Levee_ir.Instr
+module Ty = Levee_ir.Ty
+module Prog = Levee_ir.Prog
+
+type verdict = Safe | Unsafe
+
+(* Constant total offset of the gep at [pos], if all steps are constant. *)
+let gep_const_offset tenv (fn : Prog.func) (pos : Usedef.pos) =
+  let b = fn.Prog.blocks.(pos.Usedef.block) in
+  match b.Prog.instrs.(pos.Usedef.idx) with
+  | I.Gep { path; _ } ->
+    List.fold_left
+      (fun acc step ->
+        match acc, step with
+        | None, _ -> None
+        | Some n, I.Field (_, off, _) -> Some (n + off)
+        | Some n, I.Index (ty, I.Imm k) -> Some (n + (k * Ty.size_of tenv ty))
+        | Some _, I.Index (_, (I.Reg _ | I.Glob _ | I.Fun _ | I.Nullp)) -> None)
+      (Some 0) path
+  | _ -> None
+
+(* Does the register [r], known to point within [remaining] words of valid
+   space, have only provably-safe uses? *)
+let rec safe_uses ud tenv ~depth ~remaining r =
+  depth > 0
+  && List.for_all
+       (fun (u : Usedef.use) ->
+         match u with
+         | Usedef.Load_addr (_, ty) | Usedef.Store_addr (_, ty) ->
+           Ty.size_of tenv ty <= remaining
+         | Usedef.Gep_base (pos, dst) ->
+           (match gep_const_offset tenv ud.Usedef.fn pos with
+            | Some off when off >= 0 && off < remaining ->
+              safe_uses ud tenv ~depth:(depth - 1) ~remaining:(remaining - off) dst
+            | Some _ | None -> false)
+         | Usedef.Cmp_op _ | Usedef.Branch_cond -> true
+         | Usedef.Store_val _ | Usedef.Bin_op _ | Usedef.Cast_src _
+         | Usedef.Call_arg _ | Usedef.Intrin_arg _ | Usedef.Callee _
+         | Usedef.Ret_val | Usedef.Gep_index _ -> false)
+       (Usedef.uses_of ud r)
+
+(** Classify every alloca of [fn]. Returns the per-register verdict and
+    whether the function needs an unsafe frame at all. *)
+let classify tenv (fn : Prog.func) : (int, verdict) Hashtbl.t * bool =
+  let ud = Usedef.build fn in
+  let verdicts = Hashtbl.create 16 in
+  let needs_unsafe = ref false in
+  Prog.iter_instrs fn (fun (i : I.instr) ->
+      match i with
+      | I.Alloca { dst; ty; _ } ->
+        let size = Ty.size_of tenv ty in
+        let v =
+          if safe_uses ud tenv ~depth:8 ~remaining:size dst then Safe else Unsafe
+        in
+        if v = Unsafe then needs_unsafe := true;
+        Hashtbl.replace verdicts dst v
+      | _ -> ());
+  (verdicts, !needs_unsafe)

@@ -1,0 +1,160 @@
+(** Per-function use-def maps over the IR, shared by the char* heuristic,
+    the unsafe-cast data-flow augmentation and the safe stack analysis. *)
+
+module I = Levee_ir.Instr
+module Prog = Levee_ir.Prog
+
+(** Position of an instruction within its function. *)
+type pos = { block : int; idx : int }
+
+type use =
+  | Load_addr of pos * Levee_ir.Ty.t        (* reg used as load address *)
+  | Store_addr of pos * Levee_ir.Ty.t
+  | Store_val of pos * Levee_ir.Ty.t        (* reg stored as a value *)
+  | Gep_base of pos * int                   (* dst register of the gep *)
+  | Gep_index of pos
+  | Bin_op of pos * int                     (* dst register *)
+  | Cmp_op of pos
+  | Cast_src of pos * int * Levee_ir.Ty.t   (* dst register, target type *)
+  | Call_arg of pos
+  | Intrin_arg of pos * I.intrin * int      (* which argument position *)
+  | Callee of pos
+  | Ret_val
+  | Branch_cond
+
+type t = {
+  fn : Prog.func;
+  defs : (int, pos * I.instr) Hashtbl.t;    (* reg -> defining instruction *)
+  uses : (int, use list ref) Hashtbl.t;
+}
+
+let add_use t r u =
+  match Hashtbl.find_opt t.uses r with
+  | Some l -> l := u :: !l
+  | None -> Hashtbl.replace t.uses r (ref [ u ])
+
+let reg_of = function I.Reg r -> Some r | I.Imm _ | I.Glob _ | I.Fun _ | I.Nullp -> None
+
+let use o t u =
+  match reg_of o with
+  | Some r -> add_use t r u
+  | None -> ()
+
+let build (fn : Prog.func) : t =
+  let t = { fn; defs = Hashtbl.create 64; uses = Hashtbl.create 64 } in
+  Array.iter
+    (fun (b : Prog.block) ->
+      Array.iteri
+        (fun idx (i : I.instr) ->
+          let pos = { block = b.Prog.bid; idx } in
+          let def r = Hashtbl.replace t.defs r (pos, i) in
+          match i with
+          | I.Alloca { dst; _ } -> def dst
+          | I.Bin { dst; l; r; _ } ->
+            use l t (Bin_op (pos, dst));
+            use r t (Bin_op (pos, dst));
+            def dst
+          | I.Cmp { dst; l; r; _ } ->
+            use l t (Cmp_op pos);
+            use r t (Cmp_op pos);
+            def dst
+          | I.Load { dst; ty; addr; _ } ->
+            use addr t (Load_addr (pos, ty));
+            def dst
+          | I.Store { ty; v; addr; _ } ->
+            use v t (Store_val (pos, ty));
+            use addr t (Store_addr (pos, ty))
+          | I.Gep { dst; base; path; _ } ->
+            use base t (Gep_base (pos, dst));
+            List.iter
+              (function
+                | I.Index (_, o) -> use o t (Gep_index pos)
+                | I.Field _ -> ())
+              path;
+            def dst
+          | I.Cast { dst; ty; v; _ } ->
+            use v t (Cast_src (pos, dst, ty));
+            def dst
+          | I.Call { dst; callee; args; _ } ->
+            (match callee with
+             | I.Indirect o -> use o t (Callee pos)
+             | I.Direct _ -> ());
+            List.iter (fun a -> use a t (Call_arg pos)) args;
+            (match dst with Some d -> def d | None -> ())
+          | I.Intrin { dst; op; args } ->
+            List.iteri (fun k a -> use a t (Intrin_arg (pos, op, k))) args;
+            (match dst with Some d -> def d | None -> ()))
+        b.Prog.instrs;
+      match b.Prog.term with
+      | I.Ret (Some o) -> use o t Ret_val
+      | I.Br (o, _, _) | I.Switch (o, _, _) -> use o t Branch_cond
+      | I.Ret None | I.Jmp _ | I.Unreachable -> ())
+    fn.Prog.blocks;
+  t
+
+let def t r = Hashtbl.find_opt t.defs r
+
+let uses_of t r =
+  match Hashtbl.find_opt t.uses r with
+  | Some l -> !l
+  | None -> []
+
+(** Trace the local origin of an operand through copies, casts, geps and
+    pointer arithmetic. *)
+type origin =
+  | From_alloca of Levee_ir.Ty.t
+  | From_global of string
+  | From_malloc
+  | From_load of pos
+  | From_call
+  | From_fun of string
+  | From_const
+  | From_param of int       (* the i-th parameter of the enclosing function *)
+  | Unknown
+
+(** The storage site an address operand roots at, if locally traceable:
+    the alloca register or global that owns the memory. Used to make
+    per-pointer (rather than per-instruction) decisions, e.g. the char*
+    heuristic must demote all accesses of a pointer or none. *)
+type site = Site_alloca of int | Site_global of string | Site_unknown
+
+let rec root_site ?(depth = 16) t (o : I.operand) : site =
+  if depth = 0 then Site_unknown
+  else
+    match o with
+    | I.Glob g -> Site_global g
+    | I.Imm _ | I.Nullp | I.Fun _ -> Site_unknown
+    | I.Reg r ->
+      (match def t r with
+       | None -> Site_unknown
+       | Some (_, i) ->
+         (match i with
+          | I.Alloca _ -> Site_alloca r
+          | I.Cast { v; _ } -> root_site ~depth:(depth - 1) t v
+          | I.Gep { base; _ } -> root_site ~depth:(depth - 1) t base
+          | I.Bin { op = I.Add | I.Sub; l; _ } -> root_site ~depth:(depth - 1) t l
+          | I.Bin _ | I.Cmp _ | I.Load _ | I.Store _ | I.Call _ | I.Intrin _ ->
+            Site_unknown))
+
+let rec origin ?(depth = 16) t (o : I.operand) : origin =
+  if depth = 0 then Unknown
+  else
+    match o with
+    | I.Imm _ | I.Nullp -> From_const
+    | I.Glob g -> From_global g
+    | I.Fun f -> From_fun f
+    | I.Reg r ->
+      (match def t r with
+       | None ->
+         if r < List.length t.fn.Prog.params then From_param r else Unknown
+       | Some (pos, i) ->
+         (match i with
+          | I.Alloca { ty; _ } -> From_alloca ty
+          | I.Cast { v; _ } -> origin ~depth:(depth - 1) t v
+          | I.Gep { base; _ } -> origin ~depth:(depth - 1) t base
+          | I.Bin { op = I.Add | I.Sub; l; _ } -> origin ~depth:(depth - 1) t l
+          | I.Bin _ | I.Cmp _ -> From_const
+          | I.Load _ -> From_load pos
+          | I.Intrin { op = I.I_malloc; _ } -> From_malloc
+          | I.Intrin _ | I.Call _ -> From_call
+          | I.Store _ -> Unknown))

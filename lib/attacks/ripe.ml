@@ -1,0 +1,123 @@
+(** RIPE-style attack matrix runner (Section 5.1).
+
+    Enumerates every (victim x payload) combination, runs each one under
+    each protection configuration, and tabulates which attacks succeed
+    (control reached the attacker's goal), which are stopped by a defense,
+    and which merely crash. The paper's headline claims this reproduces:
+    CPI and CPS stop every RIPE attack; the safe stack alone stops every
+    stack-based attack; stock mitigations (DEP+ASLR+cookies) stop some but
+    not all; coarse CFI is bypassed by call-site gadgets and
+    function-entry-redirects. *)
+
+module P = Levee_core.Pipeline
+module M = Levee_machine
+
+type instance = {
+  victim : Victims.victim;
+  payload : Attack.payload;
+}
+
+type run = {
+  instance : instance;
+  protection : P.protection;
+  outcome : M.Trap.outcome;
+}
+
+let instances ?(include_beyond_ripe = false) () =
+  List.concat_map
+    (fun (v : Victims.victim) ->
+      if v.Victims.beyond_ripe && not include_beyond_ripe then []
+      else List.map (fun p -> { victim = v; payload = p }) v.Victims.payloads)
+    Victims.all
+
+let succeeded (r : run) =
+  match r.outcome with M.Trap.Hijacked _ -> true | _ -> false
+
+(** Stopped by an explicit defense mechanism (vs. a mere crash). *)
+let trapped (r : run) =
+  match r.outcome with M.Trap.Trapped _ -> true | _ -> false
+
+(** Compile each victim once; returns (victim source program, vanilla
+    reference image) pairs keyed by victim id. *)
+let compile_victims () =
+  List.map
+    (fun (v : Victims.victim) ->
+      let prog = Levee_minic.Lower.compile ~name:v.Victims.vid v.Victims.source in
+      let vanilla = P.build P.Vanilla prog in
+      let reference = M.Loader.load vanilla.P.prog vanilla.P.config in
+      (v, prog, reference))
+    Victims.all
+
+(** Run one attack instance under one protection. *)
+let run_instance ~reference (built : P.built) (inst : instance) : run =
+  let deployed = M.Loader.load built.P.prog built.P.config in
+  let plain =
+    if built.P.config.M.Config.aslr then
+      M.Loader.load built.P.prog { built.P.config with M.Config.aslr = false }
+    else deployed
+  in
+  let view = { Attack.deployed; plain; reference } in
+  let input = inst.victim.Victims.build view inst.payload in
+  let res = M.Interp.run ~input ~fuel:2_000_000 deployed in
+  { instance = inst; protection = built.P.protection;
+    outcome = res.M.Interp.outcome }
+
+(** Validate that a victim behaves benignly (no attack input) under a
+    protection: protections must not break correct programs. *)
+let benign_ok (built : P.built) : bool =
+  let res = M.Interp.run ~input:[||] ~fuel:2_000_000
+      (M.Loader.load built.P.prog built.P.config)
+  in
+  match res.M.Interp.outcome with M.Trap.Exit _ -> true | _ -> false
+
+type summary = {
+  protection : P.protection;
+  total : int;
+  hijacked : int;
+  trapped_count : int;
+  crashed : int;
+  stack_hijacked : int;       (* successful attacks that were stack-based *)
+  runs : run list;
+}
+
+(** Run the full matrix for the given protections. *)
+let run_matrix ?(include_beyond_ripe = false)
+    ?(protections =
+      [ P.Vanilla; P.Hardened; P.Cookies; P.Safe_stack; P.Cfi; P.Cps; P.Cpi;
+        P.Softbound ]) () : summary list =
+  let compiled = compile_victims () in
+  List.map
+    (fun prot ->
+      let runs =
+        List.concat_map
+          (fun ((v : Victims.victim), prog, reference) ->
+            if v.Victims.beyond_ripe && not include_beyond_ripe then []
+            else begin
+              let built = P.build prot prog in
+              List.map
+                (fun payload ->
+                  run_instance ~reference built { victim = v; payload })
+                v.Victims.payloads
+            end)
+          compiled
+      in
+      let hij = List.filter succeeded runs in
+      { protection = prot;
+        total = List.length runs;
+        hijacked = List.length hij;
+        trapped_count = List.length (List.filter trapped runs);
+        crashed =
+          List.length
+            (List.filter
+               (fun r ->
+                 match r.outcome with M.Trap.Crash _ -> true | _ -> false)
+               runs);
+        stack_hijacked =
+          List.length
+            (List.filter
+               (fun r ->
+                 Attack.is_stack_attack r.instance.victim.Victims.target)
+               hij);
+        runs }
+    )
+    protections

@@ -1,0 +1,55 @@
+(** RIPE-style attack matrix runner (paper Section 5.1).
+
+    Enumerates every (victim x payload) combination, runs each under each
+    protection configuration, and tabulates which attacks succeed, which a
+    defense stops, and which merely crash. *)
+
+module P = Levee_core.Pipeline
+module M = Levee_machine
+
+type instance = {
+  victim : Victims.victim;
+  payload : Attack.payload;
+}
+
+type run = {
+  instance : instance;
+  protection : P.protection;
+  outcome : M.Trap.outcome;
+}
+
+(** All attack instances (excluding the beyond-RIPE CPS-relaxation demo
+    unless requested). *)
+val instances : ?include_beyond_ripe:bool -> unit -> instance list
+
+(** Did the attack reach its goal? *)
+val succeeded : run -> bool
+
+(** Was it stopped by an explicit defense (vs. a mere crash)? *)
+val trapped : run -> bool
+
+(** Compile each victim once, with its unprotected reference image. *)
+val compile_victims :
+  unit -> (Victims.victim * Levee_ir.Prog.t * M.Loader.image) list
+
+(** Run one attack instance against one protected build. *)
+val run_instance : reference:M.Loader.image -> P.built -> instance -> run
+
+(** Does the victim behave benignly (no attack input) under this build? *)
+val benign_ok : P.built -> bool
+
+type summary = {
+  protection : P.protection;
+  total : int;
+  hijacked : int;
+  trapped_count : int;
+  crashed : int;
+  stack_hijacked : int;   (** successful attacks that were stack-based *)
+  runs : run list;
+}
+
+(** Run the full matrix for the given protections (default: the paper's
+    eight configurations). *)
+val run_matrix :
+  ?include_beyond_ripe:bool -> ?protections:P.protection list -> unit ->
+  summary list

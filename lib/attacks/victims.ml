@@ -1,0 +1,460 @@
+(** Vulnerable victim programs, one per RIPE dimension combination.
+
+    Each victim is a small MiniC program with a planted memory-corruption
+    vulnerability (unbounded gets/strcpy-style input) whose benign runs
+    terminate cleanly, plus a payload builder that uses the attacker's view
+    of the deployed binary. The shared preamble provides the attack goals:
+    [backdoor] (the return-to-libc target containing system()),
+    a mid-function ROP gadget inside it, and [staging], which contains a
+    call-preceded gadget that defeats coarse-grained CFI return checks
+    (the Gokta's/Davi-style bypass the paper cites). *)
+
+open Attack
+module M = Levee_machine
+
+let preamble = {|
+int helper(int x) { return x + 1; }
+int helper2(int x) { return x + 2; }
+int backdoor() {
+  int mark = 7;
+  mark = mark + 1;
+  system("pwn");
+  return mark;
+}
+int do_backdoor() { backdoor(); return 0; }
+int staging() { helper(1); do_backdoor(); return 0; }
+|}
+
+type victim = {
+  vid : string;
+  technique : technique;
+  location : location;
+  target : target;
+  source : string;
+  payloads : payload list;
+  beyond_ripe : bool;        (* the CPS-relaxation demo, not a RIPE case *)
+  build : view -> payload -> int array;
+}
+
+let fill_for = function
+  | Shellcode -> M.Layout.shellcode_magic
+  | To_function | To_gadget | To_callsite | To_function_leak -> 0x41
+
+(* Destination value the attacker wants the corrupted code pointer to take. *)
+let dest view ~shell_addr payload =
+  match payload with
+  | To_function | To_function_leak -> backdoor_entry view payload
+  | To_gadget -> gadget_addr view payload
+  | To_callsite -> callsite_gadget_addr view payload
+  | Shellcode -> shell_addr ()
+
+let call_payloads = [ To_function; To_gadget; Shellcode; To_function_leak ]
+let ret_payloads = [ To_function; To_gadget; To_callsite; Shellcode; To_function_leak ]
+
+(* V1: stack / direct overflow / return address. *)
+let v1 =
+  { vid = "stack-direct-ret";
+    technique = Direct_overflow; location = Stack_loc; target = Ret_addr;
+    payloads = ret_payloads;
+    beyond_ripe = false;
+    source = preamble ^ {|
+int vuln() {
+  char buf[12];
+  gets(buf);
+  return buf[0];
+}
+int main() { vuln(); print_str("benign"); return 0; }
+|};
+    build =
+      (fun view payload ->
+        let buf = slot_for view "vuln" 0 in
+        let dist = buf.M.Loader.sl_offset - 1 in
+        let shell_addr () =
+          frame_base (image_for view payload) [ "main"; "vuln" ]
+          - buf.M.Loader.sl_offset
+        in
+        overflow_payload ~fill:(fill_for payload) ~dist
+          (dest view ~shell_addr payload)) }
+
+(* V2: stack / direct overflow / function pointer in a local variable. *)
+let v2 =
+  { vid = "stack-direct-fptr";
+    technique = Direct_overflow; location = Stack_loc; target = Fptr_stack;
+    payloads = call_payloads;
+    beyond_ripe = false;
+    source = preamble ^ {|
+int vuln() {
+  int (*fp)(int);
+  char buf[12];
+  fp = helper;
+  gets(buf);
+  return fp(7);
+}
+int main() { vuln(); print_str("benign"); return 0; }
+|};
+    build =
+      (fun view payload ->
+        let buf = slot_for view "vuln" 1 in
+        let fp = slot_for view "vuln" 0 in
+        let dist = buf.M.Loader.sl_offset - fp.M.Loader.sl_offset in
+        let shell_addr () =
+          frame_base (image_for view payload) [ "main"; "vuln" ]
+          - buf.M.Loader.sl_offset
+        in
+        overflow_payload ~fill:(fill_for payload) ~dist
+          (dest view ~shell_addr payload)) }
+
+(* V3: stack / direct overflow / function pointer inside a struct. *)
+let v3 =
+  { vid = "stack-direct-struct-fptr";
+    technique = Direct_overflow; location = Stack_loc; target = Struct_fptr_stack;
+    payloads = call_payloads;
+    beyond_ripe = false;
+    source = preamble ^ {|
+struct handler { int id; int (*fn)(int); };
+int vuln() {
+  struct handler h;
+  char buf[12];
+  h.id = 1;
+  h.fn = helper2;
+  gets(buf);
+  return h.fn(3);
+}
+int main() { vuln(); print_str("benign"); return 0; }
+|};
+    build =
+      (fun view payload ->
+        let buf = slot_for view "vuln" 1 in
+        let h = slot_for view "vuln" 0 in
+        (* fn is the second field of h: one word above the struct base *)
+        let dist = buf.M.Loader.sl_offset - (h.M.Loader.sl_offset - 1) in
+        let shell_addr () =
+          frame_base (image_for view payload) [ "main"; "vuln" ]
+          - buf.M.Loader.sl_offset
+        in
+        overflow_payload ~fill:(fill_for payload) ~dist
+          (dest view ~shell_addr payload)) }
+
+(* V4: stack / indirect / return address: corrupt a data pointer, the
+   program's own write through it becomes an arbitrary one-word write. *)
+let v4 =
+  { vid = "stack-indirect-ret";
+    technique = Indirect_ptr; location = Stack_loc; target = Ret_addr;
+    payloads = ret_payloads;
+    beyond_ripe = false;
+    source = preamble ^ {|
+int sink;
+int vuln() {
+  int *p;
+  char buf[12];
+  p = &sink;
+  gets(buf);
+  *p = read_int();
+  return 0;
+}
+int main() { vuln(); print_str("benign"); return 0; }
+|};
+    build =
+      (fun view payload ->
+        let buf = slot_for view "vuln" 1 in
+        let p = slot_for view "vuln" 0 in
+        let dist = buf.M.Loader.sl_offset - p.M.Loader.sl_offset in
+        let shell_addr () =
+          frame_base (image_for view payload) [ "main"; "vuln" ]
+          - buf.M.Loader.sl_offset
+        in
+        (* Point p at vuln's return-address slot, then feed the hijack
+           destination to the read_int write. *)
+        let ret_slot =
+          frame_base (image_for view payload) [ "main"; "vuln" ] - 1
+        in
+        let ov = overflow_payload ~fill:(fill_for payload) ~dist ret_slot in
+        (* newline terminates gets(); the next word feeds read_int *)
+        Array.append ov [| 10; dest view ~shell_addr payload |]) }
+
+(* V5: global / indirect / function pointer reached through a pointer to a
+   sensitive pointer: the CPI-specific propagation case (Fig. 1). *)
+let v5 =
+  { vid = "global-indirect-fptr";
+    technique = Indirect_ptr; location = Global_loc; target = Fptr_global;
+    payloads = [ To_function; To_gadget; To_function_leak ];
+    beyond_ripe = false;
+    source = preamble ^ {|
+int (*gfp)(int) = helper;
+char gbuf[12];
+int (**gpp)(int) = gfp;
+int vuln() {
+  gets(gbuf);
+  return (*gpp)(1);
+}
+int main() { vuln(); print_str("benign"); return 0; }
+|};
+    build =
+      (fun view payload ->
+        (* Plant the destination inside gbuf, then overflow gbuf so that
+           gpp points back into gbuf. *)
+        let dist = global_distance view ~from:"gbuf" ~to_:"gpp" in
+        let gbuf = global_of view payload "gbuf" in
+        let ov =
+          overflow_payload ~fill:(fill_for payload) ~dist gbuf
+        in
+        ov.(0) <- dest view ~shell_addr:(fun () -> gbuf) payload;
+        ov) }
+
+(* V6: global / direct / global function pointer. *)
+let v6 =
+  { vid = "global-direct-fptr";
+    technique = Direct_overflow; location = Global_loc; target = Fptr_global;
+    payloads = call_payloads;
+    beyond_ripe = false;
+    source = preamble ^ {|
+char gbuf[12];
+int (*gfp)(int) = helper;
+int vuln() {
+  gets(gbuf);
+  return gfp(2);
+}
+int main() { vuln(); print_str("benign"); return 0; }
+|};
+    build =
+      (fun view payload ->
+        let dist = global_distance view ~from:"gbuf" ~to_:"gfp" in
+        let shell_addr () = global_of view payload "gbuf" in
+        overflow_payload ~fill:(fill_for payload) ~dist
+          (dest view ~shell_addr payload)) }
+
+(* V7: heap / direct / function pointer inside the same heap object
+   (intra-object overflow). *)
+let v7 =
+  { vid = "heap-direct-struct-fptr";
+    technique = Direct_overflow; location = Heap_loc; target = Struct_fptr_heap;
+    payloads = call_payloads;
+    beyond_ripe = false;
+    source = preamble ^ {|
+struct obj { char name[12]; int (*cb)(int); };
+int vuln() {
+  struct obj *o;
+  o = (struct obj*) malloc(sizeof(struct obj));
+  o->cb = helper;
+  gets(o->name);
+  return o->cb(4);
+}
+int main() { vuln(); print_str("benign"); return 0; }
+|};
+    build =
+      (fun view payload ->
+        let dist = 12 in   (* cb sits right after name[12] *)
+        let shell_addr () =
+          M.Layout.heap_base + (image_for view payload).M.Loader.slide + 1
+        in
+        overflow_payload ~fill:(fill_for payload) ~dist
+          (dest view ~shell_addr payload)) }
+
+(* V8: heap / direct / function pointer in an adjacent heap object. *)
+let v8 =
+  { vid = "heap-direct-fptr";
+    technique = Direct_overflow; location = Heap_loc; target = Fptr_heap;
+    payloads = call_payloads;
+    beyond_ripe = false;
+    source = preamble ^ {|
+int vuln() {
+  char *buf;
+  int (**slot)(int);
+  buf = (char*) malloc(12);
+  slot = (int (**)(int)) malloc(1);
+  *slot = helper;
+  gets(buf);
+  return (*slot)(5);
+}
+int main() { vuln(); print_str("benign"); return 0; }
+|};
+    build =
+      (fun view payload ->
+        (* buf block: 12 words + 1 header; slot follows *)
+        let dist = 13 in
+        let shell_addr () =
+          M.Layout.heap_base + (image_for view payload).M.Loader.slide + 1
+        in
+        overflow_payload ~fill:(fill_for payload) ~dist
+          (dest view ~shell_addr payload)) }
+
+(* V9: longjmp buffer corruption (global jmp_buf). *)
+let v9 =
+  { vid = "global-direct-longjmp";
+    technique = Direct_overflow; location = Global_loc; target = Longjmp_buf;
+    payloads = ret_payloads;
+    beyond_ripe = false;
+    source = preamble ^ {|
+char gbuf[8];
+int jb[4];
+int do_jump() { longjmp(jb, 1); return 0; }
+int vuln() {
+  gets(gbuf);
+  do_jump();
+  return 0;
+}
+int main() {
+  if (setjmp(jb)) { print_str("resumed"); return 0; }
+  vuln();
+  return 0;
+}
+|};
+    build =
+      (fun view payload ->
+        let dist = global_distance view ~from:"gbuf" ~to_:"jb" in
+        let shell_addr () = global_of view payload "gbuf" in
+        overflow_payload ~fill:(fill_for payload) ~dist
+          (dest view ~shell_addr payload)) }
+
+(* V10: fake-vtable attack (the C++ COOP pattern): redirect an object's
+   vtable pointer at attacker-controlled data. *)
+let v10 =
+  { vid = "heap-direct-vtable-fake";
+    technique = Direct_overflow; location = Heap_loc; target = Vtable_fake;
+    payloads = [ To_function; To_gadget; To_function_leak ];
+    beyond_ripe = false;
+    source = preamble ^ {|
+struct vtbl { int (*m0)(int); int (*m1)(int); };
+struct widget { char tag[8]; struct vtbl *vt; };
+struct vtbl vt_user = { helper, helper2 };
+char scratch[4];
+int vuln() {
+  struct widget *w;
+  w = (struct widget*) malloc(sizeof(struct widget));
+  w->vt = &vt_user;
+  read_input(scratch, 4);
+  gets(w->tag);
+  return w->vt->m0(1);
+}
+int main() { vuln(); print_str("benign"); return 0; }
+|};
+    build =
+      (fun view payload ->
+        let scratch = global_of view payload "scratch" in
+        let fake_table =
+          [| dest view ~shell_addr:(fun () -> scratch) payload; 0x42; 0x43; 0x44 |]
+        in
+        let ov = overflow_payload ~fill:(fill_for payload) ~dist:8 scratch in
+        Array.append fake_table ov) }
+
+(* V11: vtable swap: redirect the vtable pointer at a DIFFERENT legitimate
+   vtable whose entries were stored by genuine code-pointer stores. CPS
+   permits this by design (valid code pointers are interchangeable,
+   Section 3.3); CPI does not. Not part of the RIPE matrix. *)
+let v11 =
+  { vid = "heap-direct-vtable-swap";
+    technique = Direct_overflow; location = Heap_loc; target = Vtable_swap;
+    payloads = [ To_function; To_function_leak ];
+    beyond_ripe = true;
+    source = preamble ^ {|
+struct vtbl { int (*m0)(int); };
+struct widget { char tag[8]; struct vtbl *vt; };
+int admin_m0(int x) { system("admin"); return x; }
+struct vtbl vt_user = { helper };
+struct vtbl vt_admin = { admin_m0 };
+int vuln() {
+  struct widget *w;
+  w = (struct widget*) malloc(sizeof(struct widget));
+  w->vt = &vt_user;
+  gets(w->tag);
+  return w->vt->m0(1);
+}
+int main() { vuln(); print_str("benign"); return 0; }
+|};
+    build =
+      (fun view payload ->
+        let vt_admin = global_of view payload "vt_admin" in
+        overflow_payload ~fill:0x41 ~dist:8 vt_admin) }
+
+(* ---- vulnerable-function dimension ----
+   RIPE exercises each overflow through several vulnerable libc functions.
+   Every direct-overflow victim above uses gets(); [expand_vulns] derives
+   strcpy- and attacker-length-memcpy variants from it mechanically:
+
+     gets(BUF);                                    (original)
+     gets(staging); strcpy(BUF, staging);          (strcpy variant)
+     gets(staging); memcpy(BUF, staging, read_int());   (memcpy variant)
+
+   The payload is unchanged for strcpy (it contains no NUL words); the
+   memcpy variant appends a newline (ending gets) and the attacker-chosen
+   length. *)
+
+let staging_decl = "char staging[96];\n"
+
+let rewrite_vuln ~vid_suffix ~vuln_line (v : victim) ~adapt =
+  match String.index_opt v.source 'g' with
+  | None -> None
+  | Some _ ->
+    let marker_re = Str.regexp {|gets(\([A-Za-z_>.()-]*\));|} in
+    (try
+       let _ = Str.search_forward marker_re v.source 0 in
+       let buf = Str.matched_group 1 v.source in
+       let replaced =
+         Str.replace_first marker_re (vuln_line buf) v.source
+       in
+       (* put the staging buffer after the preamble so it never sits
+          between the overflowed buffer and its target *)
+       Some
+         { v with
+           vid = v.vid ^ "-" ^ vid_suffix;
+           source = staging_decl ^ replaced;
+           build = (fun view payload -> adapt (v.build view payload)) }
+     with Not_found -> None)
+
+let strcpy_variant v =
+  rewrite_vuln ~vid_suffix:"strcpy"
+    ~vuln_line:(fun buf ->
+      Printf.sprintf "gets(staging); strcpy(%s, staging);" buf)
+    v
+    ~adapt:(fun p -> p)
+
+let memcpy_variant v =
+  rewrite_vuln ~vid_suffix:"memcpy"
+    ~vuln_line:(fun buf ->
+      Printf.sprintf "gets(staging); memcpy(%s, staging, read_int());" buf)
+    v
+    ~adapt:(fun p -> Array.concat [ p; [| 10; Array.length p |] ])
+
+(* V12: heap / use-after-free / function pointer in a recycled object.
+   The dangling dispatch reads whatever the attacker put into the reused
+   allocation. CPI's temporal id on the sensitive pointer detects the
+   stale object; CPS's stale-but-genuine safe-store entry makes the attack
+   silently ineffective; everything else reads attacker data. *)
+let v12 =
+  { vid = "heap-uaf-fptr";
+    technique = Use_after_free; location = Heap_loc; target = Fptr_heap;
+    payloads = [ To_function; To_gadget; To_function_leak ];
+    beyond_ripe = false;
+    source = preamble ^ {|
+struct obj { int pad; int (*cb)(int); };
+int vuln() {
+  struct obj *o;
+  int *recycled;
+  o = (struct obj *) malloc(sizeof(struct obj));
+  o->pad = 1;
+  o->cb = helper;
+  free((void *) o);
+  // the allocator recycles the block for an attacker-filled buffer
+  recycled = (int *) malloc(sizeof(struct obj));
+  if (gets((char *) recycled) == 0) { return helper(6); }
+  return o->cb(6);      // dangling virtual dispatch, input-triggered
+}
+int main() { vuln(); print_str("benign"); return 0; }
+|};
+    build =
+      (fun view payload ->
+        (* the recycled block starts where the freed object was: word 0 is
+           pad, word 1 is the cb slot *)
+        let shell_addr () =
+          M.Layout.heap_base + (image_for view payload).M.Loader.slide + 1
+        in
+        [| 0x41; dest view ~shell_addr payload |]) }
+
+let direct_base = [ v1; v2; v3; v6; v7; v8 ]
+
+let vuln_variants =
+  List.concat_map
+    (fun v -> List.filter_map (fun f -> f v) [ strcpy_variant; memcpy_variant ])
+    direct_base
+
+let all = [ v1; v2; v3; v4; v5; v6; v7; v8; v9; v10; v11; v12 ] @ vuln_variants

@@ -1,0 +1,23 @@
+(** Vulnerable victim programs, one per RIPE dimension combination.
+
+    Each victim is a small MiniC program with a planted memory-corruption
+    vulnerability whose benign runs terminate cleanly, plus a payload
+    builder that uses the attacker's view of the deployed binary. *)
+
+type victim = {
+  vid : string;
+  technique : Attack.technique;
+  location : Attack.location;
+  target : Attack.target;
+  source : string;                     (** MiniC source of the victim *)
+  payloads : Attack.payload list;      (** applicable payload kinds *)
+  beyond_ripe : bool;                  (** the CPS-relaxation demo, outside
+                                           the RIPE matrix *)
+  build : Attack.view -> Attack.payload -> int array;
+                                       (** construct the input payload *)
+}
+
+(** All victims: the hand-written dimension matrix plus mechanically
+    derived strcpy/attacker-length-memcpy variants of every direct-overflow
+    victim (RIPE's vulnerable-function dimension). *)
+val all : victim list

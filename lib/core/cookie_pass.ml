@@ -1,0 +1,21 @@
+(** Stack cookies baseline (StackGuard [14]).
+
+    Guards every function that allocates a stack buffer, the way
+    -fstack-protector selects functions. The machine writes the cookie
+    between the locals and the return address and verifies it in the
+    epilogue — detecting only contiguous overflows that cross it. *)
+
+module I = Levee_ir.Instr
+module Ty = Levee_ir.Ty
+module Prog = Levee_ir.Prog
+
+let has_buffer (fn : Prog.func) =
+  let found = ref false in
+  Prog.iter_instrs fn (fun i ->
+      match i with
+      | I.Alloca { ty = Ty.Arr _; _ } | I.Alloca { ty = Ty.Struct _; _ } -> found := true
+      | _ -> ());
+  !found
+
+let run (prog : Prog.t) =
+  Prog.iter_funcs prog (fun fn -> fn.Prog.cookie <- has_buffer fn)

@@ -1,0 +1,57 @@
+(** The CPS instrumentation pass (Section 3.3).
+
+    Code-pointer separation protects only code pointers: their loads and
+    stores go through the safe pointer store with no bounds or temporal
+    metadata ([SafeValue]). Pointers used to access code pointers
+    indirectly remain uninstrumented, and no dereference checks are added —
+    this is the entire difference from CPI, and the source of its lower
+    overhead. Universal pointers may carry code pointers at runtime, so
+    their memory operations are routed through the store as well (the
+    runtime falls back to the regular region when no protected value is
+    present); the char* heuristic prunes string pointers. *)
+
+module I = Levee_ir.Instr
+module Ty = Levee_ir.Ty
+module Prog = Levee_ir.Prog
+module An = Levee_analysis
+
+let cps_instrumented ty =
+  match ty with
+  | Ty.Ptr (Ty.Fn _) -> true
+  | Ty.Ptr Ty.Void | Ty.Ptr Ty.Char -> true
+  | _ -> false
+
+(* See [Cpi_pass.safe_slot_regs]: direct accesses to proven-safe stack
+   slots need no instrumentation. *)
+let safe_slot_regs (fn : Prog.func) =
+  let t = Hashtbl.create 16 in
+  Prog.iter_instrs fn (fun i ->
+      match i with
+      | I.Alloca { dst; slot = I.SafeSlot; _ } -> Hashtbl.replace t dst ()
+      | _ -> ());
+  t
+
+let run (prog : Prog.t) =
+  let demoted_map = An.Strheur.demoted prog in
+  Prog.iter_funcs prog (fun fn ->
+      let demoted = An.Strheur.demoted_positions_in demoted_map fn in
+      let safe_slots = safe_slot_regs fn in
+      let on_safe_slot = function
+        | I.Reg r -> Hashtbl.mem safe_slots r
+        | I.Imm _ | I.Glob _ | I.Fun _ | I.Nullp -> false
+      in
+      Array.iter
+        (fun (b : Prog.block) ->
+          Array.iteri
+            (fun idx (i : I.instr) ->
+              let dem () = Hashtbl.mem demoted (b.Prog.bid, idx) in
+              match i with
+              | I.Load ({ ty; addr; _ } as l)
+                when cps_instrumented ty && not (dem ()) && not (on_safe_slot addr) ->
+                l.where <- I.SafeValue
+              | I.Store ({ ty; addr; _ } as s)
+                when cps_instrumented ty && not (dem ()) && not (on_safe_slot addr) ->
+                s.where <- I.SafeValue
+              | _ -> ())
+            b.Prog.instrs)
+        fn.Prog.blocks)

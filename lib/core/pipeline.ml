@@ -1,0 +1,88 @@
+(** The protection pipeline: the analogue of Levee's compiler driver flags
+    (-fcpi, -fcps, -fstack-protector-safe), plus the baselines the
+    evaluation compares against. [build] clones the input module,
+    runs the passes for the requested protection, verifies the result, and
+    returns it together with the matching machine configuration and the
+    static instrumentation statistics. *)
+
+module Prog = Levee_ir.Prog
+module Config = Levee_machine.Config
+module Safestore = Levee_machine.Safestore
+
+type protection =
+  | Vanilla           (* no protection, DEP and ASLR off *)
+  | Hardened          (* DEP + ASLR + stack cookies: a stock modern system *)
+  | Cookies           (* stack cookies only *)
+  | Safe_stack        (* the safe stack alone (-fstack-protector-safe) *)
+  | Cfi               (* coarse-grained CFI baseline *)
+  | Cps               (* code-pointer separation (-fcps) *)
+  | Cpi               (* code-pointer integrity (-fcpi) *)
+  | Cpi_debug         (* CPI in debug mode: both copies kept and compared *)
+  | Softbound         (* full spatial memory safety baseline *)
+
+let protection_name = function
+  | Vanilla -> "vanilla"
+  | Hardened -> "dep+aslr+cookies"
+  | Cookies -> "cookies"
+  | Safe_stack -> "safestack"
+  | Cfi -> "cfi"
+  | Cps -> "cps"
+  | Cpi -> "cpi"
+  | Cpi_debug -> "cpi-debug"
+  | Softbound -> "softbound"
+
+let all_protections =
+  [ Vanilla; Hardened; Cookies; Safe_stack; Cfi; Cps; Cpi; Cpi_debug; Softbound ]
+
+type built = {
+  protection : protection;
+  prog : Prog.t;
+  config : Config.t;
+  stats : Stats.t;
+}
+
+(** [build ?annotated ?store_impl ?isolation protection prog] instruments a
+    copy of [prog]. [annotated] lists programmer-marked sensitive structs
+    (Section 3.2.1); [store_impl] selects the safe-pointer-store
+    organisation; [isolation] the safe-region isolation mechanism. *)
+let build ?(annotated = []) ?(store_impl = Safestore.Simple_array)
+    ?(isolation = Config.Info_hiding) protection (src : Prog.t) : built =
+  let prog = Prog.clone src in
+  let config =
+    match protection with
+    | Vanilla -> Config.vanilla
+    | Hardened ->
+      Cookie_pass.run prog;
+      Config.hardened_baseline
+    | Cookies ->
+      Cookie_pass.run prog;
+      Config.cookies_only
+    | Safe_stack ->
+      Safestack_pass.run prog;
+      Config.safe_stack_only
+    | Cfi ->
+      Cfi_pass.run prog;
+      Config.cfi
+    | Cps ->
+      Safestack_pass.run prog;
+      Cps_pass.run prog;
+      Config.cps ~store_impl ()
+    | Cpi ->
+      Safestack_pass.run prog;
+      Cpi_pass.run ~annotated prog;
+      Config.cpi ~store_impl ()
+    | Cpi_debug ->
+      Safestack_pass.run prog;
+      Cpi_pass.run ~debug:true ~annotated prog;
+      { (Config.cpi ~store_impl ()) with Config.name = "cpi-debug" }
+    | Softbound ->
+      Softbound_pass.run prog;
+      { Config.softbound with Config.store_impl = store_impl }
+  in
+  let config = { config with Config.isolation } in
+  (match Levee_ir.Verify.program_result prog with
+   | Ok () -> ()
+   | Error e ->
+     failwith (Printf.sprintf "pipeline(%s): invalid IR after instrumentation: %s"
+                 (protection_name protection) e));
+  { protection; prog; config; stats = Stats.collect prog }

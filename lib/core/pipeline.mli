@@ -1,0 +1,42 @@
+(** The protection pipeline: the analogue of Levee's compiler-driver flags
+    (-fcpi, -fcps, -fstack-protector-safe), plus the baselines the paper's
+    evaluation compares against. *)
+
+module Prog = Levee_ir.Prog
+module Config = Levee_machine.Config
+module Safestore = Levee_machine.Safestore
+
+type protection =
+  | Vanilla           (** no protection, DEP and ASLR off *)
+  | Hardened          (** DEP + ASLR + stack cookies: a stock modern system *)
+  | Cookies
+  | Safe_stack        (** the safe stack alone (-fstack-protector-safe) *)
+  | Cfi               (** coarse-grained CFI baseline *)
+  | Cps               (** code-pointer separation (-fcps) *)
+  | Cpi               (** code-pointer integrity (-fcpi) *)
+  | Cpi_debug         (** CPI debug mode: both copies kept and compared *)
+  | Softbound         (** full spatial memory safety baseline *)
+
+val protection_name : protection -> string
+val all_protections : protection list
+
+type built = {
+  protection : protection;
+  prog : Prog.t;        (** instrumented clone of the input module *)
+  config : Config.t;    (** the matching machine configuration *)
+  stats : Stats.t;      (** Table-2-style instrumentation statistics *)
+}
+
+(** [build ?annotated ?store_impl ?isolation protection prog] instruments a
+    deep copy of [prog] and verifies the result.
+
+    @param annotated programmer-marked sensitive struct names
+           (Section 3.2.1's struct-ucred case)
+    @param store_impl safe-pointer-store organisation (default array)
+    @param isolation safe-region isolation mechanism (default info hiding)
+    @raise Failure if the instrumented IR fails verification (a pass bug) *)
+val build :
+  ?annotated:string list ->
+  ?store_impl:Safestore.impl ->
+  ?isolation:Config.isolation ->
+  protection -> Prog.t -> built

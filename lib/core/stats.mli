@@ -1,0 +1,19 @@
+(** Static instrumentation statistics (the paper's Table 2 columns). *)
+
+type t = {
+  funcs_total : int;
+  funcs_unsafe_stack : int;   (** functions needing an unsafe stack frame *)
+  mem_ops_total : int;
+  mem_ops_instrumented : int; (** loads/stores routed off the regular path *)
+  mem_ops_checked : int;      (** loads/stores with a runtime bounds check *)
+  indirect_calls : int;
+}
+
+val collect : Levee_ir.Prog.t -> t
+
+(** FNUStack: fraction of functions that need an unsafe stack frame. *)
+val fnustack : t -> float
+
+(** MO: fraction of memory operations instrumented by the active pass
+    (MOCPS / MOCPI depending on which pass produced the program). *)
+val mo_instrumented : t -> float

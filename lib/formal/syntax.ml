@@ -1,0 +1,85 @@
+(** Syntax of the C subset of Appendix A (Fig. 6).
+
+    Atomic types a ::= int | p*
+    Pointer types p ::= a | s | f | void
+    LHS  ::= x | *lhs | lhs.id | lhs->id
+    RHS  ::= i | &f | rhs + rhs | lhs | &lhs | (a) rhs | sizeof(p) | malloc(rhs)
+    Cmd  ::= c;c | lhs = rhs | direct call | indirect call *)
+
+type aty =
+  | TInt
+  | TPtr of pty
+
+and pty =
+  | PA of aty              (* pointer to atomic *)
+  | PS of string           (* pointer to struct s *)
+  | PFn                    (* pointer to function *)
+  | PVoid                  (* void* *)
+
+(** Struct definitions: name -> ordered (field, atomic type) list. *)
+type senv = (string * (string * aty) list) list
+
+type lhs =
+  | Var of string
+  | Deref of lhs           (* *lhs *)
+  | Field of lhs * string  (* lhs.id *)
+  | Arrow of lhs * string  (* lhs->id *)
+
+type rhs =
+  | Int of int
+  | AddrFn of string       (* &f *)
+  | Add of rhs * rhs
+  | Lhs of lhs
+  | AddrLhs of lhs         (* &lhs *)
+  | Cast of aty * rhs
+  | Sizeof of pty
+  | Malloc of rhs
+
+type cmd =
+  | Seq of cmd * cmd
+  | Assign of lhs * rhs
+  | CallFn of string       (* f() *)
+  | CallPtr of lhs         (* call through a function pointer lvalue *)
+  | Skip
+
+(** A program: struct defs, typed globals, named functions (bodies in the
+    same command language), and a main command. *)
+type program = {
+  structs : senv;
+  vars : (string * aty) list;
+  funcs : (string * cmd) list;
+  body : cmd;
+}
+
+(** The [sensitive] criterion of Fig. 7. *)
+let rec sensitive_aty structs = function
+  | TInt -> false
+  | TPtr p -> sensitive_pty structs p
+
+and sensitive_pty structs = function
+  | PVoid -> true
+  | PFn -> true
+  | PA a -> sensitive_aty structs a
+  | PS s ->
+    (match List.assoc_opt s structs with
+     | Some fields -> List.exists (fun (_, ft) -> sensitive_aty structs ft) fields
+     | None -> false)
+
+let rec string_of_aty = function
+  | TInt -> "int"
+  | TPtr p -> string_of_pty p ^ "*"
+
+and string_of_pty = function
+  | PA a -> string_of_aty a
+  | PS s -> "struct " ^ s
+  | PFn -> "fn"
+  | PVoid -> "void"
+
+(** Word size of the pointee type [p] (structs = field count; everything
+    atomic = 1), used by sizeof and malloc layouts. *)
+let size_of_pty structs = function
+  | PA _ | PFn | PVoid -> 1
+  | PS s ->
+    (match List.assoc_opt s structs with
+     | Some fields -> max 1 (List.length fields)
+     | None -> 1)

@@ -1,0 +1,102 @@
+(** Human-readable IR printing, used by the CLI driver's [-emit-ir] mode and
+    by tests that assert on instrumentation results. *)
+
+open Instr
+
+let operand = function
+  | Reg r -> Printf.sprintf "%%r%d" r
+  | Imm i -> string_of_int i
+  | Glob g -> "@" ^ g
+  | Fun f -> "&" ^ f
+  | Nullp -> "null"
+
+let gep_step = function
+  | Field (name, off, _) -> Printf.sprintf ".%s(+%d)" name off
+  | Index (ty, o) -> Printf.sprintf "[%s x %s]" (operand o) (Ty.to_string ty)
+
+let attrs where checked =
+  let w = match where with Regular -> "" | w -> " !" ^ where_name w in
+  let c = if checked then " !chk" else "" in
+  w ^ c
+
+let instr (i : instr) =
+  match i with
+  | Alloca { dst; ty; slot } ->
+    let s = match slot with Auto -> "" | SafeSlot -> " !safe" | UnsafeSlot -> " !unsafe" in
+    Printf.sprintf "%%r%d = alloca %s%s" dst (Ty.to_string ty) s
+  | Bin { dst; op; l; r } ->
+    Printf.sprintf "%%r%d = %s %s, %s" dst (binop_name op) (operand l) (operand r)
+  | Cmp { dst; op; l; r } ->
+    Printf.sprintf "%%r%d = cmp.%s %s, %s" dst (cmpop_name op) (operand l) (operand r)
+  | Load { dst; ty; addr; where; checked } ->
+    Printf.sprintf "%%r%d = load %s, %s%s" dst (Ty.to_string ty) (operand addr)
+      (attrs where checked)
+  | Store { ty; v; addr; where; checked } ->
+    Printf.sprintf "store %s %s, %s%s" (Ty.to_string ty) (operand v) (operand addr)
+      (attrs where checked)
+  | Gep { dst; base_ty; base; path } ->
+    Printf.sprintf "%%r%d = gep %s %s %s" dst (Ty.to_string base_ty) (operand base)
+      (String.concat " " (List.map gep_step path))
+  | Cast { dst; kind; ty; v } ->
+    let k = match kind with
+      | Bitcast -> "bitcast" | PtrToInt -> "ptrtoint" | IntToPtr -> "inttoptr"
+    in
+    Printf.sprintf "%%r%d = %s %s to %s" dst k (operand v) (Ty.to_string ty)
+  | Call { dst; callee; args; cfi_checked; _ } ->
+    let d = match dst with Some r -> Printf.sprintf "%%r%d = " r | None -> "" in
+    let c = match callee with
+      | Direct f -> f
+      | Indirect o -> "*" ^ operand o
+    in
+    Printf.sprintf "%scall %s(%s)%s" d c
+      (String.concat ", " (List.map operand args))
+      (if cfi_checked then " !cfi" else "")
+  | Intrin { dst; op; args } ->
+    let d = match dst with Some r -> Printf.sprintf "%%r%d = " r | None -> "" in
+    Printf.sprintf "%s%s(%s)" d (intrin_name op)
+      (String.concat ", " (List.map operand args))
+
+let term = function
+  | Ret None -> "ret"
+  | Ret (Some o) -> "ret " ^ operand o
+  | Br (c, a, b) -> Printf.sprintf "br %s, b%d, b%d" (operand c) a b
+  | Jmp b -> Printf.sprintf "jmp b%d" b
+  | Switch (o, cases, dflt) ->
+    Printf.sprintf "switch %s [%s] default b%d" (operand o)
+      (String.concat "; " (List.map (fun (v, b) -> Printf.sprintf "%d->b%d" v b) cases))
+      dflt
+  | Unreachable -> "unreachable"
+
+let func (fn : Prog.func) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "func %s(%s) : %s%s {\n" fn.fname
+       (String.concat ", "
+          (List.map (fun (n, ty) -> n ^ " : " ^ Ty.to_string ty) fn.params))
+       (Ty.to_string fn.ret_ty)
+       (if fn.cookie then " !cookie" else ""));
+  Array.iter
+    (fun (b : Prog.block) ->
+      Buffer.add_string buf (Printf.sprintf "b%d:\n" b.bid);
+      Array.iter (fun i -> Buffer.add_string buf ("  " ^ instr i ^ "\n")) b.instrs;
+      Buffer.add_string buf ("  " ^ term b.term ^ "\n"))
+    fn.blocks;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let program (p : Prog.t) =
+  let buf = Buffer.create 1024 in
+  Hashtbl.iter
+    (fun name fields ->
+      Buffer.add_string buf
+        (Printf.sprintf "struct %s { %s }\n" name
+           (String.concat "; "
+              (List.map (fun (n, ty) -> n ^ " : " ^ Ty.to_string ty) fields))))
+    p.Prog.tenv.Ty.structs;
+  List.iter
+    (fun (g : Prog.global) ->
+      Buffer.add_string buf
+        (Printf.sprintf "global @%s : %s\n" g.gname (Ty.to_string g.gty)))
+    p.Prog.globals;
+  Prog.iter_funcs p (fun fn -> Buffer.add_string buf (func fn));
+  Buffer.contents buf

@@ -1,0 +1,103 @@
+(** Structural IR verifier, run after lowering and after every
+    instrumentation pass (the analogue of LLVM's module verifier). A
+    verification failure indicates a compiler bug, not a user error. *)
+
+type error = { func : string; block : int; msg : string }
+
+exception Invalid_ir of error
+
+let fail func block fmt =
+  Printf.ksprintf (fun msg -> raise (Invalid_ir { func; block; msg })) fmt
+
+let check_operand fname bid (p : Prog.t) nregs (o : Instr.operand) =
+  match o with
+  | Instr.Reg r ->
+    if r < 0 || r >= nregs then fail fname bid "register %%r%d out of range" r
+  | Instr.Glob g ->
+    if Prog.find_global p g = None then fail fname bid "unknown global @%s" g
+  | Instr.Fun f ->
+    if not (Prog.has_func p f) then fail fname bid "unknown function &%s" f
+  | Instr.Imm _ | Instr.Nullp -> ()
+
+let check_block_id fname bid fn target =
+  if target < 0 || target >= Array.length fn.Prog.blocks then
+    fail fname bid "branch to unknown block b%d" target
+
+(** Registers must be defined before use within straight-line order; we
+    check a weaker property (definition exists somewhere) plus exact checks
+    for operand well-formedness, which is what the passes can break. *)
+let check_func (p : Prog.t) (fn : Prog.func) =
+  let fname = fn.fname in
+  let defined = Hashtbl.create 64 in
+  List.iteri (fun i _ -> Hashtbl.replace defined i ()) fn.params;
+  let def r bid =
+    if r < 0 || r >= fn.nregs then fail fname bid "destination %%r%d out of range" r;
+    Hashtbl.replace defined r ()
+  in
+  Array.iter
+    (fun (b : Prog.block) ->
+      let bid = b.bid in
+      Array.iter
+        (fun (i : Instr.instr) ->
+          let op o = check_operand fname bid p fn.nregs o in
+          match i with
+          | Instr.Alloca { dst; ty; _ } ->
+            if Ty.size_of p.tenv ty = 0 then fail fname bid "alloca of zero-sized type";
+            def dst bid
+          | Instr.Bin { dst; l; r; _ } | Instr.Cmp { dst; l; r; _ } ->
+            op l; op r; def dst bid
+          | Instr.Load { dst; addr; ty; _ } ->
+            op addr;
+            if Ty.equal ty Ty.Void then fail fname bid "load of void";
+            def dst bid
+          | Instr.Store { v; addr; ty; _ } ->
+            op v; op addr;
+            if Ty.equal ty Ty.Void then fail fname bid "store of void"
+          | Instr.Gep { dst; base; path; _ } ->
+            op base;
+            List.iter
+              (function
+                | Instr.Index (_, o) -> op o
+                | Instr.Field (_, off, _) ->
+                  if off < 0 then fail fname bid "negative field offset")
+              path;
+            def dst bid
+          | Instr.Cast { dst; v; _ } -> op v; def dst bid
+          | Instr.Call { dst; callee; args; _ } ->
+            (match callee with
+             | Instr.Direct f ->
+               if not (Prog.has_func p f) then fail fname bid "call to unknown %s" f
+             | Instr.Indirect o -> op o);
+            List.iter op args;
+            (match dst with Some d -> def d bid | None -> ())
+          | Instr.Intrin { dst; args; _ } ->
+            List.iter op args;
+            (match dst with Some d -> def d bid | None -> ()))
+        b.instrs;
+      match b.term with
+      | Instr.Ret None ->
+        if not (Ty.equal fn.ret_ty Ty.Void) then
+          fail fname bid "ret void in non-void function"
+      | Instr.Ret (Some o) -> check_operand fname bid p fn.nregs o
+      | Instr.Br (c, t1, t2) ->
+        check_operand fname bid p fn.nregs c;
+        check_block_id fname bid fn t1;
+        check_block_id fname bid fn t2
+      | Instr.Jmp t -> check_block_id fname bid fn t
+      | Instr.Switch (o, cases, dflt) ->
+        check_operand fname bid p fn.nregs o;
+        List.iter (fun (_, t) -> check_block_id fname bid fn t) cases;
+        check_block_id fname bid fn dflt
+      | Instr.Unreachable -> ())
+    fn.blocks;
+  if Array.length fn.blocks = 0 then fail fname 0 "function has no blocks"
+
+(** Verify a whole program; raises [Invalid_ir] on the first violation. *)
+let program (p : Prog.t) = Prog.iter_funcs p (fun fn -> check_func p fn)
+
+(** [program_result p] is [Ok ()] or [Error message]. *)
+let program_result p =
+  match program p with
+  | () -> Ok ()
+  | exception Invalid_ir e ->
+    Error (Printf.sprintf "%s (in %s, block b%d)" e.msg e.func e.block)

@@ -1,0 +1,16 @@
+(** Structural IR verifier, run after lowering and after every
+    instrumentation pass (the analogue of LLVM's module verifier). A
+    verification failure indicates a compiler bug, not a user error. *)
+
+type error = { func : string; block : int; msg : string }
+
+exception Invalid_ir of error
+
+(** Verify one function. @raise Invalid_ir on the first violation. *)
+val check_func : Prog.t -> Prog.func -> unit
+
+(** Verify a whole program. @raise Invalid_ir on the first violation. *)
+val program : Prog.t -> unit
+
+(** [program_result p] is [Ok ()] or [Error message]. *)
+val program_result : Prog.t -> (unit, string) result

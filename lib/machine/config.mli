@@ -1,0 +1,41 @@
+(** Machine-level protection configuration.
+
+    Most of a protection mechanism lives in the instrumented IR; this
+    record carries the runtime switches the loader and interpreter need.
+    The pass pipeline ([Levee_core.Pipeline]) produces matched
+    (program, config) pairs — construct configs through it unless you are
+    testing the machine itself. *)
+
+type isolation =
+  | Segments      (** x86-32 segment-style isolation: free *)
+  | Info_hiding   (** x86-64 randomized base: free, leak-proof by design *)
+  | Sfi           (** software fault isolation: one mask per store *)
+
+type t = {
+  name : string;
+  safe_stack : bool;        (** return addresses + safe slots in safe region *)
+  enforce_code_meta : bool; (** CPI/CPS: indirect calls need protected pointers *)
+  protect_jmpbuf : bool;    (** setjmp's saved PC goes through the safe store *)
+  cfi_calls : bool;
+  cfi_returns : bool;       (** coarse CFI: returns must target a call site *)
+  dep : bool;               (** non-executable data *)
+  aslr : bool;
+  store_impl : Safestore.impl;
+  isolation : isolation;
+  check_cookies : bool;
+  check_libc : bool;        (** bounds-check libc memory functions (SoftBound) *)
+  cps_entry_words : int;    (** store entry width for footprint accounting *)
+}
+
+(** Completely unprotected baseline (DEP and ASLR off). *)
+val vanilla : t
+
+(** DEP + ASLR + stack cookies: a stock modern system. *)
+val hardened_baseline : t
+
+val safe_stack_only : t
+val cps : ?store_impl:Safestore.impl -> unit -> t
+val cpi : ?store_impl:Safestore.impl -> unit -> t
+val softbound : t
+val cfi : t
+val cookies_only : t

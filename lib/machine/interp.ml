@@ -1,0 +1,847 @@
+(** The IR interpreter: a word-granular machine with based-on metadata.
+
+    The interpreter realizes the operational semantics of Appendix A at the
+    IR level: every register optionally carries based-on metadata (bounds +
+    temporal id + kind), safe-store-routed memory operations persist that
+    metadata, plain operations drop it, and checked operations verify it.
+    Control-flow is fully decodable: every instruction has a code address,
+    so a corrupted return address or function pointer "jumps" exactly where
+    the attacker pointed it — into a function, a gadget in the middle of
+    one, injected shellcode in a data page, or garbage. *)
+
+module Ty = Levee_ir.Ty
+module I = Levee_ir.Instr
+module Prog = Levee_ir.Prog
+open Trap
+
+type meta = { lower : int; upper : int; tid : int; kind : Safestore.kind }
+
+let meta_of_entry (e : Safestore.entry) =
+  match e.Safestore.kind with
+  | Safestore.Invalid -> None
+  | k -> Some { lower = e.Safestore.lower; upper = e.Safestore.upper;
+                tid = e.Safestore.tid; kind = k }
+
+let entry_of_meta value = function
+  | Some m ->
+    { Safestore.value; lower = m.lower; upper = m.upper; tid = m.tid; kind = m.kind }
+  | None -> Safestore.invalid_entry value
+
+type frame = {
+  fr_fn : Prog.func;
+  regs : int array;
+  rmeta : meta option array;
+  mutable block : int;
+  mutable ip : int;
+  base_r : int;
+  base_s : int;
+  ret_dst : int option;        (* caller register receiving the result *)
+  pushed_ret : int;            (* legitimate return target *)
+  cookie_value : int;
+  penalize_stack : bool;       (* hot frame exceeds the cache-friendly size *)
+  layout : Loader.frame_layout;
+}
+
+type jmp_ctx = {
+  jc_depth : int;
+  jc_block : int;
+  jc_ip : int;                 (* resume point: just after the setjmp *)
+  jc_dst : int option;         (* setjmp's destination register *)
+  jc_resume_addr : int;        (* code address of the resume point *)
+}
+
+type t = {
+  image : Loader.image;
+  cfg : Config.t;
+  mem : Mem.t;
+  store : Safestore.t;
+  heap : Heap.t;
+  cost : Cost.t;
+  mutable frames : frame list;
+  mutable sp_r : int;
+  mutable sp_s : int;
+  input : int array;
+  mutable input_pos : int;
+  out : Buffer.t;
+  mutable checksum : int;
+  mutable fuel : int;
+  jmp_ctxs : (int, jmp_ctx) Hashtbl.t;
+  mutable next_jmp : int;
+  (* Based-on metadata shadow for safe-region addresses: the safe stack is
+     isolation-protected, so values stored there keep their metadata the
+     way register-resident values do after mem2reg. This is what lets the
+     instrumentation passes skip proven-safe local slots, mirroring the
+     paper's point that compiler optimizations remove many inserted
+     checks (Section 3.2.2). *)
+  safe_meta : (int, meta) Hashtbl.t;
+}
+
+type result = {
+  outcome : outcome;
+  cycles : int;
+  instrs : int;
+  mem_ops : int;
+  instrumented_mem_ops : int;
+  output : string;
+  checksum : int;
+  mem_footprint : int;         (* words of regular memory touched *)
+  store_footprint : int;       (* words used by the safe pointer store *)
+  heap_peak : int;
+}
+
+(* Sentinel "return address" of the outermost frame; returning through it
+   exits the program. *)
+let exit_sentinel = Layout.code_base - 7
+
+let stop outcome = raise (Machine_stop outcome)
+
+let current st =
+  match st.frames with
+  | f :: _ -> f
+  | [] -> assert false
+
+(* ---------- Memory access with isolation ---------- *)
+
+let charge_sfi st =
+  if st.cfg.Config.isolation = Config.Sfi then Cost.add st.cost Cost.sfi_mask
+
+(* A plain access may touch the safe region only with valid in-bounds
+   provenance (a proven-safe safe-stack access). Anything else models an
+   attacker-influenced access: blocked by segments / guaranteed-miss under
+   leak-proof info hiding / masked by SFI — uniformly reported as an
+   isolation violation. *)
+let check_region st addr meta ~is_write ~size =
+  let slide = st.image.Loader.slide in
+  match Layout.region_of ~slide addr with
+  | Layout.Safe ->
+    (match meta with
+     | Some m when m.kind = Safestore.Data && addr >= m.lower && addr + size <= m.upper -> ()
+     | _ -> stop (Trapped Isolation_violation))
+  | Layout.Code -> if is_write then stop (Crash "write to code segment")
+  | Layout.Null -> stop (Crash "null-page access")
+  | Layout.Globals | Layout.Heap | Layout.Stack | Layout.Other -> ()
+
+(* SFI isolation protects the *integrity* of the safe region: only writes
+   need masking (reads cannot corrupt, and the safe region's secrecy is the
+   info-hiding mechanism's job). Accesses the safe stack analysis proved
+   safe live in the safe region and need no mask either — this is how the
+   paper keeps the SFI variant under ~5%. *)
+let plain_read st addr meta =
+  check_region st addr meta ~is_write:false ~size:1;
+  if Layout.in_code ~slide:st.image.Loader.slide addr then 0xC0DE
+  else Mem.read st.mem addr
+
+let plain_write st addr meta v =
+  check_region st addr meta ~is_write:true ~size:1;
+  if not (Layout.in_safe_region ~slide:st.image.Loader.slide addr) then charge_sfi st;
+  Mem.write st.mem addr v
+
+(* Reads/writes that may hit the safe stack carry metadata through the
+   shadow (see [safe_meta] above). *)
+let read_with_shadow st addr meta =
+  let v = plain_read st addr meta in
+  let m =
+    if Layout.in_safe_region ~slide:st.image.Loader.slide addr then
+      Hashtbl.find_opt st.safe_meta addr
+    else None
+  in
+  (v, m)
+
+let write_with_shadow st addr meta v vmeta =
+  plain_write st addr meta v;
+  if Layout.in_safe_region ~slide:st.image.Loader.slide addr then begin
+    match vmeta with
+    | Some m -> Hashtbl.replace st.safe_meta addr m
+    | None -> Hashtbl.remove st.safe_meta addr
+  end
+
+(* ---------- Metadata checks (the CPI runtime checks) ---------- *)
+
+let check_deref st addr meta ~size ~what =
+  Cost.charge_check st.cost;
+  match meta with
+  | None -> stop (Trapped (Missing_metadata what))
+  | Some m ->
+    (match m.kind with
+     | Safestore.Invalid -> stop (Trapped (Bounds_violation "invalid metadata"))
+     | Safestore.Code ->
+       (* Dereferencing a code pointer as data is never safe. *)
+       stop (Trapped (Bounds_violation "code pointer used as data"))
+     | Safestore.Data ->
+       if Heap.tid_dead st.heap m.tid then stop (Trapped Temporal_violation);
+       if addr < m.lower || addr + size > m.upper then
+         stop (Trapped (Bounds_violation what)))
+
+(* ---------- Operand evaluation ---------- *)
+
+let eval st (o : I.operand) : int * meta option =
+  let fr = current st in
+  match o with
+  | I.Reg r -> (fr.regs.(r), fr.rmeta.(r))
+  | I.Imm n -> (n, None)
+  | I.Nullp -> (0, None)
+  | I.Glob g ->
+    let addr = Hashtbl.find st.image.Loader.global_addr g in
+    let lo, hi = Hashtbl.find st.image.Loader.global_bounds g in
+    (addr, Some { lower = lo; upper = hi; tid = 0; kind = Safestore.Data })
+  | I.Fun f ->
+    let addr = Loader.entry_addr st.image f in
+    (addr, Some { lower = addr; upper = addr + 1; tid = 0; kind = Safestore.Code })
+
+let set_reg st dst v m =
+  let fr = current st in
+  fr.regs.(dst) <- v;
+  fr.rmeta.(dst) <- m
+
+(* ---------- Frame management ---------- *)
+
+let cookie_secret base = 0x600DC00C lxor (base * 31)
+
+let push_frame st (fn : Prog.func) ~args ~ret_dst ~pushed_ret ~entry =
+  let layout = Hashtbl.find st.image.Loader.layouts fn.Prog.fname in
+  let base_r = st.sp_r in
+  let base_s = st.sp_s in
+  st.sp_r <- st.sp_r - layout.Loader.fl_regular_size;
+  st.sp_s <- st.sp_s - layout.Loader.fl_safe_size;
+  if st.sp_r < Layout.stack_limit + st.image.Loader.slide then
+    stop (Crash "regular stack overflow");
+  let regs = Array.make (max fn.Prog.nregs 1) 0 in
+  let rmeta = Array.make (max fn.Prog.nregs 1) None in
+  List.iteri
+    (fun i (v, m) ->
+      if i < Array.length regs then begin
+        regs.(i) <- v;
+        rmeta.(i) <- m
+      end)
+    args;
+  let cookie_value = cookie_secret base_r in
+  (match layout.Loader.fl_cookie_offset with
+   | Some off ->
+     Mem.write st.mem (base_r - off) cookie_value;
+     Cost.add st.cost Cost.cookie_cost
+   | None -> ());
+  (* Write the return address into its slot (regular or safe stack). *)
+  let ret_slot_base = if layout.Loader.fl_ret_on_safe then base_s else base_r in
+  Mem.write st.mem (ret_slot_base - layout.Loader.fl_ret_offset) pushed_ret;
+  (* Instrumentation costs of the call itself. *)
+  st.cost.Cost.calls <- st.cost.Cost.calls + 1;
+  Cost.add st.cost Cost.call_base;
+  if st.cfg.Config.safe_stack && layout.Loader.fl_has_unsafe then begin
+    st.cost.Cost.unsafe_frames <- st.cost.Cost.unsafe_frames + 1;
+    Cost.add st.cost Cost.unsafe_frame_cost
+  end;
+  (* Locality model: a large hot frame area costs extra per call; the safe
+     stack keeps the hot area small by moving buffers away. *)
+  let hot_resident =
+    if st.cfg.Config.safe_stack then layout.Loader.fl_safe_size
+    else layout.Loader.fl_regular_size
+  in
+  let penalize_stack = hot_resident > Cost.hot_frame_threshold in
+  let block, ip = entry in
+  st.frames <-
+    { fr_fn = fn; regs; rmeta; block; ip; base_r; base_s; ret_dst; pushed_ret;
+      cookie_value; penalize_stack; layout }
+    :: st.frames
+
+let pop_frame st =
+  match st.frames with
+  | f :: rest ->
+    st.frames <- rest;
+    st.sp_r <- f.base_r;
+    st.sp_s <- f.base_s;
+    f
+  | [] -> assert false
+
+(* ---------- Control-flow diversion ---------- *)
+
+(* [divert st target ~via] models the machine transferring control to an
+   arbitrary address: the core of every hijack attempt. *)
+let divert st target ~via =
+  (match via, st.cfg.Config.cfi_returns with
+   | `Ret, true ->
+     if not (Hashtbl.mem st.image.Loader.return_sites target) then
+       stop (Trapped (Cfi_violation "return target is not a call site"))
+   | (`Ret | `Call | `Longjmp), _ -> ());
+  match Loader.decode st.image target with
+  | Some cp ->
+    let fn = Prog.find_func st.image.Loader.prog cp.Loader.cp_fn in
+    if Loader.is_function_entry st.image target then
+      (* Jump to a function entry: executes it with garbage arguments. *)
+      push_frame st fn ~args:[] ~ret_dst:None ~pushed_ret:exit_sentinel
+        ~entry:(0, 0)
+    else
+      (* Jump into the middle of a function: a gadget; registers hold
+         garbage (zeroes). *)
+      push_frame st fn ~args:[] ~ret_dst:None ~pushed_ret:exit_sentinel
+        ~entry:(cp.Loader.cp_block, cp.Loader.cp_ip)
+  | None ->
+    if Layout.in_code ~slide:st.image.Loader.slide target then
+      stop (Crash "jump into code padding")
+    else if st.cfg.Config.dep then stop (Trapped Exec_violation)
+    else if Mem.read st.mem target = Layout.shellcode_magic then
+      stop (Hijacked "shellcode executed")
+    else stop (Crash "jump to non-code address")
+
+(* ---------- Calls and returns ---------- *)
+
+let invoke st (fn : Prog.func) args ret_dst =
+  let caller = current st in
+  let pushed_ret =
+    Loader.point_addr st.image caller.fr_fn.Prog.fname caller.block caller.ip
+  in
+  push_frame st fn ~args ~ret_dst ~pushed_ret ~entry:(0, 0)
+
+let do_call st dst callee args cfi_checked =
+  Cost.add st.cost (List.length args);
+  let argvals = List.map (eval st) args in
+  (* Advance the caller past the call before pushing the callee, so the
+     pushed return address denotes the next instruction. *)
+  let caller = current st in
+  caller.ip <- caller.ip + 1;
+  match callee with
+  | I.Direct name -> invoke st (Prog.find_func st.image.Loader.prog name) argvals dst
+  | I.Indirect o ->
+    let v, m = eval st o in
+    if st.cfg.Config.enforce_code_meta then begin
+      (* CPI/CPS: only values with genuine code-pointer provenance may be
+         indirect-call targets. *)
+      match m with
+      | Some { kind = Safestore.Code; _ } ->
+        (match Hashtbl.find_opt st.image.Loader.func_entries v with
+         | Some name -> invoke st (Prog.find_func st.image.Loader.prog name) argvals dst
+         | None -> stop (Crash "code pointer does not decode"))
+      | Some _ | None -> stop (Trapped Invalid_code_pointer)
+    end
+    else begin
+      if st.cfg.Config.cfi_calls && cfi_checked then begin
+        Cost.add st.cost Cost.cfi_cost;
+        if not (Loader.is_function_entry st.image v) then
+          stop (Trapped (Cfi_violation "indirect call target not a function"))
+      end;
+      match Hashtbl.find_opt st.image.Loader.func_entries v with
+      | Some name -> invoke st (Prog.find_func st.image.Loader.prog name) argvals dst
+      | None -> divert st v ~via:`Call
+    end
+
+let do_ret st retval =
+  Cost.add st.cost Cost.ret_base;
+  let fr = current st in
+  (* Cookie check (epilogue). *)
+  (match fr.layout.Loader.fl_cookie_offset with
+   | Some off when st.cfg.Config.check_cookies ->
+     if Mem.read st.mem (fr.base_r - off) <> fr.cookie_value then
+       stop (Trapped Cookie_smashed)
+   | Some _ | None -> ());
+  let ret_slot_base =
+    if fr.layout.Loader.fl_ret_on_safe then fr.base_s else fr.base_r
+  in
+  let stored = Mem.read st.mem (ret_slot_base - fr.layout.Loader.fl_ret_offset) in
+  let popped = pop_frame st in
+  if stored = popped.pushed_ret then begin
+    if stored = exit_sentinel || st.frames = [] then
+      stop (Exit (fst retval))
+    else begin
+      (match popped.ret_dst with
+       | Some dst -> set_reg st dst (fst retval) (snd retval)
+       | None -> ())
+    end
+  end
+  else
+    (* The stored return address differs from the one the call pushed:
+       memory corruption. Control goes wherever it points. *)
+    divert st stored ~via:`Ret
+
+(* ---------- Intrinsics (the runtime support library + modelled libc) ---------- *)
+
+let input_next st =
+  if st.input_pos < Array.length st.input then begin
+    let v = st.input.(st.input_pos) in
+    st.input_pos <- st.input_pos + 1;
+    Some v
+  end
+  else None
+
+let read_cstr st addr maxlen =
+  let buf = Buffer.create 16 in
+  let rec go i =
+    if i >= maxlen then ()
+    else
+      let w = Mem.read st.mem (addr + i) in
+      if w = 0 then ()
+      else begin
+        Buffer.add_char buf (Char.chr (((w mod 256) + 256) mod 256));
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let checksum_mix cs v =
+  let rotated = ((cs lsl 7) lor (cs lsr (62 - 7))) land 0x3FFF_FFFF_FFFF_FFFF in
+  (rotated lxor v) land 0x3FFF_FFFF_FFFF_FFFF
+
+(* Bounds check for libc memory functions under full memory safety. *)
+let libc_check st meta addr n what =
+  if st.cfg.Config.check_libc && n > 0 then check_deref st addr meta ~size:n ~what
+
+let do_intrin st dst (op : I.intrin) args =
+  let v i = fst (List.nth args i) in
+  let m i = snd (List.nth args i) in
+  let ret value meta = match dst with Some d -> set_reg st d value meta | None -> () in
+  Cost.add st.cost Cost.intrin_setup;
+  match op with
+  | I.I_malloc ->
+    let n = v 0 in
+    let b = Heap.malloc st.heap n in
+    ret b.Heap.addr
+      (Some { lower = b.Heap.addr; upper = b.Heap.addr + b.Heap.size;
+              tid = b.Heap.tid; kind = Safestore.Data })
+  | I.I_free ->
+    let p = v 0 in
+    if p = 0 then () else Heap.free st.heap p
+  | I.I_memcpy | I.I_cpi_memcpy ->
+    let d = v 0 and s = v 1 and n = v 2 in
+    libc_check st (m 0) d n "memcpy dst";
+    libc_check st (m 1) s n "memcpy src";
+    Cost.add st.cost (Cost.per_word_libc * max n 0);
+    for i = 0 to n - 1 do
+      let w = plain_read st (s + i) (m 1) in
+      plain_write st (d + i) (m 0) w;
+      if op = I.I_cpi_memcpy then begin
+        (* Type-unknown copy: move safe-store entries along with the data
+           so protected pointers survive the copy (Section 3.2.2). *)
+        Cost.add st.cost (Cost.cpi_memop_per_word st.cfg.Config.store_impl);
+        match Safestore.get st.store (s + i) with
+        | Some e -> Safestore.set st.store (d + i) e
+        | None -> Safestore.clear_at st.store (d + i)
+      end
+    done
+  | I.I_memset | I.I_cpi_memset ->
+    let d = v 0 and x = v 1 and n = v 2 in
+    libc_check st (m 0) d n "memset dst";
+    Cost.add st.cost (Cost.per_word_libc * max n 0);
+    for i = 0 to n - 1 do
+      plain_write st (d + i) (m 0) x;
+      if op = I.I_cpi_memset then begin
+        Cost.add st.cost (Cost.cpi_memop_per_word st.cfg.Config.store_impl);
+        Safestore.clear_at st.store (d + i)
+      end
+    done
+  | I.I_strcpy ->
+    let d = v 0 and s = v 1 in
+    (* classically unbounded: copies until NUL *)
+    let rec go i =
+      let w = plain_read st (s + i) (m 1) in
+      if st.cfg.Config.check_libc then
+        check_deref st (d + i) (m 0) ~size:1 ~what:"strcpy dst";
+      plain_write st (d + i) (m 0) w;
+      Cost.add st.cost Cost.per_word_libc;
+      if w <> 0 then go (i + 1)
+    in
+    go 0
+  | I.I_strlen ->
+    let s = v 0 in
+    let rec go i = if plain_read st (s + i) (m 0) = 0 then i else go (i + 1) in
+    let n = go 0 in
+    Cost.add st.cost (Cost.per_word_libc * n);
+    ret n None
+  | I.I_strcmp ->
+    let a = v 0 and b = v 1 in
+    let rec go i =
+      let x = plain_read st (a + i) (m 0) and y = plain_read st (b + i) (m 1) in
+      Cost.add st.cost Cost.per_word_libc;
+      if x <> y then compare x y
+      else if x = 0 then 0
+      else go (i + 1)
+    in
+    ret (go 0) None
+  | I.I_read_input ->
+    (* n >= 0: read up to n words. n < 0: gets() semantics — read words
+       until end of input or a newline word (10), which is consumed but
+       not stored. *)
+    let d = v 0 and n = v 1 in
+    let limit = if n < 0 then max_int else n in
+    let rec go i =
+      if i >= limit then i
+      else
+        match input_next st with
+        | None -> i
+        | Some 10 when n < 0 -> i
+        | Some w ->
+          if st.cfg.Config.check_libc then
+            check_deref st (d + i) (m 0) ~size:1 ~what:"read_input dst";
+          plain_write st (d + i) (m 0) w;
+          Cost.add st.cost Cost.per_word_libc;
+          go (i + 1)
+    in
+    ret (go 0) None
+  | I.I_read_int ->
+    (match input_next st with
+     | Some w -> ret w None
+     | None -> ret 0 None)
+  | I.I_print_int ->
+    Buffer.add_string st.out (string_of_int (v 0));
+    Buffer.add_char st.out '\n'
+  | I.I_print_str ->
+    Buffer.add_string st.out (read_cstr st (v 0) 4096);
+    Buffer.add_char st.out '\n'
+  | I.I_checksum -> st.checksum <- checksum_mix st.checksum (v 0)
+  | I.I_setjmp ->
+    let buf = v 0 in
+    let fr = current st in
+    (* Resume point: the instruction after this setjmp (ip was already
+       advanced by the dispatch loop). *)
+    let resume = Loader.point_addr st.image fr.fr_fn.Prog.fname fr.block fr.ip in
+    let id = st.next_jmp in
+    st.next_jmp <- id + 1;
+    Hashtbl.replace st.jmp_ctxs id
+      { jc_depth = List.length st.frames; jc_block = fr.block; jc_ip = fr.ip;
+        jc_dst = dst; jc_resume_addr = resume };
+    (* jmp_buf layout: [saved PC; context id]. The saved PC is an
+       implicitly-created code pointer (Section 3.2.1) — protected via the
+       safe store when the configuration says so. *)
+    if st.cfg.Config.protect_jmpbuf then begin
+      Cost.charge_safe_store st.cost st.cfg.Config.store_impl;
+      Safestore.set st.store buf
+        { Safestore.value = resume; lower = resume; upper = resume + 1;
+          tid = 0; kind = Safestore.Code }
+    end;
+    plain_write st buf (m 0) resume;
+    plain_write st (buf + 1) (m 0) id;
+    ret 0 None
+  | I.I_longjmp ->
+    let buf = v 0 and x = v 1 in
+    let target =
+      if st.cfg.Config.protect_jmpbuf then begin
+        Cost.charge_safe_store st.cost st.cfg.Config.store_impl;
+        match Safestore.get st.store buf with
+        | Some { Safestore.kind = Safestore.Code; value; _ } -> value
+        | Some _ | None -> stop (Trapped Invalid_code_pointer)
+      end
+      else plain_read st buf (m 0)
+    in
+    let id = plain_read st (buf + 1) (m 0) in
+    (match Hashtbl.find_opt st.jmp_ctxs id with
+     | Some ctx
+       when ctx.jc_resume_addr = target && ctx.jc_depth <= List.length st.frames ->
+       (* Legitimate unwind. *)
+       while List.length st.frames > ctx.jc_depth do
+         ignore (pop_frame st)
+       done;
+       let fr = current st in
+       fr.block <- ctx.jc_block;
+       fr.ip <- ctx.jc_ip;
+       (match ctx.jc_dst with
+        | Some d -> set_reg st d (if x = 0 then 1 else x) None
+        | None -> ())
+     | Some _ | None ->
+       (* Corrupted jmp_buf: control flows to the stored "PC". *)
+       divert st target ~via:`Longjmp)
+  | I.I_system -> stop (Hijacked "system() reached")
+  | I.I_exit -> stop (Exit (v 0))
+  | I.I_abort -> stop (Crash "abort() called")
+
+(* ---------- Loads and stores ---------- *)
+
+let do_load st dst ty addr_op where checked =
+  let a, ma = eval st addr_op in
+  let size = 1 in
+  if checked then
+    check_deref st a ma ~size ~what:(Ty.to_string ty);
+  let v, m =
+    match where with
+    | I.Regular ->
+      Cost.charge_mem st.cost ~instrumented:false Cost.load_base;
+      if (current st).penalize_stack
+         && a land 7 = 0
+         && a <= Layout.stack_top + st.image.Loader.slide
+         && a > Layout.stack_limit + st.image.Loader.slide
+      then Cost.add st.cost Cost.locality_penalty;
+      read_with_shadow st a ma
+    | I.SafeFull | I.SafeDebug ->
+      Cost.charge_safe_store st.cost st.cfg.Config.store_impl;
+      Cost.charge_mem st.cost ~instrumented:true 0;
+      (match Safestore.get st.store a with
+       | Some e ->
+         if where = I.SafeDebug then begin
+           (* debug mode: regular mirror must match *)
+           let mirror = Mem.read st.mem a in
+           if mirror <> e.Safestore.value then stop (Trapped Debug_mismatch)
+         end;
+         (e.Safestore.value, meta_of_entry e)
+       | None ->
+         (* No protected value here: universal pointer currently holding a
+            regular value; fall back to the regular region. *)
+         Cost.add st.cost Cost.load_base;
+         (plain_read st a ma, None))
+    | I.SafeValue ->
+      st.cost.Cost.safe_store_ops <- st.cost.Cost.safe_store_ops + 1;
+      Cost.charge_mem st.cost ~instrumented:true
+        (Safestore.lookup_cost st.cfg.Config.store_impl + 2
+         + (if Ty.is_universal_pointer ty then 1 else 0));
+      (match Safestore.get st.store a with
+       | Some e ->
+         (e.Safestore.value,
+          Some { lower = e.Safestore.value; upper = e.Safestore.value + 1;
+                 tid = 0; kind = Safestore.Code })
+       | None -> (plain_read st a ma, None))
+    | I.SafeData ->
+      Cost.charge_safe_store st.cost st.cfg.Config.store_impl;
+      Cost.charge_mem st.cost ~instrumented:true 0;
+      (match Safestore.get st.store a with
+       | Some e -> (e.Safestore.value, meta_of_entry e)
+       | None ->
+         Cost.add st.cost Cost.load_base;
+         (plain_read st a ma, None))
+    | I.RegularMeta ->
+      Cost.charge_mem st.cost ~instrumented:true Cost.load_base;
+      Cost.charge_safe_store st.cost st.cfg.Config.store_impl;
+      let v = plain_read st a ma in
+      let m =
+        match Safestore.get st.store a with
+        | Some e when e.Safestore.value = v -> meta_of_entry e
+        | Some _ | None -> None
+      in
+      (v, m)
+  in
+  set_reg st dst v m
+
+let do_store st ty v_op addr_op where checked =
+  let vv, vm = eval st v_op in
+  let a, ma = eval st addr_op in
+  if checked then check_deref st a ma ~size:1 ~what:(Ty.to_string ty);
+  match where with
+  | I.Regular ->
+    Cost.charge_mem st.cost ~instrumented:false Cost.store_base;
+    if (current st).penalize_stack
+       && a land 7 = 0
+       && a <= Layout.stack_top + st.image.Loader.slide
+       && a > Layout.stack_limit + st.image.Loader.slide
+    then Cost.add st.cost Cost.locality_penalty;
+    write_with_shadow st a ma vv vm
+  | I.SafeFull | I.SafeDebug ->
+    Cost.charge_safe_store st.cost st.cfg.Config.store_impl;
+    Cost.charge_mem st.cost ~instrumented:true 0;
+    (match vm with
+     | Some m ->
+       Safestore.set st.store a (entry_of_meta vv (Some m));
+       if where = I.SafeDebug then begin
+         Cost.add st.cost Cost.store_base;
+         Mem.write st.mem a vv   (* mirror copy for non-instrumented readers *)
+       end
+     | None ->
+       (* Value without valid metadata (e.g. cast from a plain integer):
+          store in the regular region with an invalidated safe entry. *)
+       Safestore.clear_at st.store a;
+       Cost.add st.cost Cost.store_base;
+       plain_write st a ma vv)
+  | I.SafeValue ->
+    st.cost.Cost.safe_store_ops <- st.cost.Cost.safe_store_ops + 1;
+    Cost.charge_mem st.cost ~instrumented:true
+      (Safestore.lookup_cost st.cfg.Config.store_impl + 2
+       + (if Ty.is_universal_pointer ty then 1 else 0));
+    (match vm with
+     | Some { kind = Safestore.Code; _ } ->
+       Safestore.set st.store a
+         { Safestore.value = vv; lower = vv; upper = vv + 1; tid = 0;
+           kind = Safestore.Code }
+     | Some _ | None ->
+       Safestore.clear_at st.store a;
+       Cost.add st.cost Cost.store_base;
+       plain_write st a ma vv)
+  | I.SafeData ->
+    (* annotated sensitive data: the value always lives in the safe store,
+       with metadata when the value has any and degenerate bounds when it
+       is plain data *)
+    Cost.charge_safe_store st.cost st.cfg.Config.store_impl;
+    Cost.charge_mem st.cost ~instrumented:true 0;
+    (match vm with
+     | Some m -> Safestore.set st.store a (entry_of_meta vv (Some m))
+     | None ->
+       Safestore.set st.store a
+         { Safestore.value = vv; lower = 0; upper = 0; tid = 0;
+           kind = Safestore.Data })
+  | I.RegularMeta ->
+    Cost.charge_mem st.cost ~instrumented:true Cost.store_base;
+    Cost.charge_safe_store st.cost st.cfg.Config.store_impl;
+    plain_write st a ma vv;
+    Safestore.set st.store a (entry_of_meta vv vm)
+
+(* ---------- Instruction dispatch ---------- *)
+
+let exec_binop op a b =
+  match (op : I.binop) with
+  | I.Add -> a + b
+  | I.Sub -> a - b
+  | I.Mul -> a * b
+  | I.Div -> if b = 0 then stop (Trapped Division_by_zero) else a / b
+  | I.Rem -> if b = 0 then stop (Trapped Division_by_zero) else a mod b
+  | I.And -> a land b
+  | I.Or -> a lor b
+  | I.Xor -> a lxor b
+  | I.Shl -> a lsl (b land 63)
+  | I.Shr -> a asr (b land 63)
+
+let exec_cmp op a b =
+  let r =
+    match (op : I.cmpop) with
+    | I.Eq -> a = b
+    | I.Ne -> a <> b
+    | I.Lt -> a < b
+    | I.Le -> a <= b
+    | I.Gt -> a > b
+    | I.Ge -> a >= b
+  in
+  if r then 1 else 0
+
+let exec_instr st (i : I.instr) =
+  match i with
+  | I.Alloca { dst; ty = _; slot = _ } ->
+    Cost.add st.cost Cost.alu;
+    let fr = current st in
+    let sl = Hashtbl.find fr.layout.Loader.fl_slots dst in
+    let base = if sl.Loader.sl_on_safe then fr.base_s else fr.base_r in
+    let addr = base - sl.Loader.sl_offset in
+    set_reg st dst addr
+      (Some { lower = addr; upper = addr + sl.Loader.sl_size; tid = 0;
+              kind = Safestore.Data })
+  | I.Bin { dst; op; l; r } ->
+    Cost.add st.cost Cost.alu;
+    let a, am = eval st l in
+    let b, bm = eval st r in
+    let m =
+      match op, am, bm with
+      | (I.Add | I.Sub), Some m, None -> Some m
+      | I.Add, None, Some m -> Some m
+      | _, _, _ -> None
+    in
+    set_reg st dst (exec_binop op a b) m
+  | I.Cmp { dst; op; l; r } ->
+    Cost.add st.cost Cost.alu;
+    let a, _ = eval st l in
+    let b, _ = eval st r in
+    set_reg st dst (exec_cmp op a b) None
+  | I.Load { dst; ty; addr; where; checked } -> do_load st dst ty addr where checked
+  | I.Store { ty; v; addr; where; checked } -> do_store st ty v addr where checked
+  | I.Gep { dst; base_ty = _; base; path } ->
+    let v, m = eval st base in
+    let tenv = st.image.Loader.prog.Prog.tenv in
+    let addr, meta =
+      List.fold_left
+        (fun (a, m) step ->
+          Cost.add st.cost Cost.alu;
+          match step with
+          | I.Field (_, off, fsize) ->
+            let a = a + off in
+            (* Narrow the based-on bounds to the sub-object (case iii). *)
+            let m =
+              match m with
+              | Some mm when mm.kind = Safestore.Data ->
+                Some { mm with lower = a; upper = a + fsize }
+              | other -> other
+            in
+            (a, m)
+          | I.Index (ty, idx_op) ->
+            let idx, _ = eval st idx_op in
+            (a + (idx * Ty.size_of tenv ty), m))
+        (v, m) path
+    in
+    set_reg st dst addr meta
+  | I.Cast { dst; kind = _; ty = _; v } ->
+    Cost.add st.cost Cost.alu;
+    let vv, vm = eval st v in
+    set_reg st dst vv vm
+  | I.Call { dst; callee; args; fty = _; cfi_checked } ->
+    do_call st dst callee args cfi_checked
+  | I.Intrin { dst; op; args } ->
+    let argvals = List.map (eval st) args in
+    do_intrin st dst op argvals
+
+let exec_term st (t : I.term) =
+  let fr = current st in
+  match t with
+  | I.Ret None -> do_ret st (0, None)
+  | I.Ret (Some o) -> do_ret st (eval st o)
+  | I.Br (c, bt, bf) ->
+    Cost.add st.cost Cost.branch;
+    let v, _ = eval st c in
+    fr.block <- (if v <> 0 then bt else bf);
+    fr.ip <- 0
+  | I.Jmp b ->
+    Cost.add st.cost Cost.branch;
+    fr.block <- b;
+    fr.ip <- 0
+  | I.Switch (o, cases, dflt) ->
+    Cost.add st.cost (Cost.branch + 1);
+    let v, _ = eval st o in
+    let target = match List.assoc_opt v cases with Some b -> b | None -> dflt in
+    fr.block <- target;
+    fr.ip <- 0
+  | I.Unreachable -> stop (Crash "unreachable executed")
+
+let step st =
+  if st.fuel <= 0 then stop Fuel_exhausted;
+  st.fuel <- st.fuel - 1;
+  st.cost.Cost.instrs <- st.cost.Cost.instrs + 1;
+  let fr = current st in
+  let blk = fr.fr_fn.Prog.blocks.(fr.block) in
+  if fr.ip < Array.length blk.Prog.instrs then begin
+    let i = blk.Prog.instrs.(fr.ip) in
+    (* Calls advance ip themselves (before pushing); everything else here. *)
+    (match i with
+     | I.Call _ -> ()
+     | _ -> fr.ip <- fr.ip + 1);
+    exec_instr st i
+  end
+  else exec_term st blk.Prog.term
+
+(* ---------- Top level ---------- *)
+
+let create ?(input = [||]) ?(fuel = 60_000_000) (image : Loader.image) =
+  let mem = Mem.create () in
+  let store = Safestore.create image.Loader.cfg.Config.store_impl in
+  let slide = image.Loader.slide in
+  let heap =
+    Heap.create mem ~base:(Layout.heap_base + slide) ~limit:(Layout.heap_limit + slide)
+  in
+  Loader.init_globals image mem store;
+  { image; cfg = image.Loader.cfg; mem; store; heap; cost = Cost.create ();
+    frames = []; sp_r = Layout.stack_top + slide; sp_s = Layout.safe_stack_top + slide;
+    input; input_pos = 0; out = Buffer.create 256; checksum = 0; fuel;
+    jmp_ctxs = Hashtbl.create 8; next_jmp = 1; safe_meta = Hashtbl.create 64 }
+
+let result_of st outcome =
+  { outcome;
+    cycles = st.cost.Cost.cycles;
+    instrs = st.cost.Cost.instrs;
+    mem_ops = st.cost.Cost.mem_ops;
+    instrumented_mem_ops = st.cost.Cost.instrumented_mem_ops;
+    output = Buffer.contents st.out;
+    checksum = st.checksum;
+    mem_footprint = Mem.footprint_words st.mem;
+    store_footprint =
+      Safestore.footprint_words ~entry_words:st.cfg.Config.cps_entry_words st.store;
+    heap_peak = st.heap.Heap.peak_words }
+
+(** Run [main] to completion. *)
+let run ?input ?fuel (image : Loader.image) : result =
+  let st = create ?input ?fuel image in
+  if not (Prog.has_func st.image.Loader.prog "main") then
+    invalid_arg "Interp.run: program has no main";
+  let main = Prog.find_func st.image.Loader.prog "main" in
+  (* A synthetic outermost frame is not needed: push main with the exit
+     sentinel as its return address. *)
+  (try
+     push_frame st main
+       ~args:(List.map (fun _ -> (0, None)) main.Prog.params)
+       ~ret_dst:None ~pushed_ret:exit_sentinel ~entry:(0, 0);
+     let rec loop () =
+       step st;
+       loop ()
+     in
+     loop ()
+   with Machine_stop outcome -> result_of st outcome)
+
+(** Compile-free convenience used everywhere in tests and benches. *)
+let run_program ?input ?fuel (prog : Prog.t) (cfg : Config.t) : result =
+  run ?input ?fuel (Loader.load prog cfg)

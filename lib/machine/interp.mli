@@ -1,0 +1,32 @@
+(** The IR interpreter: a word-granular machine with based-on metadata.
+
+    Registers optionally carry based-on metadata (bounds + temporal id +
+    kind); safe-store-routed memory operations persist it, plain operations
+    drop it, checked operations verify it. Every instruction has a code
+    address, so a corrupted return address or function pointer "jumps"
+    exactly where the attacker pointed it — a function, a gadget in the
+    middle of one, injected shellcode in a data page, or garbage. *)
+
+type result = {
+  outcome : Trap.outcome;
+  cycles : int;              (** deterministic cost-model cycles *)
+  instrs : int;              (** instructions executed *)
+  mem_ops : int;
+  instrumented_mem_ops : int;
+  output : string;           (** everything print_int/print_str produced *)
+  checksum : int;            (** the checksum() accumulator *)
+  mem_footprint : int;       (** words of regular memory touched (pages) *)
+  store_footprint : int;     (** words used by the safe pointer store *)
+  heap_peak : int;           (** peak live heap words *)
+}
+
+(** Run [main] of a loaded image to completion.
+    @param input the attacker/workload input word stream
+    @param fuel instruction budget (default 60M); exceeding it yields
+           [Trap.Fuel_exhausted] *)
+val run : ?input:int array -> ?fuel:int -> Loader.image -> result
+
+(** [run_program prog cfg] loads and runs in one step. The program must
+    define [main]. *)
+val run_program :
+  ?input:int array -> ?fuel:int -> Levee_ir.Prog.t -> Config.t -> result

@@ -1,0 +1,31 @@
+(** Address-space layout of the simulated process (paper Fig. 2).
+
+    Addresses are word-granular. A regular region (globals, heap, unsafe
+    stacks) that ordinary memory operations may touch, and a safe region
+    (safe stacks; conceptually also the safe pointer store) that only CPI
+    intrinsics and proven-safe accesses may reach. ASLR is an additive
+    slide over every base. *)
+
+val null_guard : int
+val globals_base : int
+val heap_base : int
+val heap_limit : int
+val stack_top : int
+val stack_limit : int
+val safe_base : int
+val safe_stack_top : int
+val safe_end : int
+val code_base : int
+val code_end : int
+
+(** The magic word an attacker plants to simulate injected shellcode. *)
+val shellcode_magic : int
+
+(** Default ASLR slide when ASLR is enabled. *)
+val aslr_slide : int
+
+type region = Null | Globals | Heap | Stack | Safe | Code | Other
+
+val region_of : ?slide:int -> int -> region
+val in_safe_region : ?slide:int -> int -> bool
+val in_code : ?slide:int -> int -> bool

@@ -1,0 +1,197 @@
+(** Program loader.
+
+    Assigns code addresses to every instruction (functions, blocks and
+    return sites all have addresses, so corrupted code pointers can be
+    decoded like a real instruction pointer), lays out globals in the
+    regular region, resolves global initializers, and computes per-function
+    frame layouts for the active configuration. The loader is trusted, as
+    in the paper's threat model. *)
+
+module Ty = Levee_ir.Ty
+module Instr = Levee_ir.Instr
+module Prog = Levee_ir.Prog
+
+type code_point = { cp_fn : string; cp_block : int; cp_ip : int }
+
+(** Placement of one alloca slot within its frame. *)
+type slot = {
+  sl_on_safe : bool;      (* safe stack vs regular (unsafe) stack *)
+  sl_offset : int;        (* addr = frame_base - sl_offset *)
+  sl_size : int;
+}
+
+type frame_layout = {
+  fl_slots : (int, slot) Hashtbl.t;  (* alloca dst register -> placement *)
+  fl_regular_size : int;             (* incl. ret slot / cookie if regular *)
+  fl_safe_size : int;
+  fl_ret_on_safe : bool;
+  fl_ret_offset : int;               (* from the frame base of its stack *)
+  fl_cookie_offset : int option;     (* always on the regular stack *)
+  fl_hot_words : int;                (* scalar locals: the cache-hot area *)
+  fl_array_words : int;              (* aggregate locals *)
+  fl_has_unsafe : bool;              (* needs a separate unsafe frame *)
+}
+
+type image = {
+  prog : Prog.t;
+  cfg : Config.t;
+  slide : int;
+  func_entry : (string, int) Hashtbl.t;
+  addr_of_point : (string * int * int, int) Hashtbl.t;
+  point_of_addr : (int, code_point) Hashtbl.t;
+  return_sites : (int, unit) Hashtbl.t;     (* valid coarse-CFI return targets *)
+  func_entries : (int, string) Hashtbl.t;   (* entry addr -> name *)
+  global_addr : (string, int) Hashtbl.t;
+  global_bounds : (string, int * int) Hashtbl.t;
+  layouts : (string, frame_layout) Hashtbl.t;
+}
+
+let layout_of_func tenv (cfg : Config.t) (fn : Prog.func) =
+  let slots = Hashtbl.create 16 in
+  let hot = ref 0 and arrays = ref 0 in
+  let safe_off = ref 0 and reg_off = ref 0 in
+  (* Return slot sits at the very top of its frame (offset 1 from base),
+     the cookie just below it; buffers grow upward toward them. *)
+  let ret_on_safe = cfg.Config.safe_stack in
+  if ret_on_safe then safe_off := 1 else reg_off := 1;
+  let ret_offset = 1 in
+  let cookie_offset =
+    if cfg.Config.check_cookies && fn.Prog.cookie then begin
+      incr reg_off;
+      Some !reg_off
+    end
+    else None
+  in
+  (* Collect allocas in program order; later allocas end up closer to the
+     cookie/return slot, so overflowing any buffer can reach them. *)
+  let allocas = ref [] in
+  Prog.iter_instrs fn (fun i ->
+      match i with
+      | Instr.Alloca { dst; ty; slot } -> allocas := (dst, ty, slot) :: !allocas
+      | _ -> ());
+  let allocas = List.rev !allocas in
+  let has_unsafe = ref false in
+  (* Assign from the bottom of the frame upward: process in reverse order so
+     the first-declared alloca gets the lowest address. *)
+  List.iter
+    (fun (dst, ty, slot_kind) ->
+      let size = Ty.size_of tenv ty in
+      (match ty with
+       | Ty.Arr _ | Ty.Struct _ -> arrays := !arrays + size
+       | _ -> hot := !hot + size);
+      let on_safe =
+        match slot_kind with
+        | Instr.SafeSlot -> cfg.Config.safe_stack
+        | Instr.UnsafeSlot | Instr.Auto -> false
+      in
+      if (not on_safe) && slot_kind = Instr.UnsafeSlot then has_unsafe := true;
+      let off_ref = if on_safe then safe_off else reg_off in
+      off_ref := !off_ref + size;
+      Hashtbl.replace slots dst { sl_on_safe = on_safe; sl_offset = !off_ref; sl_size = size })
+    allocas;
+  { fl_slots = slots;
+    fl_regular_size = !reg_off;
+    fl_safe_size = !safe_off;
+    fl_ret_on_safe = ret_on_safe;
+    fl_ret_offset = ret_offset;
+    fl_cookie_offset = cookie_offset;
+    fl_hot_words = !hot;
+    fl_array_words = !arrays;
+    fl_has_unsafe = !has_unsafe }
+
+(** [load prog cfg] builds the image and the initial memory/metadata state
+    for globals. Returns the image plus an initialization function that
+    populates a fresh memory. *)
+let load (prog : Prog.t) (cfg : Config.t) =
+  let slide = if cfg.Config.aslr then Layout.aslr_slide else 0 in
+  let func_entry = Hashtbl.create 16 in
+  let addr_of_point = Hashtbl.create 256 in
+  let point_of_addr = Hashtbl.create 256 in
+  let return_sites = Hashtbl.create 64 in
+  let func_entries = Hashtbl.create 16 in
+  let next_code = ref (Layout.code_base + slide) in
+  Prog.iter_funcs prog (fun fn ->
+      Hashtbl.replace func_entry fn.Prog.fname !next_code;
+      Hashtbl.replace func_entries !next_code fn.Prog.fname;
+      Array.iter
+        (fun (b : Prog.block) ->
+          (* one address per instruction plus one for the terminator *)
+          for ip = 0 to Array.length b.Prog.instrs do
+            let addr = !next_code in
+            incr next_code;
+            Hashtbl.replace addr_of_point (fn.Prog.fname, b.Prog.bid, ip) addr;
+            Hashtbl.replace point_of_addr addr
+              { cp_fn = fn.Prog.fname; cp_block = b.Prog.bid; cp_ip = ip };
+            (* the address after a call instruction is a return site *)
+            if ip > 0 then
+              (match b.Prog.instrs.(ip - 1) with
+               | Instr.Call _ -> Hashtbl.replace return_sites addr ()
+               | _ -> ())
+          done)
+        fn.Prog.blocks);
+  (* Globals. *)
+  let global_addr = Hashtbl.create 16 in
+  let global_bounds = Hashtbl.create 16 in
+  let next_g = ref (Layout.globals_base + slide) in
+  List.iter
+    (fun (g : Prog.global) ->
+      let size = Ty.size_of prog.Prog.tenv g.Prog.gty in
+      Hashtbl.replace global_addr g.Prog.gname !next_g;
+      Hashtbl.replace global_bounds g.Prog.gname (!next_g, !next_g + size);
+      next_g := !next_g + size + 1 (* one guard word between globals *))
+    prog.Prog.globals;
+  let image =
+    { prog; cfg; slide; func_entry; addr_of_point; point_of_addr;
+      return_sites; func_entries; global_addr; global_bounds;
+      layouts = Hashtbl.create 16 }
+  in
+  Prog.iter_funcs prog (fun fn ->
+      Hashtbl.replace image.layouts fn.Prog.fname
+        (layout_of_func prog.Prog.tenv cfg fn));
+  image
+
+(** Write global initializers into [mem]; code-pointer cells that the
+    compiler/linker emitted (jump tables etc., Section 4 "binary level
+    functionality") also get safe-store entries under CPI/CPS so that
+    instrumented loads find them. *)
+let init_globals (image : image) (mem : Mem.t) (store : Safestore.t) =
+  let init_cells_into_store =
+    (* CPI/CPS keep protected pointers in the safe store; SoftBound keeps
+       bounds for every pointer in its metadata table — both need the
+       loader to register pointer-valued initializers *)
+    image.cfg.Config.enforce_code_meta || image.cfg.Config.check_libc
+  in
+  List.iter
+    (fun (g : Prog.global) ->
+      let base = Hashtbl.find image.global_addr g.Prog.gname in
+      Array.iteri
+        (fun i cell ->
+          let v =
+            match cell with
+            | Prog.Cint n -> n
+            | Prog.Cfun f -> Hashtbl.find image.func_entry f
+            | Prog.Cglob (name, off) -> Hashtbl.find image.global_addr name + off
+          in
+          Mem.write mem (base + i) v;
+          match cell with
+          | Prog.Cfun _ when init_cells_into_store ->
+            Safestore.set store (base + i)
+              { Safestore.value = v; lower = v; upper = v + 1; tid = 0;
+                kind = Safestore.Code }
+          | Prog.Cglob (name, off) when init_cells_into_store ->
+            let lo, hi = Hashtbl.find image.global_bounds name in
+            Safestore.set store (base + i)
+              { Safestore.value = v; lower = lo + off; upper = hi; tid = 0;
+                kind = Safestore.Data }
+          | Prog.Cint _ | Prog.Cfun _ | Prog.Cglob _ -> ())
+        g.Prog.init)
+    image.prog.Prog.globals
+
+let entry_addr image name = Hashtbl.find image.func_entry name
+
+let point_addr image fname block ip =
+  Hashtbl.find image.addr_of_point (fname, block, ip)
+
+let decode image addr = Hashtbl.find_opt image.point_of_addr addr
+
+let is_function_entry image addr = Hashtbl.mem image.func_entries addr

@@ -1,0 +1,65 @@
+(** Program loader.
+
+    Assigns code addresses to every instruction (so corrupted code pointers
+    decode like a real instruction pointer), lays out globals, resolves
+    initializers, and computes per-function frame layouts for the active
+    configuration. The loader is trusted, per the paper's threat model. *)
+
+module Prog = Levee_ir.Prog
+
+type code_point = { cp_fn : string; cp_block : int; cp_ip : int }
+
+(** Placement of one alloca slot within its frame. *)
+type slot = {
+  sl_on_safe : bool;      (** safe stack vs regular (unsafe) stack *)
+  sl_offset : int;        (** addr = frame_base - sl_offset *)
+  sl_size : int;
+}
+
+type frame_layout = {
+  fl_slots : (int, slot) Hashtbl.t;  (** alloca register -> placement *)
+  fl_regular_size : int;
+  fl_safe_size : int;
+  fl_ret_on_safe : bool;
+  fl_ret_offset : int;
+  fl_cookie_offset : int option;     (** always on the regular stack *)
+  fl_hot_words : int;                (** scalar locals (cache-hot area) *)
+  fl_array_words : int;
+  fl_has_unsafe : bool;              (** needs a separate unsafe frame *)
+}
+
+type image = {
+  prog : Prog.t;
+  cfg : Config.t;
+  slide : int;                       (** ASLR slide actually applied *)
+  func_entry : (string, int) Hashtbl.t;
+  addr_of_point : (string * int * int, int) Hashtbl.t;
+  point_of_addr : (int, code_point) Hashtbl.t;
+  return_sites : (int, unit) Hashtbl.t;   (** coarse-CFI return targets *)
+  func_entries : (int, string) Hashtbl.t;
+  global_addr : (string, int) Hashtbl.t;
+  global_bounds : (string, int * int) Hashtbl.t;
+  layouts : (string, frame_layout) Hashtbl.t;
+}
+
+(** Frame layout of one function under a configuration. *)
+val layout_of_func : Levee_ir.Ty.env -> Config.t -> Prog.func -> frame_layout
+
+(** Build the image for a program under a configuration. *)
+val load : Prog.t -> Config.t -> image
+
+(** Write global initializers into memory; pointer-valued cells also get
+    store entries when the configuration keeps metadata (CPI/CPS loaders
+    register linker-emitted code pointers, Section 4). *)
+val init_globals : image -> Mem.t -> Safestore.t -> unit
+
+(** Code address of a function's entry. @raise Not_found if unknown. *)
+val entry_addr : image -> string -> int
+
+(** Code address of instruction [ip] of block [block] of [fname]. *)
+val point_addr : image -> string -> int -> int -> int
+
+(** Decode a code address back to its program point. *)
+val decode : image -> int -> code_point option
+
+val is_function_entry : image -> int -> bool

@@ -1,0 +1,41 @@
+(** Paged word-granular memory.
+
+    Pages are allocated lazily and zero-filled, which both matches OS
+    behaviour and lets the evaluation measure the memory footprint of each
+    configuration (pages touched x page size). *)
+
+let page_bits = 12
+let page_words = 1 lsl page_bits
+let page_mask = page_words - 1
+
+type t = {
+  pages : (int, int array) Hashtbl.t;
+  mutable pages_allocated : int;
+}
+
+let create () = { pages = Hashtbl.create 64; pages_allocated = 0 }
+
+let page t idx =
+  match Hashtbl.find_opt t.pages idx with
+  | Some p -> p
+  | None ->
+    let p = Array.make page_words 0 in
+    Hashtbl.replace t.pages idx p;
+    t.pages_allocated <- t.pages_allocated + 1;
+    p
+
+(** [read t addr] returns the word at [addr]; unmapped memory reads as 0
+    without allocating a page. *)
+let read t addr =
+  match Hashtbl.find_opt t.pages (addr lsr page_bits) with
+  | Some p -> p.(addr land page_mask)
+  | None -> 0
+
+let write t addr v = (page t (addr lsr page_bits)).(addr land page_mask) <- v
+
+(** Words of memory currently backed by allocated pages. *)
+let footprint_words t = t.pages_allocated * page_words
+
+let clear t =
+  Hashtbl.reset t.pages;
+  t.pages_allocated <- 0

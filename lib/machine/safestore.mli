@@ -1,0 +1,54 @@
+(** The safe pointer store (paper Section 3.2.2, Fig. 2).
+
+    Maps the address of a sensitive pointer, as allocated in the regular
+    region, to the pointer's value and its based-on metadata. Three
+    organisations are implemented, matching Section 4's simple array,
+    two-level lookup table, and hashtable; they differ in lookup cost and
+    memory footprint. *)
+
+type kind =
+  | Data      (** ordinary sensitive data pointer *)
+  | Code      (** code pointer: bounds degenerate to the exact target *)
+  | Invalid   (** "invalid" metadata (lower > upper): never passes checks *)
+
+type entry = {
+  value : int;
+  lower : int;
+  upper : int;    (** exclusive *)
+  tid : int;      (** temporal id of the target object; 0 = static *)
+  kind : kind;
+}
+
+(** An entry with invalid metadata holding [value]. *)
+val invalid_entry : int -> entry
+
+type impl =
+  | Simple_array   (** sparse mmap-backed flat table: fastest, most memory *)
+  | Two_level      (** directory + leaves, the layout Intel MPX uses *)
+  | Hashtable      (** least memory, slowest lookup *)
+  | Mpx            (** Section 4's future hardware-assisted variant: the
+                       two-level layout with the walk performed by an
+                       MPX-style bound-table unit (cheapest lookup) *)
+
+val impl_name : impl -> string
+
+type t
+
+val create : impl -> t
+val impl_of : t -> impl
+
+val set : t -> int -> entry -> unit
+val get : t -> int -> entry option
+val clear_at : t -> int -> unit
+
+(** Lookup cost in model cycles; the array organisation is cheapest and the
+    hashtable most expensive, per the paper's measurements. *)
+val lookup_cost : impl -> int
+
+(** Memory footprint in words given the per-entry metadata width ([4] for
+    CPI, [1] for CPS). Array/two-level pay page/leaf granularity, the
+    hashtable pays per entry. *)
+val footprint_words : ?entry_words:int -> t -> int
+
+(** Number of live entries (used by tests). *)
+val entry_count : t -> int

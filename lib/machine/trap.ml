@@ -1,0 +1,53 @@
+(** Machine traps and execution outcomes.
+
+    The outcome taxonomy mirrors what the paper's evaluation needs to
+    distinguish: a program can exit normally, be stopped by a protection
+    mechanism ([Trap]), crash on a wild access (an unsuccessful attack), or
+    be successfully hijacked (control reached an attacker-chosen target). *)
+
+type trap =
+  | Bounds_violation of string   (* spatial check on a sensitive pointer failed *)
+  | Temporal_violation           (* dereference of a pointer to a freed object *)
+  | Missing_metadata of string   (* deref of a value without valid based-on metadata *)
+  | Isolation_violation          (* non-instrumented access touched the safe region *)
+  | Cookie_smashed               (* stack cookie mismatch at function return *)
+  | Cfi_violation of string      (* indirect transfer outside the CFI valid set *)
+  | Invalid_code_pointer         (* CPI/CPS: indirect call through an unprotected value *)
+  | Exec_violation               (* DEP: attempted execution of a data page *)
+  | Debug_mismatch               (* debug mode: safe and regular copies disagree *)
+  | Double_free
+  | Invalid_free
+  | Division_by_zero
+  | Out_of_memory
+
+type outcome =
+  | Exit of int                 (* normal termination with exit code *)
+  | Hijacked of string          (* attacker-controlled control transfer executed *)
+  | Trapped of trap             (* a defense mechanism stopped execution *)
+  | Crash of string             (* wild pointer / undecodable control transfer *)
+  | Fuel_exhausted              (* instruction budget ran out *)
+
+let trap_to_string = function
+  | Bounds_violation w -> "bounds violation (" ^ w ^ ")"
+  | Temporal_violation -> "temporal violation"
+  | Missing_metadata w -> "missing metadata (" ^ w ^ ")"
+  | Isolation_violation -> "safe-region isolation violation"
+  | Cookie_smashed -> "stack cookie smashed"
+  | Cfi_violation w -> "CFI violation (" ^ w ^ ")"
+  | Invalid_code_pointer -> "invalid code pointer"
+  | Exec_violation -> "DEP: execution of data"
+  | Debug_mismatch -> "debug-mode copy mismatch"
+  | Double_free -> "double free"
+  | Invalid_free -> "invalid free"
+  | Division_by_zero -> "division by zero"
+  | Out_of_memory -> "out of memory"
+
+let outcome_to_string = function
+  | Exit n -> Printf.sprintf "exit(%d)" n
+  | Hijacked what -> Printf.sprintf "HIJACKED: %s" what
+  | Trapped t -> Printf.sprintf "trapped: %s" (trap_to_string t)
+  | Crash why -> Printf.sprintf "crash: %s" why
+  | Fuel_exhausted -> "fuel exhausted"
+
+(** Internal control-flow exception used by the interpreter. *)
+exception Machine_stop of outcome

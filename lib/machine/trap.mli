@@ -1,0 +1,34 @@
+(** Machine traps and execution outcomes.
+
+    The taxonomy mirrors what the paper's evaluation distinguishes: normal
+    exit, a defense stopping execution ([Trapped]), a wild crash (an
+    unsuccessful attack), or a successful hijack (control reached an
+    attacker-chosen target). *)
+
+type trap =
+  | Bounds_violation of string
+  | Temporal_violation
+  | Missing_metadata of string
+  | Isolation_violation
+  | Cookie_smashed
+  | Cfi_violation of string
+  | Invalid_code_pointer
+  | Exec_violation
+  | Debug_mismatch
+  | Double_free
+  | Invalid_free
+  | Division_by_zero
+  | Out_of_memory
+
+type outcome =
+  | Exit of int
+  | Hijacked of string
+  | Trapped of trap
+  | Crash of string
+  | Fuel_exhausted
+
+val trap_to_string : trap -> string
+val outcome_to_string : outcome -> string
+
+(** Internal control-flow exception used by the machine. *)
+exception Machine_stop of outcome

@@ -1,0 +1,88 @@
+(** MiniC abstract syntax.
+
+    MiniC is the C-like source language of the reproduction: structs,
+    pointers, fixed-size arrays, function pointers, void/char universal
+    pointers, explicit casts, malloc/free and the classic libc string
+    functions. It deliberately covers exactly the fragment the paper's
+    type-based analysis distinguishes (Fig. 1 and Section 3.2.1), plus a
+    [sensitive] struct annotation mirroring the paper's struct-ucred
+    example. Types are shared with the IR ([Levee_ir.Ty]). *)
+
+module Ty = Levee_ir.Ty
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | BAnd | BOr | BXor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | LAnd | LOr                      (* short-circuit *)
+
+type unop = Neg | Not | BNot
+
+(* Position = line number, for error messages. *)
+type pos = int
+
+type expr = { desc : desc; mutable ety : Ty.t; pos : pos }
+
+and desc =
+  | EInt of int
+  | EChar of char
+  | EStr of string                  (* string literal -> global char array *)
+  | EId of string
+  | EBin of binop * expr * expr
+  | EUn of unop * expr
+  | EAssign of expr * expr          (* lvalue = rvalue *)
+  | ECond of expr * expr * expr     (* c ? a : b *)
+  | ECall of expr * expr list       (* callee may be a name or an fp expr *)
+  | EIndex of expr * expr           (* e[i] *)
+  | EField of expr * string         (* e.f *)
+  | EArrow of expr * string         (* e->f *)
+  | EDeref of expr                  (* *e *)
+  | EAddr of expr                   (* &e *)
+  | ECast of Ty.t * expr
+  | ESizeof of Ty.t
+
+type stmt =
+  | SExpr of expr
+  | SDecl of Ty.t * string * expr option
+  | SIf of expr * stmt list * stmt list
+  | SWhile of expr * stmt list
+  | SDoWhile of stmt list * expr
+  | SFor of stmt option * expr option * expr option * stmt list
+  | SReturn of expr option * pos
+  | SBreak of pos
+  | SContinue of pos
+  | SBlock of stmt list
+  | SSeq of stmt list              (* spliced statements, no new scope:
+                                      used for multi-variable declarations *)
+
+(** Global variable initializer. *)
+type ginit =
+  | GNone
+  | GInt of int
+  | GStr of string
+  | GFun of string
+  | GList of ginit list             (* aggregate initializer { ... } *)
+
+type func_def = {
+  fd_name : string;
+  fd_params : (string * Ty.t) list;
+  fd_ret : Ty.t;
+  fd_body : stmt list;
+  fd_pos : pos;
+}
+
+type top =
+  | TStruct of string * (string * Ty.t) list * bool (* sensitive? *)
+  | TGlobal of Ty.t * string * ginit
+  | TFunc of func_def
+
+type program = { tops : top list }
+
+let mk ?(pos = 0) desc = { desc; ety = Ty.Void; pos }
+
+(** Structs annotated [sensitive] by the programmer (Section 3.2.1 allows
+    additional programmer-indicated sensitive types). *)
+let sensitive_structs (p : program) =
+  List.filter_map
+    (function TStruct (n, _, true) -> Some n | TStruct _ | TGlobal _ | TFunc _ -> None)
+    p.tops

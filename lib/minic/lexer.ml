@@ -1,0 +1,173 @@
+(** Hand-written MiniC lexer. *)
+
+type token =
+  | INT of int
+  | CHARLIT of char
+  | STR of string
+  | ID of string
+  | KW of string          (* keywords: int char void struct if else ... *)
+  | PUNCT of string       (* operators and punctuation *)
+  | EOF
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable tok : token;        (* current token *)
+  mutable tok_line : int;
+  mutable peeked : (token * int) option;
+}
+
+exception Lex_error of string * int
+
+let error lx fmt =
+  Printf.ksprintf (fun msg -> raise (Lex_error (msg, lx.line))) fmt
+
+let keywords =
+  [ "int"; "char"; "void"; "struct"; "if"; "else"; "while"; "do"; "for";
+    "return"; "break"; "continue"; "sizeof"; "sensitive" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (if lx.pos < String.length lx.src && lx.src.[lx.pos] = '\n' then
+     lx.line <- lx.line + 1);
+  lx.pos <- lx.pos + 1
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') -> advance lx; skip_ws lx
+  | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+    while peek_char lx <> None && peek_char lx <> Some '\n' do advance lx done;
+    skip_ws lx
+  | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '*' ->
+    advance lx; advance lx;
+    let rec close () =
+      match peek_char lx with
+      | None -> error lx "unterminated comment"
+      | Some '*' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+        advance lx; advance lx
+      | Some _ -> advance lx; close ()
+    in
+    close (); skip_ws lx
+  | Some _ | None -> ()
+
+let escape lx = function
+  | 'n' -> '\n' | 't' -> '\t' | 'r' -> '\r' | '0' -> '\000'
+  | '\\' -> '\\' | '\'' -> '\'' | '"' -> '"'
+  | c -> error lx "bad escape \\%c" c
+
+let lex_string lx =
+  let buf = Buffer.create 16 in
+  advance lx (* opening quote *);
+  let rec go () =
+    match peek_char lx with
+    | None -> error lx "unterminated string literal"
+    | Some '"' -> advance lx
+    | Some '\\' ->
+      advance lx;
+      (match peek_char lx with
+       | None -> error lx "unterminated string literal"
+       | Some c -> Buffer.add_char buf (escape lx c); advance lx; go ())
+    | Some c -> Buffer.add_char buf c; advance lx; go ()
+  in
+  go ();
+  STR (Buffer.contents buf)
+
+let lex_number lx =
+  let start = lx.pos in
+  if lx.src.[lx.pos] = '0' && lx.pos + 1 < String.length lx.src
+     && (lx.src.[lx.pos + 1] = 'x' || lx.src.[lx.pos + 1] = 'X')
+  then begin
+    advance lx; advance lx;
+    let hstart = lx.pos in
+    let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') in
+    while (match peek_char lx with Some c -> is_hex c | None -> false) do advance lx done;
+    if lx.pos = hstart then error lx "bad hex literal";
+    INT (int_of_string ("0x" ^ String.sub lx.src hstart (lx.pos - hstart)))
+  end
+  else begin
+    while (match peek_char lx with Some c -> is_digit c | None -> false) do advance lx done;
+    INT (int_of_string (String.sub lx.src start (lx.pos - start)))
+  end
+
+(* Multi-char punctuation, longest first. *)
+let puncts2 = [ "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "->" ]
+
+let next_token lx =
+  skip_ws lx;
+  let line = lx.line in
+  match peek_char lx with
+  | None -> (EOF, line)
+  | Some c when is_ident_start c ->
+    let start = lx.pos in
+    while (match peek_char lx with Some c -> is_ident c | None -> false) do advance lx done;
+    let s = String.sub lx.src start (lx.pos - start) in
+    ((if List.mem s keywords then KW s else ID s), line)
+  | Some c when is_digit c -> (lex_number lx, line)
+  | Some '"' -> (lex_string lx, line)
+  | Some '\'' ->
+    advance lx;
+    let c =
+      match peek_char lx with
+      | Some '\\' ->
+        advance lx;
+        (match peek_char lx with
+         | Some e -> let r = escape lx e in advance lx; r
+         | None -> error lx "unterminated char literal")
+      | Some c -> advance lx; c
+      | None -> error lx "unterminated char literal"
+    in
+    (match peek_char lx with
+     | Some '\'' -> advance lx; (CHARLIT c, line)
+     | _ -> error lx "unterminated char literal")
+  | Some _ ->
+    let two =
+      if lx.pos + 1 < String.length lx.src then
+        Some (String.sub lx.src lx.pos 2)
+      else None
+    in
+    (match two with
+     | Some p when List.mem p puncts2 -> advance lx; advance lx; (PUNCT p, line)
+     | _ ->
+       let c = lx.src.[lx.pos] in
+       advance lx;
+       (PUNCT (String.make 1 c), line))
+
+let create src =
+  let lx = { src; pos = 0; line = 1; tok = EOF; tok_line = 1; peeked = None } in
+  let t, l = next_token lx in
+  lx.tok <- t;
+  lx.tok_line <- l;
+  lx
+
+(** Advance to the next token. *)
+let next lx =
+  (match lx.peeked with
+   | Some (t, l) -> lx.peeked <- None; lx.tok <- t; lx.tok_line <- l
+   | None ->
+     let t, l = next_token lx in
+     lx.tok <- t;
+     lx.tok_line <- l)
+
+(** One-token lookahead beyond the current token. *)
+let peek lx =
+  match lx.peeked with
+  | Some (t, _) -> t
+  | None ->
+    let t, l = next_token lx in
+    lx.peeked <- Some (t, l);
+    t
+
+let token_to_string = function
+  | INT i -> string_of_int i
+  | CHARLIT c -> Printf.sprintf "'%c'" c
+  | STR s -> Printf.sprintf "%S" s
+  | ID s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | EOF -> "<eof>"

@@ -1,0 +1,506 @@
+(** Recursive-descent MiniC parser. *)
+
+module Ty = Levee_ir.Ty
+open Ast
+
+exception Parse_error of string * int
+
+type t = { lx : Lexer.t }
+
+let error p fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error (msg, p.lx.Lexer.tok_line))) fmt
+
+let tok p = p.lx.Lexer.tok
+let line p = p.lx.Lexer.tok_line
+let next p = Lexer.next p.lx
+let peek p = Lexer.peek p.lx
+
+let expect_punct p s =
+  match tok p with
+  | Lexer.PUNCT x when x = s -> next p
+  | t -> error p "expected '%s', found '%s'" s (Lexer.token_to_string t)
+
+let accept_punct p s =
+  match tok p with
+  | Lexer.PUNCT x when x = s -> next p; true
+  | _ -> false
+
+let expect_id p =
+  match tok p with
+  | Lexer.ID s -> next p; s
+  | t -> error p "expected identifier, found '%s'" (Lexer.token_to_string t)
+
+let is_type_start p =
+  match tok p with
+  | Lexer.KW ("int" | "char" | "void" | "struct") -> true
+  | _ -> false
+
+(* base-type := int | char | void | struct ID *)
+let parse_base_type p =
+  match tok p with
+  | Lexer.KW "int" -> next p; Ty.Int
+  | Lexer.KW "char" -> next p; Ty.Char
+  | Lexer.KW "void" -> next p; Ty.Void
+  | Lexer.KW "struct" ->
+    next p;
+    let name = expect_id p in
+    Ty.Struct name
+  | t -> error p "expected type, found '%s'" (Lexer.token_to_string t)
+
+let rec parse_pointers p base =
+  if accept_punct p "*" then parse_pointers p (Ty.Ptr base) else base
+
+(* ('[' INT ']')* applied outside-in: int a[2][3] is array 2 of array 3 *)
+let rec parse_array_suffix p base =
+  if accept_punct p "[" then begin
+    let n =
+      match tok p with
+      | Lexer.INT n -> next p; n
+      | t -> error p "expected array size, found '%s'" (Lexer.token_to_string t)
+    in
+    expect_punct p "]";
+    Ty.Arr (parse_array_suffix p base, n)
+  end
+  else base
+
+(* Abstract parameter-type lists for function-pointer declarators. *)
+let rec parse_param_types p =
+  expect_punct p "(";
+  if accept_punct p ")" then []
+  else begin
+    let rec go acc =
+      let ty = parse_abstract_type p in
+      if accept_punct p "," then go (ty :: acc)
+      else begin
+        expect_punct p ")";
+        List.rev (ty :: acc)
+      end
+    in
+    go []
+  end
+
+(* abstract-type := base '*'* [ '(' '*' ')' '(' params ')' ]   (for casts) *)
+and parse_abstract_type p =
+  let base = parse_base_type p in
+  let base = parse_pointers p base in
+  (* function-pointer abstract declarator; extra stars yield pointers to
+     function pointers *)
+  match tok p, peek p with
+  | Lexer.PUNCT "(", Lexer.PUNCT "*" ->
+    next p;
+    expect_punct p "*";
+    let extra = ref 0 in
+    while accept_punct p "*" do incr extra done;
+    expect_punct p ")";
+    let args = parse_param_types p in
+    let rec wrap n t = if n = 0 then t else wrap (n - 1) (Ty.Ptr t) in
+    wrap !extra (Ty.Ptr (Ty.Fn (args, base)))
+  | _ -> base
+
+(* declarator := '*'* ( ID arrays | '(' '*' ID arrays ')' '(' params ')' )
+   Returns (name, type). *)
+let parse_declarator p base =
+  let base = parse_pointers p base in
+  match tok p with
+  | Lexer.PUNCT "(" ->
+    next p;
+    expect_punct p "*";
+    let extra = ref 0 in
+    while accept_punct p "*" do incr extra done;
+    let name = expect_id p in
+    (* array-of-function-pointer declarators, e.g. an opcode table *)
+    let wrap_arr = parse_array_suffix p Ty.Void in
+    expect_punct p ")";
+    let args = parse_param_types p in
+    let fnptr = Ty.Ptr (Ty.Fn (args, base)) in
+    let fnptr = (* extra stars: pointer(s) to function pointer *)
+      let rec add n t = if n = 0 then t else add (n - 1) (Ty.Ptr t) in
+      add !extra fnptr
+    in
+    let rec rebuild shape inner =
+      match shape with
+      | Ty.Arr (s, n) -> Ty.Arr (rebuild s inner, n)
+      | _ -> inner
+    in
+    (name, rebuild wrap_arr fnptr)
+  | _ ->
+    let name = expect_id p in
+    let ty = parse_array_suffix p base in
+    (name, ty)
+
+(* ---------------- Expressions ---------------- *)
+
+let rec parse_expr p = parse_assign p
+
+and parse_assign p =
+  let lhs = parse_cond p in
+  if accept_punct p "=" then
+    let rhs = parse_assign p in
+    mk ~pos:lhs.pos (EAssign (lhs, rhs))
+  else lhs
+
+and parse_cond p =
+  let c = parse_lor p in
+  if accept_punct p "?" then begin
+    let a = parse_expr p in
+    expect_punct p ":";
+    let b = parse_cond p in
+    mk ~pos:c.pos (ECond (c, a, b))
+  end
+  else c
+
+and parse_binlevel p ops sub =
+  let rec go lhs =
+    match tok p with
+    | Lexer.PUNCT s when List.mem_assoc s ops ->
+      next p;
+      let rhs = sub p in
+      go (mk ~pos:lhs.pos (EBin (List.assoc s ops, lhs, rhs)))
+    | _ -> lhs
+  in
+  go (sub p)
+
+and parse_lor p = parse_binlevel p [ "||", LOr ] parse_land
+and parse_land p = parse_binlevel p [ "&&", LAnd ] parse_bor
+and parse_bor p = parse_binlevel p [ "|", BOr ] parse_bxor
+and parse_bxor p = parse_binlevel p [ "^", BXor ] parse_band
+and parse_band p = parse_binlevel p [ "&", BAnd ] parse_eq
+and parse_eq p = parse_binlevel p [ "==", Eq; "!=", Ne ] parse_rel
+and parse_rel p = parse_binlevel p [ "<", Lt; "<=", Le; ">", Gt; ">=", Ge ] parse_shift
+and parse_shift p = parse_binlevel p [ "<<", Shl; ">>", Shr ] parse_add
+and parse_add p = parse_binlevel p [ "+", Add; "-", Sub ] parse_mul
+and parse_mul p = parse_binlevel p [ "*", Mul; "/", Div; "%", Rem ] parse_unary
+
+and parse_unary p =
+  let pos = line p in
+  match tok p with
+  | Lexer.PUNCT "-" -> next p; mk ~pos (EUn (Neg, parse_unary p))
+  | Lexer.PUNCT "!" -> next p; mk ~pos (EUn (Not, parse_unary p))
+  | Lexer.PUNCT "~" -> next p; mk ~pos (EUn (BNot, parse_unary p))
+  | Lexer.PUNCT "*" -> next p; mk ~pos (EDeref (parse_unary p))
+  | Lexer.PUNCT "&" -> next p; mk ~pos (EAddr (parse_unary p))
+  | Lexer.KW "sizeof" ->
+    next p;
+    expect_punct p "(";
+    let ty = parse_abstract_type p in
+    expect_punct p ")";
+    mk ~pos (ESizeof ty)
+  | Lexer.PUNCT "(" when (match peek p with
+                          | Lexer.KW ("int" | "char" | "void" | "struct") -> true
+                          | _ -> false) ->
+    next p;
+    let ty = parse_abstract_type p in
+    expect_punct p ")";
+    mk ~pos (ECast (ty, parse_unary p))
+  | _ -> parse_postfix p
+
+and parse_postfix p =
+  let rec go e =
+    match tok p with
+    | Lexer.PUNCT "(" ->
+      next p;
+      let args =
+        if accept_punct p ")" then []
+        else begin
+          let rec collect acc =
+            let a = parse_assign p in
+            if accept_punct p "," then collect (a :: acc)
+            else begin
+              expect_punct p ")";
+              List.rev (a :: acc)
+            end
+          in
+          collect []
+        end
+      in
+      go (mk ~pos:e.pos (ECall (e, args)))
+    | Lexer.PUNCT "[" ->
+      next p;
+      let i = parse_expr p in
+      expect_punct p "]";
+      go (mk ~pos:e.pos (EIndex (e, i)))
+    | Lexer.PUNCT "." ->
+      next p;
+      let f = expect_id p in
+      go (mk ~pos:e.pos (EField (e, f)))
+    | Lexer.PUNCT "->" ->
+      next p;
+      let f = expect_id p in
+      go (mk ~pos:e.pos (EArrow (e, f)))
+    | _ -> e
+  in
+  go (parse_primary p)
+
+and parse_primary p =
+  let pos = line p in
+  match tok p with
+  | Lexer.INT n -> next p; mk ~pos (EInt n)
+  | Lexer.CHARLIT c -> next p; mk ~pos (EChar c)
+  | Lexer.STR s -> next p; mk ~pos (EStr s)
+  | Lexer.ID s -> next p; mk ~pos (EId s)
+  | Lexer.PUNCT "(" ->
+    next p;
+    let e = parse_expr p in
+    expect_punct p ")";
+    e
+  | t -> error p "unexpected token '%s' in expression" (Lexer.token_to_string t)
+
+(* ---------------- Statements ---------------- *)
+
+let rec parse_stmt p =
+  match tok p with
+  | Lexer.PUNCT "{" ->
+    next p;
+    let body = parse_stmts p in
+    expect_punct p "}";
+    SBlock body
+  | Lexer.KW "if" ->
+    next p;
+    expect_punct p "(";
+    let c = parse_expr p in
+    expect_punct p ")";
+    let thn = parse_stmt_as_list p in
+    let els =
+      match tok p with
+      | Lexer.KW "else" -> next p; parse_stmt_as_list p
+      | _ -> []
+    in
+    SIf (c, thn, els)
+  | Lexer.KW "while" ->
+    next p;
+    expect_punct p "(";
+    let c = parse_expr p in
+    expect_punct p ")";
+    SWhile (c, parse_stmt_as_list p)
+  | Lexer.KW "do" ->
+    next p;
+    let body = parse_stmt_as_list p in
+    (match tok p with
+     | Lexer.KW "while" -> next p
+     | t -> error p "expected 'while' after do-body, found '%s'" (Lexer.token_to_string t));
+    expect_punct p "(";
+    let c = parse_expr p in
+    expect_punct p ")";
+    expect_punct p ";";
+    SDoWhile (body, c)
+  | Lexer.KW "for" ->
+    next p;
+    expect_punct p "(";
+    let init =
+      if accept_punct p ";" then None
+      else if is_type_start p then begin
+        let s = parse_decl_stmt p in
+        Some s
+      end
+      else begin
+        let e = parse_expr p in
+        expect_punct p ";";
+        Some (SExpr e)
+      end
+    in
+    let cond = if accept_punct p ";" then None
+      else begin
+        let e = parse_expr p in
+        expect_punct p ";";
+        Some e
+      end
+    in
+    let step =
+      match tok p with
+      | Lexer.PUNCT ")" -> next p; None
+      | _ ->
+        let e = parse_expr p in
+        expect_punct p ")";
+        Some e
+    in
+    SFor (init, cond, step, parse_stmt_as_list p)
+  | Lexer.KW "return" ->
+    let pos = line p in
+    next p;
+    if accept_punct p ";" then SReturn (None, pos)
+    else begin
+      let e = parse_expr p in
+      expect_punct p ";";
+      SReturn (Some e, pos)
+    end
+  | Lexer.KW "break" ->
+    let pos = line p in
+    next p; expect_punct p ";"; SBreak pos
+  | Lexer.KW "continue" ->
+    let pos = line p in
+    next p; expect_punct p ";"; SContinue pos
+  | Lexer.KW ("int" | "char" | "void" | "struct") -> parse_decl_stmt p
+  | _ ->
+    let e = parse_expr p in
+    expect_punct p ";";
+    SExpr e
+
+(* decl-stmt := base declarator [= expr] (, '*'* ID arrays [= expr])* ';'
+   A multi-variable declaration desugars to a block of single declarations. *)
+and parse_decl_stmt p =
+  let base = parse_base_type p in
+  let name, ty = parse_declarator p base in
+  let init = if accept_punct p "=" then Some (parse_assign p) else None in
+  let decls = ref [ SDecl (ty, name, init) ] in
+  while accept_punct p "," do
+    let name, ty = parse_declarator p base in
+    let init = if accept_punct p "=" then Some (parse_assign p) else None in
+    decls := SDecl (ty, name, init) :: !decls
+  done;
+  expect_punct p ";";
+  match List.rev !decls with
+  | [ single ] -> single
+  | many -> SSeq many
+
+and parse_stmt_as_list p =
+  match parse_stmt p with
+  | SBlock l -> l
+  | s -> [ s ]
+
+and parse_stmts p =
+  let rec go acc =
+    match tok p with
+    | Lexer.PUNCT "}" | Lexer.EOF -> List.rev acc
+    | _ -> go (parse_stmt p :: acc)
+  in
+  go []
+
+(* ---------------- Top level ---------------- *)
+
+let parse_ginit p =
+  let rec go () =
+    match tok p with
+    | Lexer.INT n -> next p; GInt n
+    | Lexer.PUNCT "-" ->
+      next p;
+      (match tok p with
+       | Lexer.INT n -> next p; GInt (-n)
+       | t -> error p "expected integer after '-', found '%s'" (Lexer.token_to_string t))
+    | Lexer.CHARLIT c -> next p; GInt (Char.code c)
+    | Lexer.STR s -> next p; GStr s
+    | Lexer.ID f -> next p; GFun f
+    | Lexer.PUNCT "{" ->
+      next p;
+      if accept_punct p "}" then GList []
+      else begin
+        let rec items acc =
+          let item = go () in
+          if accept_punct p "," then items (item :: acc)
+          else begin
+            expect_punct p "}";
+            GList (List.rev (item :: acc))
+          end
+        in
+        items []
+      end
+    | t -> error p "bad global initializer: '%s'" (Lexer.token_to_string t)
+  in
+  go ()
+
+let parse_params p =
+  expect_punct p "(";
+  if accept_punct p ")" then []
+  else if tok p = Lexer.KW "void" && peek p = Lexer.PUNCT ")" then begin
+    next p; next p; []
+  end
+  else begin
+    let rec go acc =
+      let base = parse_base_type p in
+      let name, ty = parse_declarator p base in
+      (* array parameters decay to pointers, as in C *)
+      let ty = match ty with Ty.Arr (t, _) -> Ty.Ptr t | t -> t in
+      if accept_punct p "," then go ((name, ty) :: acc)
+      else begin
+        expect_punct p ")";
+        List.rev ((name, ty) :: acc)
+      end
+    in
+    go []
+  end
+
+(* Uniform handling of top-level globals and function definitions; the
+   base type may carry pointer stars (functions returning pointers). *)
+let parse_global_or_func p =
+  let pos = line p in
+  let base = parse_base_type p in
+  let base = parse_pointers p base in
+  match tok p with
+  | Lexer.PUNCT "(" ->
+    (* global function pointer declaration with optional initializer *)
+    let name, ty = parse_declarator p base in
+    let init = if accept_punct p "=" then parse_ginit p else GNone in
+    expect_punct p ";";
+    TGlobal (ty, name, init)
+  | _ ->
+    let name = expect_id p in
+    (match tok p with
+     | Lexer.PUNCT "(" ->
+       let params = parse_params p in
+       expect_punct p "{";
+       let body = parse_stmts p in
+       expect_punct p "}";
+       TFunc { fd_name = name; fd_params = params; fd_ret = base;
+               fd_body = body; fd_pos = pos }
+     | _ ->
+       let ty = parse_array_suffix p base in
+       let init = if accept_punct p "=" then parse_ginit p else GNone in
+       expect_punct p ";";
+       TGlobal (ty, name, init))
+
+let rec parse_top p =
+  let sensitive =
+    match tok p with
+    | Lexer.KW "sensitive" -> next p; true
+    | _ -> false
+  in
+  match tok p with
+  | Lexer.KW "struct" when (match peek p with Lexer.ID _ -> true | _ -> false) ->
+    (* Could be a struct definition or a global of struct type. *)
+    let save_pos = p.lx.Lexer.pos and save_line = p.lx.Lexer.line
+    and save_tok = p.lx.Lexer.tok and save_tl = p.lx.Lexer.tok_line
+    and save_peek = p.lx.Lexer.peeked in
+    next p;
+    let name = expect_id p in
+    if accept_punct p ";" then
+      (* forward declaration: harmless, struct defs are order-independent *)
+      parse_top p
+    else if accept_punct p "{" then begin
+      let fields = ref [] in
+      while not (accept_punct p "}") do
+        let base = parse_base_type p in
+        let fname, fty = parse_declarator p base in
+        expect_punct p ";";
+        fields := (fname, fty) :: !fields
+      done;
+      expect_punct p ";";
+      TStruct (name, List.rev !fields, sensitive)
+    end
+    else begin
+      (* rewind and parse as global declaration *)
+      if sensitive then error p "'sensitive' only applies to struct definitions";
+      p.lx.Lexer.pos <- save_pos;
+      p.lx.Lexer.line <- save_line;
+      p.lx.Lexer.tok <- save_tok;
+      p.lx.Lexer.tok_line <- save_tl;
+      p.lx.Lexer.peeked <- save_peek;
+      parse_global_or_func p
+    end
+  | _ ->
+    if sensitive then error p "'sensitive' only applies to struct definitions";
+    parse_global_or_func p
+
+(** Parse a whole MiniC translation unit. *)
+let parse_program src =
+  let p = { lx = Lexer.create src } in
+  let rec go acc =
+    match tok p with
+    | Lexer.EOF -> { tops = List.rev acc }
+    | _ -> go (parse_top p :: acc)
+  in
+  go []
+
+(** Parse, raising [Failure] with a formatted message on error. *)
+let parse_program_exn ?(name = "<input>") src =
+  try parse_program src with
+  | Parse_error (msg, l) -> failwith (Printf.sprintf "%s:%d: parse error: %s" name l msg)
+  | Lexer.Lex_error (msg, l) -> failwith (Printf.sprintf "%s:%d: lex error: %s" name l msg)

@@ -1,0 +1,13 @@
+(** Recursive-descent MiniC parser. *)
+
+exception Parse_error of string * int
+(** Message and line number. *)
+
+(** Parse a whole MiniC translation unit.
+    @raise Parse_error on syntax errors
+    @raise Lexer.Lex_error on lexical errors *)
+val parse_program : string -> Ast.program
+
+(** Like [parse_program] but raises [Failure] with a formatted
+    ["file:line: message"] string. *)
+val parse_program_exn : ?name:string -> string -> Ast.program

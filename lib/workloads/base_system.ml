@@ -1,0 +1,263 @@
+(** Base-system packages (Section 5.3).
+
+    The paper's FreeBSD case study rebuilds the base system — libraries,
+    development tools, and services like bind and openssh — under
+    CPI/CPS/SafeStack. This module models a representative sample of such
+    tools; the `distro` bench target requires each to build, verify and run
+    identically under every protection. *)
+
+let mk name description source =
+  { Workload.name; lang = Workload.C; description; input = [||];
+    fuel = 30_000_000; source }
+
+let rnd = {|
+int seed;
+int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return (seed >> 7) % m;
+}
+|}
+
+(* grep-like: substring scan with a bad-character skip table. *)
+let grep =
+  mk "base/grep" "Boyer-Moore-Horspool substring scan over generated text" (rnd ^ {|
+char text[8192];
+char pat[8];
+int skip[32];
+
+int search() {
+  int m = strlen(pat);
+  int i;
+  int found = 0;
+  for (i = 0; i < 32; i = i + 1) { skip[i] = m; }
+  for (i = 0; i < m - 1; i = i + 1) { skip[(pat[i] - 97) & 31] = m - 1 - i; }
+  i = 0;
+  while (i + m <= 8192) {
+    int j = m - 1;
+    while (j >= 0 && text[i + j] == pat[j]) { j = j - 1; }
+    if (j < 0) { found = found + 1; i = i + 1; }
+    else { i = i + skip[(text[i + m - 1] - 97) & 31]; }
+  }
+  return found;
+}
+
+int main() {
+  int round;
+  int acc = 0;
+  int i;
+  seed = 7;
+  for (i = 0; i < 8192; i = i + 1) { text[i] = 97 + rnd(26); }
+  for (round = 0; round < 50; round = round + 1) {
+    for (i = 0; i < 3; i = i + 1) { pat[i] = 97 + rnd(26); }
+    pat[3] = 0;
+    acc = (acc + search()) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|})
+
+(* sort-like: merge sort over records via an index array. *)
+let sort =
+  mk "base/sort" "bottom-up merge sort over keyed records" (rnd ^ {|
+int keys[2048];
+int idx[2048];
+int tmp[2048];
+
+void merge_pass(int width) {
+  int lo;
+  for (lo = 0; lo < 2048; lo = lo + width * 2) {
+    int mid = lo + width;
+    int hi = lo + width * 2;
+    int a = lo;
+    int b = mid;
+    int o = lo;
+    if (mid > 2048) { mid = 2048; }
+    if (hi > 2048) { hi = 2048; }
+    while (a < mid && b < hi) {
+      if (keys[idx[a]] <= keys[idx[b]]) { tmp[o] = idx[a]; a = a + 1; }
+      else { tmp[o] = idx[b]; b = b + 1; }
+      o = o + 1;
+    }
+    while (a < mid) { tmp[o] = idx[a]; a = a + 1; o = o + 1; }
+    while (b < hi) { tmp[o] = idx[b]; b = b + 1; o = o + 1; }
+  }
+  for (lo = 0; lo < 2048; lo = lo + 1) { idx[lo] = tmp[lo]; }
+}
+
+int main() {
+  int round;
+  int acc = 0;
+  int i, w;
+  seed = 9;
+  for (round = 0; round < 8; round = round + 1) {
+    for (i = 0; i < 2048; i = i + 1) { keys[i] = rnd(100000); idx[i] = i; }
+    for (w = 1; w < 2048; w = w * 2) { merge_pass(w); }
+    acc = (acc + keys[idx[0]] + keys[idx[2047]] + keys[idx[1024]]) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|})
+
+(* sh-like: tokenize a command line and dispatch builtins through a
+   function-pointer table (a small amount of sensitive traffic, like a
+   real shell). *)
+let sh =
+  mk "base/sh" "command tokenizer + builtin dispatch table" (rnd ^ {|
+char cmdline[64];
+char tok[8][12];
+int ntok;
+int env_val[16];
+
+int bi_echo(int argc) { return argc; }
+int bi_set(int argc) { env_val[argc & 15] = argc * 2; return 1; }
+int bi_get(int argc) { return env_val[argc & 15]; }
+int bi_true(int argc) { return 0; }
+
+int (*builtins[4])(int) = { bi_echo, bi_set, bi_get, bi_true };
+
+void gen_cmdline() {
+  int i;
+  int n = 10 + rnd(40);
+  for (i = 0; i < n; i = i + 1) {
+    cmdline[i] = 97 + rnd(26);
+    if (rnd(5) == 0) { cmdline[i] = 32; }
+  }
+  cmdline[n] = 0;
+}
+
+int tokenize() {
+  int i = 0;
+  int t = 0;
+  int o = 0;
+  ntok = 0;
+  while (cmdline[i] != 0 && t < 8) {
+    if (cmdline[i] == 32) {
+      if (o > 0) { tok[t][o] = 0; t = t + 1; o = 0; }
+    }
+    else {
+      if (o < 11) { tok[t][o] = cmdline[i]; o = o + 1; }
+    }
+    i = i + 1;
+  }
+  if (o > 0) { tok[t][o] = 0; t = t + 1; }
+  ntok = t;
+  return t;
+}
+
+int main() {
+  int round;
+  int acc = 0;
+  seed = 13;
+  for (round = 0; round < 8000; round = round + 1) {
+    gen_cmdline();
+    int n = tokenize();
+    if (n > 0) {
+      int which = (tok[0][0] + n) & 3;
+      acc = (acc + builtins[which](n)) & 16777215;
+    }
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|})
+
+(* bind-like: DNS message name decompression and label parsing. *)
+let bind =
+  mk "base/bind" "DNS-like label parsing with compression pointers" (rnd ^ {|
+char msg[512];
+
+void gen_msg() {
+  int i = 0;
+  while (i < 400) {
+    int len = 1 + rnd(12);
+    if (i + len + 1 >= 400) { break; }
+    msg[i] = len;
+    int j;
+    for (j = 1; j <= len; j = j + 1) { msg[i + j] = 97 + rnd(26); }
+    i = i + len + 1;
+  }
+  msg[i] = 0;
+}
+
+int parse_name(int start) {
+  int i = start;
+  int total = 0;
+  int hops = 0;
+  while (msg[i] != 0 && hops < 64) {
+    int len = msg[i] & 63;
+    if (len == 0) { break; }
+    total = total + len;
+    i = i + len + 1;
+    hops = hops + 1;
+    if (i >= 500) { break; }
+  }
+  return total;
+}
+
+int main() {
+  int round;
+  int acc = 0;
+  seed = 17;
+  for (round = 0; round < 1200; round = round + 1) {
+    gen_msg();
+    acc = (acc + parse_name(0) + parse_name(rnd(64))) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|})
+
+(* openssh-like: key-schedule-ish mixing plus MAC over a packet. *)
+let openssh =
+  mk "base/openssh" "cipher key schedule + MAC over packets" (rnd ^ {|
+int key[16];
+int sched[64];
+int packet[128];
+
+void key_schedule() {
+  int i;
+  for (i = 0; i < 16; i = i + 1) { sched[i] = key[i]; }
+  for (i = 16; i < 64; i = i + 1) {
+    int a = sched[i - 16];
+    int b = sched[i - 3];
+    sched[i] = ((a ^ (b << 2)) + (a >> 3) + i) & 268435455;
+  }
+}
+
+int mac(int len) {
+  int h = 2166136261;
+  int i;
+  for (i = 0; i < len; i = i + 1) {
+    h = ((h ^ packet[i]) * 16777619) & 268435455;
+    h = (h + sched[i & 63]) & 268435455;
+  }
+  return h;
+}
+
+int main() {
+  int round;
+  int acc = 0;
+  int i;
+  seed = 19;
+  for (i = 0; i < 16; i = i + 1) { key[i] = rnd(65536); }
+  key_schedule();
+  for (round = 0; round < 4000; round = round + 1) {
+    int len = 32 + rnd(96);
+    for (i = 0; i < len; i = i + 1) { packet[i] = rnd(256); }
+    acc = (acc + mac(len)) & 16777215;
+    if ((round & 255) == 0) { key[round & 15] = acc & 65535; key_schedule(); }
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|})
+
+(** The base-system package sample, as used by `bench/main.exe distro`. *)
+let all = [ grep; sort; sh; bind; openssh ]

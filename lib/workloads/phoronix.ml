@@ -1,0 +1,634 @@
+(** Phoronix-like system workloads (Fig. 4).
+
+    The paper evaluates a rebuilt FreeBSD distribution with the Phoronix
+    test suite ("server" setting). We model a representative subset of
+    those benchmarks as MiniC programs with matching computational
+    character: web-server request handling, crypto, compression, a
+    database engine, two language-runtime benchmarks (pybench is the
+    paper's pathological CPI case), and media/DSP kernels. *)
+
+let mk name description source =
+  { Workload.name; lang = Workload.C; description; input = [||];
+    fuel = 40_000_000; source }
+
+let common_rnd = {|
+int seed;
+int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return (seed >> 7) % m;
+}
+|}
+
+(* apache-like: request-line parsing, routing, header assembly. *)
+let apache =
+  mk "apache" "HTTP request parse + route + response assembly" (common_rnd ^ {|
+char reqbuf[64];
+char respbuf[256];
+char routes[8][16];
+int hits[8];
+
+void init_routes() {
+  strcpy(routes[0], "/index");
+  strcpy(routes[1], "/about");
+  strcpy(routes[2], "/api/v1");
+  strcpy(routes[3], "/static");
+  strcpy(routes[4], "/login");
+  strcpy(routes[5], "/logout");
+  strcpy(routes[6], "/data");
+  strcpy(routes[7], "/health");
+}
+
+void gen_request() {
+  int r = rnd(8);
+  strcpy(reqbuf, "GET ");
+  strcpy(reqbuf + 4, routes[r]);
+}
+
+int route() {
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    if (strcmp(reqbuf + 4, routes[i]) == 0) { return i; }
+  }
+  return -1;
+}
+
+int respond(int r) {
+  int n;
+  strcpy(respbuf, "HTTP/1.1 200 OK ");
+  n = strlen(respbuf);
+  strcpy(respbuf + n, routes[r]);
+  hits[r] = hits[r] + 1;
+  return strlen(respbuf);
+}
+
+int main() {
+  int i;
+  int acc = 0;
+  seed = 1;
+  init_routes();
+  for (i = 0; i < 30000; i = i + 1) {
+    int r;
+    gen_request();
+    r = route();
+    if (r >= 0) { acc = (acc + respond(r)) & 16777215; }
+  }
+  for (i = 0; i < 8; i = i + 1) { acc = (acc + hits[i]) & 16777215; }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|})
+
+(* openssl-like: fixed-window modular exponentiation on a small bignum. *)
+let openssl =
+  mk "openssl" "modular exponentiation over 16-limb bignums" (common_rnd ^ {|
+int base_n[16];
+int mod_n[16];
+int acc_n[16];
+int tmp_n[32];
+
+void mul_mod() {
+  int i, j;
+  for (i = 0; i < 32; i = i + 1) { tmp_n[i] = 0; }
+  for (i = 0; i < 16; i = i + 1) {
+    for (j = 0; j < 16; j = j + 1) {
+      tmp_n[i + j] = (tmp_n[i + j] + acc_n[i] * base_n[j]) & 65535;
+    }
+  }
+  for (i = 0; i < 16; i = i + 1) {
+    acc_n[i] = (tmp_n[i] + tmp_n[i + 16] * 3 + mod_n[i]) & 65535;
+  }
+}
+
+int main() {
+  int bit;
+  int acc = 0;
+  int i;
+  seed = 9;
+  for (i = 0; i < 16; i = i + 1) {
+    base_n[i] = rnd(65536);
+    mod_n[i] = rnd(65536);
+    acc_n[i] = 1;
+  }
+  for (bit = 0; bit < 900; bit = bit + 1) {
+    mul_mod();
+    if ((bit & 3) == 1) { mul_mod(); }
+    acc = (acc + acc_n[bit & 15]) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|})
+
+(* compress-gzip-like: LZ77 window matching over generated text. *)
+let compress_gzip =
+  mk "compress-gzip" "LZ77 window matching on char buffers" (common_rnd ^ {|
+char text[4096];
+int match_len[4096];
+int match_dist[4096];
+
+void gen_text() {
+  int i;
+  for (i = 0; i < 4096; i = i + 1) {
+    if (i > 64 && rnd(3) == 0) { text[i] = text[i - 32 - rnd(32)]; }
+    else { text[i] = 97 + rnd(26); }
+  }
+}
+
+int lz_scan() {
+  int i, d;
+  int total = 0;
+  for (i = 64; i < 4096; i = i + 1) {
+    int best = 0;
+    int bestd = 0;
+    for (d = 1; d <= 32; d = d + 1) {
+      int l = 0;
+      while (l < 16 && i + l < 4096 && text[i + l] == text[i + l - d]) { l = l + 1; }
+      if (l > best) { best = l; bestd = d; }
+    }
+    match_len[i] = best;
+    match_dist[i] = bestd;
+    if (best > 3) { i = i + best - 1; total = total + best; }
+  }
+  return total;
+}
+
+int main() {
+  int pass;
+  int acc = 0;
+  seed = 4;
+  for (pass = 0; pass < 3; pass = pass + 1) {
+    gen_text();
+    acc = (acc + lz_scan()) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|})
+
+(* sqlite-like: B-tree-ish ordered map with inserts and range scans;
+   pointer-dense but code-pointer-free. *)
+let sqlite =
+  mk "sqlite" "binary search tree inserts + range scans (no code pointers)"
+    (common_rnd ^ {|
+struct row { int key; int val; struct row *l; struct row *r; };
+struct row *root;
+int inserted;
+
+struct row *insert(struct row *n, int key, int val) {
+  if (n == 0) {
+    struct row *f = (struct row *) malloc(sizeof(struct row));
+    f->key = key;
+    f->val = val;
+    f->l = 0;
+    f->r = 0;
+    inserted = inserted + 1;
+    return f;
+  }
+  if (key < n->key) { n->l = insert(n->l, key, val); }
+  if (key > n->key) { n->r = insert(n->r, key, val); }
+  if (key == n->key) { n->val = val; }
+  return n;
+}
+
+int scan(struct row *n, int lo, int hi) {
+  int s = 0;
+  if (n == 0) { return 0; }
+  if (n->key >= lo && n->key <= hi) { s = n->val; }
+  if (n->key > lo) { s = s + scan(n->l, lo, hi); }
+  if (n->key < hi) { s = s + scan(n->r, lo, hi); }
+  return s & 16777215;
+}
+
+int main() {
+  int i;
+  int acc = 0;
+  seed = 6;
+  root = 0;
+  for (i = 0; i < 3000; i = i + 1) {
+    root = insert(root, rnd(8192), i);
+    if (i % 8 == 0) {
+      int lo = rnd(8192);
+      acc = (acc + scan(root, lo, lo + 200)) & 16777215;
+    }
+  }
+  checksum(acc + inserted);
+  print_int(acc + inserted);
+  return 0;
+}
+|})
+
+(* pybench-like: a dynamic object model where every attribute access and
+   binary operation dispatches through per-type method tables, and object
+   payloads travel as void*. The paper singles pybench out as CPI's worst
+   case on FreeBSD (the "emulating C++ inheritance in C" pattern). *)
+let pybench =
+  { Workload.name = "pybench";
+    lang = Workload.C;
+    description = "dynamic-object interpreter: per-type method tables + void* payloads";
+    input = [||];
+    fuel = 50_000_000;
+    source = common_rnd ^ {|
+struct pyobj;
+struct pytype {
+  int (*add)(struct pyobj *, struct pyobj *);
+  int (*getattr)(struct pyobj *, int);
+  int (*repr)(struct pyobj *);
+};
+struct pyobj {
+  struct pytype *type;
+  int ival;
+  void *payload;
+};
+
+struct pyobj *pool[64];
+
+int int_add(struct pyobj *a, struct pyobj *b) { return a->ival + b->ival; }
+int int_getattr(struct pyobj *a, int slot) { return a->ival * (slot + 1); }
+int int_repr(struct pyobj *a) { return a->ival; }
+
+int str_add(struct pyobj *a, struct pyobj *b) {
+  return (a->ival * 31 + b->ival) & 65535;
+}
+int str_getattr(struct pyobj *a, int slot) {
+  struct pyobj *base = (struct pyobj *) a->payload;
+  if (base != 0 && slot > 2) { return base->type->getattr(base, slot - 1); }
+  return a->ival + slot;
+}
+int str_repr(struct pyobj *a) { return a->ival ^ 85; }
+
+struct pytype int_type = { int_add, int_getattr, int_repr };
+struct pytype str_type = { str_add, str_getattr, str_repr };
+
+int main() {
+  int it;
+  int acc = 0;
+  int i;
+  seed = 10;
+  for (i = 0; i < 64; i = i + 1) {
+    struct pyobj *o = (struct pyobj *) malloc(sizeof(struct pyobj));
+    o->ival = rnd(1000);
+    o->payload = 0;
+    if (rnd(2) == 0) { o->type = &int_type; } else { o->type = &str_type; }
+    if (i > 0) { o->payload = (void *) pool[i - 1]; }
+    pool[i] = o;
+  }
+  for (it = 0; it < 60000; it = it + 1) {
+    struct pyobj *a = pool[it & 63];
+    struct pyobj *b = pool[(it * 7 + 13) & 63];
+    acc = (acc + a->type->add(a, b)) & 16777215;
+    acc = (acc + b->type->getattr(b, it & 7)) & 16777215;
+    if ((it & 15) == 0) { acc = (acc + a->type->repr(a)) & 16777215; }
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|} }
+
+(* phpbench-like: hash-table string interning plus templated string
+   building; universal pointers in the table, few code pointers. *)
+let phpbench =
+  mk "phpbench" "hash-table interning + string building" (common_rnd ^ {|
+char names[128][12];
+int table_key[256];
+int table_val[256];
+char outbuf[128];
+
+int hash_str(char *s) {
+  int h = 5381;
+  int i = 0;
+  while (s[i] != 0) {
+    h = (h * 33 + s[i]) & 1048575;
+    i = i + 1;
+  }
+  return h;
+}
+
+int intern(char *s, int val) {
+  int h = hash_str(s) & 255;
+  int probes = 0;
+  while (table_key[h] != 0 && table_key[h] != hash_str(s) && probes < 256) {
+    h = (h + 1) & 255;
+    probes = probes + 1;
+  }
+  table_key[h] = hash_str(s);
+  table_val[h] = val;
+  return h;
+}
+
+int main() {
+  int i, it;
+  int acc = 0;
+  seed = 13;
+  for (i = 0; i < 128; i = i + 1) {
+    int j;
+    for (j = 0; j < 8; j = j + 1) { names[i][j] = 97 + rnd(26); }
+    names[i][8] = 0;
+  }
+  for (it = 0; it < 9000; it = it + 1) {
+    int slot = intern(names[it & 127], it);
+    strcpy(outbuf, "val=");
+    strcpy(outbuf + 4, names[slot & 127]);
+    acc = (acc + table_val[slot] + strlen(outbuf)) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|})
+
+(* encode-mp3-like: windowed filter bank + quantization loops. *)
+let encode_mp3 =
+  mk "encode-mp3" "subband filter + quantization DSP loops" (common_rnd ^ {|
+int pcm[2048];
+int subband[32][64];
+int window[512];
+
+int main() {
+  int frame;
+  int acc = 0;
+  int i, s, k;
+  seed = 15;
+  for (i = 0; i < 512; i = i + 1) { window[i] = rnd(2048) - 1024; }
+  for (i = 0; i < 2048; i = i + 1) { pcm[i] = rnd(65536) - 32768; }
+  for (frame = 0; frame < 36; frame = frame + 1) {
+    for (s = 0; s < 32; s = s + 1) {
+      for (k = 0; k < 64; k = k + 1) {
+        int sum = 0;
+        int t;
+        for (t = 0; t < 8; t = t + 1) {
+          sum = sum + (pcm[(frame * 32 + k * 8 + t) & 2047] * window[(s * 16 + t) & 511]) / 4096;
+        }
+        subband[s][k] = sum;
+      }
+    }
+    for (s = 0; s < 32; s = s + 1) {
+      for (k = 0; k < 64; k = k + 1) {
+        acc = (acc + subband[s][k] / 16) & 16777215;
+      }
+    }
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|})
+
+(* dcraw-like: Bayer demosaic over an image array. *)
+let dcraw =
+  mk "dcraw" "Bayer demosaic interpolation" (common_rnd ^ {|
+int raw[16384];
+int rgb[16384];
+
+int main() {
+  int pass;
+  int acc = 0;
+  int x, y;
+  seed = 16;
+  for (y = 0; y < 16384; y = y + 1) { raw[y] = rnd(4096); }
+  for (pass = 0; pass < 10; pass = pass + 1) {
+    for (y = 1; y < 127; y = y + 1) {
+      for (x = 1; x < 127; x = x + 1) {
+        int p = y * 128 + x;
+        int v = raw[p] * 2 + raw[p - 1] + raw[p + 1] + raw[p - 128] + raw[p + 128];
+        rgb[p] = v / 6;
+      }
+    }
+    acc = (acc + rgb[pass * 777 % 16384]) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|})
+
+(* john-the-ripper-like: iterated mixing rounds over candidate keys. *)
+let john =
+  mk "john-the-ripper" "hash-cracking candidate loops" (common_rnd ^ {|
+int target;
+int cracked;
+
+int mix(int k) {
+  int h = k;
+  int r;
+  for (r = 0; r < 12; r = r + 1) {
+    h = (h ^ (h << 5)) & 268435455;
+    h = (h + (h >> 7)) & 268435455;
+    h = (h * 9 + 1234567) & 268435455;
+  }
+  return h;
+}
+
+int main() {
+  int k;
+  int acc = 0;
+  seed = 77;
+  target = mix(123456);
+  cracked = 0;
+  for (k = 0; k < 60000; k = k + 1) {
+    int h = mix(k * 3 + 1);
+    if (h == target) { cracked = cracked + 1; }
+    acc = (acc + (h & 255)) & 16777215;
+  }
+  checksum(acc + cracked);
+  print_int(acc + cracked);
+  return 0;
+}
+|})
+
+(* nginx-like: header tokenization + connection-table updates. *)
+let nginx =
+  mk "nginx" "header tokenization + connection table" (common_rnd ^ {|
+char header[128];
+int conn_state[512];
+int conn_time[512];
+
+void gen_header() {
+  int i;
+  int n = 20 + rnd(60);
+  for (i = 0; i < n; i = i + 1) {
+    header[i] = 97 + rnd(26);
+    if (rnd(7) == 0) { header[i] = 58; }
+  }
+  header[n] = 0;
+}
+
+int tokenize() {
+  int i = 0;
+  int tokens = 0;
+  while (header[i] != 0) {
+    if (header[i] == 58) { tokens = tokens + 1; }
+    i = i + 1;
+  }
+  return tokens;
+}
+
+int main() {
+  int it;
+  int acc = 0;
+  seed = 19;
+  for (it = 0; it < 8000; it = it + 1) {
+    int c = rnd(512);
+    gen_header();
+    conn_state[c] = (conn_state[c] + tokenize()) & 65535;
+    conn_time[c] = it;
+    acc = (acc + conn_state[c]) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|})
+
+(* postgresql-like: hash join between two generated tables. *)
+let postgresql =
+  mk "pgbench" "hash join over generated tables" (common_rnd ^ {|
+int build_key[1024];
+int build_val[1024];
+int bucket_head[256];
+int bucket_next[1024];
+int probe_key[2048];
+
+int main() {
+  int i;
+  int acc = 0;
+  seed = 41;
+  for (i = 0; i < 256; i = i + 1) { bucket_head[i] = -1; }
+  for (i = 0; i < 1024; i = i + 1) {
+    build_key[i] = rnd(4096);
+    build_val[i] = rnd(1000);
+    int b = build_key[i] & 255;
+    bucket_next[i] = bucket_head[b];
+    bucket_head[b] = i;
+  }
+  for (i = 0; i < 2048; i = i + 1) { probe_key[i] = rnd(4096); }
+  int round;
+  for (round = 0; round < 60; round = round + 1) {
+    for (i = 0; i < 2048; i = i + 1) {
+      int k = probe_key[i];
+      int c = bucket_head[k & 255];
+      while (c >= 0) {
+        if (build_key[c] == k) { acc = (acc + build_val[c]) & 16777215; }
+        c = bucket_next[c];
+      }
+    }
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|})
+
+(* redis-like: command dispatch through a handler table over a kv store. *)
+let redis =
+  { Workload.name = "redis";
+    lang = Workload.C;
+    description = "command dispatch through handler table over a kv array";
+    input = [||];
+    fuel = 40_000_000;
+    source = common_rnd ^ {|
+int kv[1024];
+
+int cmd_get(int k) { return kv[k & 1023]; }
+int cmd_set(int k) { kv[k & 1023] = k * 3; return 1; }
+int cmd_incr(int k) { kv[k & 1023] = kv[k & 1023] + 1; return kv[k & 1023]; }
+int cmd_del(int k) { kv[k & 1023] = 0; return 0; }
+
+int (*commands[4])(int) = { cmd_get, cmd_set, cmd_incr, cmd_del };
+
+int main() {
+  int i;
+  int acc = 0;
+  seed = 52;
+  for (i = 0; i < 120000; i = i + 1) {
+    int op = rnd(4);
+    int k = rnd(4096);
+    acc = (acc + commands[op](k)) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|} }
+
+(* ffmpeg-like: 8x8 integer DCT butterflies over macroblocks. *)
+let ffmpeg =
+  mk "ffmpeg" "integer DCT butterflies over macroblocks" (common_rnd ^ {|
+int mb[64];
+int tmp[64];
+
+void dct_pass() {
+  int r, c;
+  for (r = 0; r < 8; r = r + 1) {
+    for (c = 0; c < 4; c = c + 1) {
+      int a = mb[r * 8 + c];
+      int b = mb[r * 8 + 7 - c];
+      tmp[r * 8 + c] = a + b;
+      tmp[r * 8 + 7 - c] = (a - b) * (c + 1);
+    }
+  }
+  for (r = 0; r < 64; r = r + 1) { mb[r] = tmp[r] / 2; }
+}
+
+int main() {
+  int frame;
+  int acc = 0;
+  seed = 61;
+  for (frame = 0; frame < 2500; frame = frame + 1) {
+    int i;
+    for (i = 0; i < 64; i = i + 1) { mb[i] = rnd(256) - 128; }
+    dct_pass();
+    dct_pass();
+    acc = (acc + mb[frame & 63]) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|})
+
+(* git-like: block-based delta computation between two buffers. *)
+let git =
+  mk "git" "rolling-hash delta computation between buffers" (common_rnd ^ {|
+char base_v[2048];
+char new_v[2048];
+int hash_tab[512];
+
+int main() {
+  int i;
+  int acc = 0;
+  int matches = 0;
+  seed = 71;
+  for (i = 0; i < 2048; i = i + 1) {
+    base_v[i] = 97 + rnd(26);
+    new_v[i] = base_v[i];
+    if (rnd(10) == 0) { new_v[i] = 97 + rnd(26); }
+  }
+  int round;
+  for (round = 0; round < 40; round = round + 1) {
+    for (i = 0; i < 512; i = i + 1) { hash_tab[i] = -1; }
+    for (i = 0; i + 4 <= 2048; i = i + 4) {
+      int h = (base_v[i] * 31 + base_v[i + 1] * 7 + base_v[i + 2] * 3 + base_v[i + 3]) & 511;
+      hash_tab[h] = i;
+    }
+    for (i = 0; i + 4 <= 2048; i = i + 4) {
+      int h = (new_v[i] * 31 + new_v[i + 1] * 7 + new_v[i + 2] * 3 + new_v[i + 3]) & 511;
+      int cand = hash_tab[h];
+      if (cand >= 0 && base_v[cand] == new_v[i]) { matches = matches + 1; }
+    }
+    new_v[round & 2047] = 97 + (round % 26);
+    acc = (acc + matches) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|})
+
+(** The Fig. 4 suite, in display order. *)
+let all : Workload.t list =
+  [ apache; nginx; openssl; compress_gzip; sqlite; postgresql; redis;
+    pybench; phpbench; encode_mp3; dcraw; john; ffmpeg; git ]

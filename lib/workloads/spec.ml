@@ -1,0 +1,27 @@
+(** The SPEC CPU2006-like suite: all 19 C/C++ benchmarks of the paper's
+    Table 2 / Fig. 3, in the paper's order. *)
+
+let all : Workload.t list =
+  [ Spec_int1.perlbench;
+    Spec_int1.bzip2;
+    Spec_int1.gcc;
+    Spec_int1.mcf;
+    Spec_fp.milc;
+    Spec_fp.namd;
+    Spec_int1.gobmk;
+    Spec_cpp.dealii;
+    Spec_cpp.soplex;
+    Spec_cpp.povray;
+    Spec_int2.hmmer;
+    Spec_int2.sjeng;
+    Spec_int2.libquantum;
+    Spec_int2.h264ref;
+    Spec_fp.lbm;
+    Spec_cpp.omnetpp;
+    Spec_int2.astar;
+    Spec_fp.sphinx3;
+    Spec_cpp.xalancbmk ]
+
+let c_only = List.filter (fun w -> w.Workload.lang = Workload.C) all
+
+let find name = List.find (fun w -> w.Workload.name = name) all

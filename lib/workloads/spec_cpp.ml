@@ -1,0 +1,570 @@
+(** SPEC CPU2006-like workloads, part 4: the C++ group — omnetpp,
+    xalancbmk, dealII, soplex, povray. MiniC models virtual dispatch the
+    way clang lowers it: objects hold a pointer to a table of function
+    pointers. Pointers to such objects are sensitive under CPI's Fig. 7
+    criterion, which is exactly why the paper's C++ benchmarks have the
+    highest instrumentation fractions (Table 2) and overheads (Fig. 3). *)
+
+(* 471.omnetpp: discrete-event simulation; every event delivery is a
+   virtual call, and the future-event set stores pointers to sensitive
+   objects. The paper's worst case for CPI (36.6% of memory ops). *)
+let omnetpp =
+  { Workload.name = "471.omnetpp";
+    lang = Workload.Cpp;
+    description = "discrete-event simulator with virtual message handlers";
+    input = [||];
+    fuel = 60_000_000;
+    source = {|
+struct module;
+struct modvtbl {
+  int (*handle)(struct module *, int);
+  int (*stats)(struct module *);
+};
+struct module {
+  struct modvtbl *vt;
+  int id;
+  int state;
+  int out;          // index of downstream module
+};
+struct event;
+struct evtvtbl {
+  int (*before)(struct event *, struct event *);
+};
+struct event {
+  struct evtvtbl *vt;
+  int time;
+  int payload;
+  void *ctx;          // opaque per-event context, as real simulators keep
+  struct module *dst;
+};
+
+int evt_before(struct event *a, struct event *b) {
+  if (a->time != b->time) { return a->time < b->time; }
+  return a->payload <= b->payload;
+}
+struct evtvtbl vt_evt = { evt_before };
+
+struct event *fes[512];
+int fes_n;
+int now;
+struct module *mods[32];
+int delivered;
+int seed;
+
+int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return (seed >> 7) % m;
+}
+
+void fes_push(struct event *e) {
+  int i = fes_n;
+  fes_n = fes_n + 1;
+  fes[i] = e;
+  while (i > 0) {
+    int p = (i - 1) / 2;
+    if (fes[p]->vt->before(fes[p], fes[i])) { break; }
+    struct event *t = fes[p]; fes[p] = fes[i]; fes[i] = t;
+    i = p;
+  }
+}
+
+struct event *fes_pop() {
+  struct event *top = fes[0];
+  int i = 0;
+  fes_n = fes_n - 1;
+  fes[0] = fes[fes_n];
+  while (1) {
+    int l = i * 2 + 1;
+    int r = l + 2 - 1;
+    int m = i;
+    if (l < fes_n && fes[l]->vt->before(fes[l], fes[m]) && fes[l]->time != fes[m]->time) { m = l; }
+    if (r < fes_n && fes[r]->vt->before(fes[r], fes[m]) && fes[r]->time != fes[m]->time) { m = r; }
+    if (m == i) { break; }
+    struct event *t = fes[m]; fes[m] = fes[i]; fes[i] = t;
+    i = m;
+  }
+  return top;
+}
+
+void schedule(struct module *dst, int dt, int payload) {
+  struct event *e;
+  if (fes_n >= 500) { return; }
+  e = (struct event *) malloc(sizeof(struct event));
+  e->vt = &vt_evt;
+  e->time = now + dt;
+  e->payload = payload;
+  e->ctx = (void *) dst;
+  e->dst = dst;
+  fes_push(e);
+}
+
+int queue_handle(struct module *self, int pay) {
+  self->state = self->state + pay;
+  if (self->state > 50) {
+    schedule(mods[self->out], 1 + (pay & 3), self->state / 2);
+    self->state = 0;
+  }
+  return self->state;
+}
+int queue_stats(struct module *self) { return self->state * 2 + self->id; }
+
+int src_handle(struct module *self, int pay) {
+  schedule(mods[self->out], 1 + (pay & 7), 1 + (self->id & 15));
+  schedule(self, 2 + (self->state & 3), pay & 31);
+  self->state = self->state + 1;
+  return pay;
+}
+int src_stats(struct module *self) { return self->state + 1000; }
+
+int sink_handle(struct module *self, int pay) {
+  self->state = (self->state + pay) & 65535;
+  return 0;
+}
+int sink_stats(struct module *self) { return self->state; }
+
+struct modvtbl vt_queue = { queue_handle, queue_stats };
+struct modvtbl vt_src = { src_handle, src_stats };
+struct modvtbl vt_sink = { sink_handle, sink_stats };
+
+int main() {
+  int i;
+  int acc = 0;
+  seed = 3;
+  for (i = 0; i < 32; i = i + 1) {
+    struct module *mo = (struct module *) malloc(sizeof(struct module));
+    mo->id = i;
+    mo->state = 0;
+    mo->out = (i + 1) % 32;
+    mo->vt = &vt_queue;
+    if (i % 8 == 0) { mo->vt = &vt_src; }
+    if (i % 8 == 7) { mo->vt = &vt_sink; }
+    mods[i] = mo;
+  }
+  fes_n = 0;
+  now = 0;
+  for (i = 0; i < 8; i = i + 1) { schedule(mods[i * 4], i + 1, 5); }
+  delivered = 0;
+  while (fes_n > 0 && delivered < 60000) {
+    struct event *e = fes_pop();
+    struct module *target = (struct module *) e->ctx;
+    now = e->time;
+    acc = (acc + target->vt->handle(e->dst, e->payload)) & 16777215;
+    delivered = delivered + 1;
+    free(e);
+  }
+  for (i = 0; i < 32; i = i + 1) {
+    acc = (acc + mods[i]->vt->stats(mods[i])) & 16777215;
+  }
+  checksum(acc + delivered);
+  print_int(acc + delivered);
+  return 0;
+}
+|} }
+
+(* 483.xalancbmk: XML-like tree transformation; every node access goes
+   through a virtual handler table, and the tree is pointer-dense. *)
+let xalancbmk =
+  { Workload.name = "483.xalancbmk";
+    lang = Workload.Cpp;
+    description = "XML-tree transformation with per-node-kind virtual handlers";
+    input = [||];
+    fuel = 60_000_000;
+    source = {|
+struct xnode;
+struct xvtbl {
+  int (*render)(struct xnode *, int);
+  int (*match)(struct xnode *, int);
+};
+struct xnode {
+  struct xvtbl *vt;
+  int tag;
+  int value;
+  struct xnode *child;
+  struct xnode *sibling;
+};
+
+int seed;
+int out_len;
+
+int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return (seed >> 7) % m;
+}
+
+int elem_render(struct xnode *n, int depth) {
+  int s = n->tag * 2 + depth;
+  struct xnode *c = n->child;
+  out_len = out_len + 2;
+  while (c != 0) {
+    s = (s + c->vt->render(c, depth + 1)) & 16777215;
+    c = c->sibling;
+  }
+  return s;
+}
+int elem_match(struct xnode *n, int pat) {
+  if ((n->tag & 7) == (pat & 7)) { return 1; }
+  return 0;
+}
+
+int text_render(struct xnode *n, int depth) {
+  out_len = out_len + 1;
+  return (n->value + depth) & 65535;
+}
+int text_match(struct xnode *n, int pat) {
+  if (n->value % 5 == pat % 5) { return 1; }
+  return 0;
+}
+
+struct xvtbl vt_elem = { elem_render, elem_match };
+struct xvtbl vt_text = { text_render, text_match };
+
+struct xnode *mknode(int depth) {
+  struct xnode *n = (struct xnode *) malloc(sizeof(struct xnode));
+  n->tag = rnd(64);
+  n->value = rnd(1000);
+  n->child = 0;
+  n->sibling = 0;
+  if (depth > 0 && rnd(3) != 0) {
+    int kids = 1 + rnd(3);
+    int i;
+    struct xnode *prev = 0;
+    n->vt = &vt_elem;
+    for (i = 0; i < kids; i = i + 1) {
+      struct xnode *c = mknode(depth - 1);
+      c->sibling = prev;
+      prev = c;
+    }
+    n->child = prev;
+  }
+  if (n->child == 0) { n->vt = &vt_text; }
+  return n;
+}
+
+int count_matches(struct xnode *n, int pat) {
+  int c = n->vt->match(n, pat);
+  struct xnode *k = n->child;
+  while (k != 0) {
+    c = c + count_matches(k, pat);
+    k = k->sibling;
+  }
+  return c;
+}
+
+int main() {
+  int doc;
+  int acc = 0;
+  seed = 12;
+  for (doc = 0; doc < 60; doc = doc + 1) {
+    struct xnode *root = mknode(6);
+    int p;
+    out_len = 0;
+    acc = (acc + root->vt->render(root, 0)) & 16777215;
+    for (p = 0; p < 8; p = p + 1) {
+      acc = (acc + count_matches(root, p)) & 16777215;
+    }
+    acc = (acc + out_len) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|} }
+
+(* 447.dealII: finite-element-like assembly where each element type
+   provides shape-function callbacks through a vtable, mixed with dense
+   matrix arithmetic. *)
+let dealii =
+  { Workload.name = "447.dealII";
+    lang = Workload.Cpp;
+    description = "FEM-like assembly with element vtables plus dense kernels";
+    input = [||];
+    fuel = 60_000_000;
+    source = {|
+struct elem;
+struct evtbl {
+  int (*shape)(struct elem *, int, int);
+  int (*jacobian)(struct elem *);
+};
+struct elem {
+  struct evtbl *vt;
+  int kind;
+  int coords[8];
+};
+
+int stiffness[64][64];
+struct elem *elems[128];
+int seed;
+
+int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return (seed >> 7) % m;
+}
+
+int quad_shape(struct elem *e, int i, int q) {
+  return (e->coords[i & 7] * (q + 1)) / 4 + i;
+}
+int quad_jac(struct elem *e) {
+  return 1 + ((e->coords[0] * e->coords[3] - e->coords[1] * e->coords[2]) & 255);
+}
+int tri_shape(struct elem *e, int i, int q) {
+  return (e->coords[i % 6] * (q + 2)) / 3 - i;
+}
+int tri_jac(struct elem *e) {
+  return 1 + ((e->coords[0] + e->coords[1] * 2 + e->coords[2]) & 127);
+}
+
+struct evtbl vt_quad = { quad_shape, quad_jac };
+struct evtbl vt_tri = { tri_shape, tri_jac };
+
+void assemble(struct elem *e) {
+  int i, j, q;
+  struct evtbl *vt = e->vt;
+  int jac = vt->jacobian(e);
+  for (i = 0; i < 4; i = i + 1) {
+    for (j = 0; j < 4; j = j + 1) {
+      int acc = 0;
+      for (q = 0; q < 4; q = q + 1) {
+        acc = acc + vt->shape(e, i, q) * vt->shape(e, j, q);
+      }
+      int r = (e->coords[i] & 63);
+      int c = (e->coords[j + 4 - 4] & 63);
+      stiffness[r][c] = (stiffness[r][c] + acc / jac) & 16777215;
+    }
+  }
+}
+
+int smooth() {
+  int i, j;
+  int s = 0;
+  for (i = 1; i < 63; i = i + 1) {
+    for (j = 1; j < 63; j = j + 1) {
+      stiffness[i][j] =
+        (stiffness[i][j] * 2 + stiffness[i - 1][j] + stiffness[i + 1][j]) / 4;
+      s = (s + stiffness[i][j]) & 16777215;
+    }
+  }
+  return s;
+}
+
+int main() {
+  int round;
+  int acc = 0;
+  int i, k;
+  seed = 21;
+  for (i = 0; i < 128; i = i + 1) {
+    struct elem *e = (struct elem *) malloc(sizeof(struct elem));
+    e->kind = rnd(2);
+    if (e->kind == 0) { e->vt = &vt_quad; } else { e->vt = &vt_tri; }
+    for (k = 0; k < 8; k = k + 1) { e->coords[k] = rnd(100); }
+    elems[i] = e;
+  }
+  for (round = 0; round < 24; round = round + 1) {
+    for (i = 0; i < 128; i = i + 1) { assemble(elems[i]); }
+    acc = (acc + smooth()) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|} }
+
+(* 450.soplex: revised-simplex-like iterations: dense ratio tests and
+   pivots, with the pricing rule chosen through a function pointer. *)
+let soplex =
+  { Workload.name = "450.soplex";
+    lang = Workload.Cpp;
+    description = "simplex pivoting with function-pointer pricing rules";
+    input = [||];
+    fuel = 60_000_000;
+    source = {|
+int tableau[48][64];
+int basis[48];
+int seed;
+
+int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return (seed >> 7) % m;
+}
+
+int price_dantzig(int col) {
+  return tableau[0][col];
+}
+int price_steepest(int col) {
+  int i;
+  int norm = 1;
+  for (i = 1; i < 48; i = i + 4) {
+    norm = norm + (tableau[i][col] * tableau[i][col]) / 256;
+  }
+  return (tableau[0][col] * 64) / norm;
+}
+
+int (*pricer)(int);
+
+int choose_col() {
+  int c;
+  int best = 0;
+  int bestv = 0;
+  for (c = 1; c < 64; c = c + 1) {
+    int v = pricer(c);
+    if (v > bestv) { bestv = v; best = c; }
+  }
+  return best;
+}
+
+int choose_row(int col) {
+  int r;
+  int best = -1;
+  int bestv = 1000000000;
+  for (r = 1; r < 48; r = r + 1) {
+    if (tableau[r][col] > 0) {
+      int ratio = (tableau[r][0] * 256) / tableau[r][col];
+      if (ratio < bestv) { bestv = ratio; best = r; }
+    }
+  }
+  return best;
+}
+
+void pivot(int row, int col) {
+  int r, c;
+  int p = tableau[row][col];
+  if (p == 0) { return; }
+  for (r = 0; r < 48; r = r + 1) {
+    if (r != row && tableau[r][col] != 0) {
+      int f = (tableau[r][col] * 256) / p;
+      for (c = 0; c < 64; c = c + 1) {
+        tableau[r][c] = tableau[r][c] - (f * tableau[row][c]) / 256;
+      }
+    }
+  }
+  basis[row] = col;
+}
+
+int main() {
+  int round;
+  int acc = 0;
+  int r, c;
+  seed = 17;
+  for (round = 0; round < 30; round = round + 1) {
+    int it;
+    for (r = 0; r < 48; r = r + 1) {
+      basis[r] = r;
+      for (c = 0; c < 64; c = c + 1) { tableau[r][c] = rnd(41) - 10; }
+      tableau[r][0] = 10 + rnd(100);
+    }
+    if (round % 2 == 0) { pricer = price_dantzig; } else { pricer = price_steepest; }
+    for (it = 0; it < 12; it = it + 1) {
+      int col = choose_col();
+      int row;
+      if (col == 0) { break; }
+      row = choose_row(col);
+      if (row < 0) { break; }
+      pivot(row, col);
+    }
+    for (r = 0; r < 48; r = r + 1) { acc = (acc + basis[r] + tableau[r][0]) & 16777215; }
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|} }
+
+(* 453.povray: ray/object intersection where each object kind provides
+   its intersection test through a vtable; moderate dispatch rate over
+   mostly arithmetic code. *)
+let povray =
+  { Workload.name = "453.povray";
+    lang = Workload.Cpp;
+    description = "ray tracer with per-object virtual intersection tests";
+    input = [||];
+    fuel = 60_000_000;
+    source = {|
+struct shape;
+struct svtbl {
+  int (*hit)(struct shape *, int, int, int);
+  int (*shade)(struct shape *, int);
+};
+struct shape {
+  struct svtbl *vt;
+  int cx; int cy; int cz;
+  int r;
+  int color;
+};
+
+struct shape *scene[24];
+int seed;
+
+int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return (seed >> 7) % m;
+}
+
+/* analytic first-hit of the ray from the origin toward (dx,dy,64) by
+   coarse discriminant search: the virtual call happens once per object
+   per ray, with plenty of arithmetic behind it, as in a real tracer */
+int sphere_hit(struct shape *s, int dx, int dy, int t0) {
+  int best = -1;
+  int t;
+  for (t = t0; t < 96; t = t + 16) {
+    int px = (dx * t) / 64 - s->cx;
+    int py = (dy * t) / 64 - s->cy;
+    int pz = t - s->cz;
+    int d2 = px * px + py * py + pz * pz;
+    if (d2 < s->r * s->r) { best = t; break; }
+  }
+  return best;
+}
+int sphere_shade(struct shape *s, int t) { return (s->color * (256 - t)) / 256; }
+
+int plane_hit(struct shape *s, int dx, int dy, int t0) {
+  int t;
+  for (t = t0; t < 96; t = t + 16) {
+    int py = (dy * t) / 64;
+    if (py <= -s->cy && t > 4) { return t; }
+  }
+  return -1;
+}
+int plane_shade(struct shape *s, int t) {
+  return ((s->color + t) & 1) * 200 + 20;
+}
+
+struct svtbl vt_sphere = { sphere_hit, sphere_shade };
+struct svtbl vt_plane = { plane_hit, plane_shade };
+
+int trace(int dx, int dy) {
+  int i;
+  int best_t = 1000000;
+  struct shape *best_s = 0;
+  for (i = 0; i < 24; i = i + 1) {
+    struct shape *s = scene[i];
+    int h = s->vt->hit(s, dx, dy, 4);
+    if (h >= 0 && h < best_t) { best_t = h; best_s = s; }
+  }
+  if (best_s != 0) { return best_s->vt->shade(best_s, best_t); }
+  return 0;
+}
+
+int main() {
+  int x, y;
+  int acc = 0;
+  int i;
+  seed = 88;
+  for (i = 0; i < 24; i = i + 1) {
+    struct shape *s = (struct shape *) malloc(sizeof(struct shape));
+    s->cx = rnd(128) - 64;
+    s->cy = rnd(128) - 64;
+    s->cz = 20 + rnd(60);
+    s->r = 4 + rnd(12);
+    s->color = rnd(256);
+    if (i % 6 == 5) { s->vt = &vt_plane; } else { s->vt = &vt_sphere; }
+    scene[i] = s;
+  }
+  for (y = -32; y < 32; y = y + 1) {
+    for (x = -32; x < 32; x = x + 1) {
+      acc = (acc + trace(x, y)) & 16777215;
+    }
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|} }

@@ -1,0 +1,229 @@
+(** SPEC CPU2006-like workloads, part 3: the "floating point" group
+    modelled in fixed-point arithmetic — milc, namd, lbm, sphinx3.
+    All array-sweep kernels with near-zero sensitive pointer activity;
+    namd additionally stresses large per-call stack frames, the case where
+    the safe stack *improves* performance (Section 5.2). *)
+
+(* 433.milc: SU(3)-like 3x3 fixed-point matrix products over a 4-D
+   lattice. *)
+let milc =
+  { Workload.name = "433.milc";
+    lang = Workload.C;
+    description = "lattice QCD-like 3x3 matrix products over a flattened lattice";
+    input = [||];
+    fuel = 50_000_000;
+    source = {|
+int lattice[6144];   // 512 sites x 12 values
+int seed;
+
+int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return (seed >> 7) % m;
+}
+
+void site_mul(int s, int t, int *out) {
+  int i, j, k;
+  for (i = 0; i < 3; i = i + 1) {
+    for (j = 0; j < 3; j = j + 1) {
+      int acc = 0;
+      for (k = 0; k < 3; k = k + 1) {
+        acc = acc + (lattice[s * 12 + i * 3 + k] * lattice[t * 12 + k * 3 + j]) / 256;
+      }
+      out[i * 3 + j] = acc;
+    }
+  }
+}
+
+int main() {
+  int sweep;
+  int acc = 0;
+  int i;
+  int prod[9];
+  seed = 11;
+  for (i = 0; i < 6144; i = i + 1) { lattice[i] = rnd(512) - 256; }
+  for (sweep = 0; sweep < 12; sweep = sweep + 1) {
+    int s;
+    for (s = 0; s < 512; s = s + 1) {
+      int t = (s + 1 + (sweep % 7)) % 512;
+      site_mul(s, t, prod);
+      for (i = 0; i < 9; i = i + 1) {
+        lattice[s * 12 + i] = (lattice[s * 12 + i] + prod[i] / 4) % 65536;
+      }
+      acc = (acc + prod[0]) & 16777215;
+    }
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|} }
+
+(* 444.namd: pairwise force computation with large per-call scratch
+   arrays; in the unprotected build the big hot frame costs locality, the
+   safe stack moves it aside — the negative-overhead case. *)
+let namd =
+  { Workload.name = "444.namd";
+    lang = Workload.Cpp;
+    description = "molecular-dynamics-like force loops with large stack frames";
+    input = [||];
+    fuel = 60_000_000;
+    source = {|
+int px[256]; int py[256]; int pz[256];
+int fx[256]; int fy[256]; int fz[256];
+int seed;
+
+int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return (seed >> 7) % m;
+}
+
+int pair_count;
+
+int accumulate(int *cache, int n) {
+  int s = 0;
+  int j;
+  for (j = 0; j < n; j = j + 1) { s = s + cache[j]; }
+  return s;
+}
+
+/* per-call neighbour cache: a large array whose address escapes into
+   [accumulate], hence it lives on the unsafe stack under the safe-stack
+   pass; the unprotected build keeps it in the hot frame and pays cache
+   pressure on every stack access — moving it away is what gives the safe
+   stack its negative overhead on namd (Section 5.2) */
+int force_on(int i) {
+  int cache[40];
+  int n = 0;
+  int j;
+  int f = 0;
+  for (j = i - 24; j < i + 24; j = j + 1) {
+    int k = (j + 256) % 256;
+    if (k != i) {
+      int dx = px[i] - px[k];
+      int dy = py[i] - py[k];
+      int dz = pz[i] - pz[k];
+      int d2 = dx * dx + dy * dy + dz * dz;
+      if (d2 < 1400 && n < 40) { cache[n] = k; n = n + 1; }
+    }
+  }
+  for (j = 0; j < n; j = j + 1) {
+    int k = cache[j];
+    int dx = px[i] - px[k];
+    int d2 = dx * dx + 1;
+    f = f + (1000000 / d2) - (100000 / (d2 * d2 / 64 + 1));
+  }
+  pair_count = pair_count + accumulate(cache, n) % 7;
+  return f;
+}
+
+int main() {
+  int step;
+  int acc = 0;
+  int i;
+  seed = 7;
+  for (i = 0; i < 256; i = i + 1) {
+    px[i] = rnd(64); py[i] = rnd(64); pz[i] = rnd(64);
+  }
+  for (step = 0; step < 55; step = step + 1) {
+    for (i = 0; i < 256; i = i + 1) {
+      fx[i] = force_on(i);
+      px[i] = (px[i] + fx[i] / 100000) % 64;
+      if (px[i] < 0) { px[i] = -px[i]; }
+    }
+    acc = (acc + fx[step % 256]) & 16777215;
+  }
+  checksum(acc + pair_count);
+  print_int(acc + pair_count);
+  return 0;
+}
+|} }
+
+(* 470.lbm: lattice-Boltzmann stream-and-collide sweeps. *)
+let lbm =
+  { Workload.name = "470.lbm";
+    lang = Workload.C;
+    description = "lattice-Boltzmann stream/collide over a 1-D ring";
+    input = [||];
+    fuel = 50_000_000;
+    source = {|
+int f0[8192];
+int f1[8192];
+
+int main() {
+  int step;
+  int acc = 0;
+  int i;
+  for (i = 0; i < 8192; i = i + 1) { f0[i] = (i * 37) % 1000; }
+  for (step = 0; step < 55; step = step + 1) {
+    for (i = 0; i < 8192; i = i + 1) {
+      int left = f0[(i + 8191) % 8192];
+      int right = f0[(i + 1) % 8192];
+      int here = f0[i];
+      int eq = (left + right + here) / 3;
+      f1[i] = here + (eq - here) / 4;
+    }
+    for (i = 0; i < 8192; i = i + 1) { f0[i] = f1[(i + 1) % 8192]; }
+    acc = (acc + f0[step * 61 % 8192]) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|} }
+
+(* 482.sphinx3: GMM acoustic scoring: dense dot-product loops with a
+   top-N tracking pass. *)
+let sphinx3 =
+  { Workload.name = "482.sphinx3";
+    lang = Workload.C;
+    description = "GMM senone scoring loops with best-score tracking";
+    input = [||];
+    fuel = 50_000_000;
+    source = {|
+int means[256][16];
+int vars_inv[256][16];
+int feat[16];
+int scores[256];
+int seed;
+
+int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return (seed >> 7) % m;
+}
+
+int score_one(int g) {
+  int d;
+  int s = 0;
+  for (d = 0; d < 16; d = d + 1) {
+    int diff = feat[d] - means[g][d];
+    s = s + (diff * diff * vars_inv[g][d]) / 4096;
+  }
+  return -s;
+}
+
+int main() {
+  int frame;
+  int acc = 0;
+  int g, d;
+  seed = 808;
+  for (g = 0; g < 256; g = g + 1) {
+    for (d = 0; d < 16; d = d + 1) {
+      means[g][d] = rnd(200) - 100;
+      vars_inv[g][d] = 1 + rnd(63);
+    }
+  }
+  for (frame = 0; frame < 160; frame = frame + 1) {
+    int best = -1000000000;
+    int bestg = 0;
+    for (d = 0; d < 16; d = d + 1) { feat[d] = rnd(200) - 100; }
+    for (g = 0; g < 256; g = g + 1) {
+      scores[g] = score_one(g);
+      if (scores[g] > best) { best = scores[g]; bestg = g; }
+    }
+    acc = (acc + best + bestg) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|} }

@@ -1,0 +1,494 @@
+(** SPEC CPU2006-like workloads, part 1: perlbench, bzip2, gcc, mcf,
+    gobmk. Each mimics the pointer profile of its namesake (see DESIGN.md):
+    perlbench dispatches opcodes through a function-pointer table, gcc
+    manipulates trees whose nodes embed callbacks, bzip2/mcf/gobmk are
+    data-dominated. *)
+
+(* 400.perlbench: a stack-machine interpreter whose main loop calls opcode
+   handlers through a function-pointer table — the exact dispatch structure
+   Section 3.3 discusses. *)
+let perlbench =
+  { Workload.name = "400.perlbench";
+    lang = Workload.C;
+    description = "bytecode interpreter with function-pointer opcode dispatch";
+    input = [||];
+    fuel = 30_000_000;
+    source = {|
+int vm_stack[64];
+int vm_sp;
+int vm_vars[16];
+int vm_acc;
+
+int op_push(int a) { vm_stack[vm_sp] = a; vm_sp = vm_sp + 1; return 0; }
+int op_add(int a) {
+  vm_sp = vm_sp - 1;
+  vm_stack[vm_sp - 1] = vm_stack[vm_sp - 1] + vm_stack[vm_sp];
+  return a;
+}
+int op_sub(int a) {
+  vm_sp = vm_sp - 1;
+  vm_stack[vm_sp - 1] = vm_stack[vm_sp - 1] - vm_stack[vm_sp];
+  return a;
+}
+int op_mul(int a) {
+  vm_sp = vm_sp - 1;
+  vm_stack[vm_sp - 1] = vm_stack[vm_sp - 1] * vm_stack[vm_sp];
+  return a;
+}
+int op_load(int a) { vm_stack[vm_sp] = vm_vars[a & 15]; vm_sp = vm_sp + 1; return 0; }
+int op_store(int a) { vm_sp = vm_sp - 1; vm_vars[a & 15] = vm_stack[vm_sp]; return 0; }
+int op_dup(int a) {
+  vm_stack[vm_sp] = vm_stack[vm_sp - 1];
+  vm_sp = vm_sp + 1;
+  return a;
+}
+int op_and(int a) {
+  vm_sp = vm_sp - 1;
+  vm_stack[vm_sp - 1] = vm_stack[vm_sp - 1] & vm_stack[vm_sp];
+  return a;
+}
+int op_xor(int a) {
+  vm_sp = vm_sp - 1;
+  vm_stack[vm_sp - 1] = vm_stack[vm_sp - 1] ^ vm_stack[vm_sp];
+  return a;
+}
+int op_acc(int a) {
+  vm_sp = vm_sp - 1;
+  vm_acc = vm_acc + (vm_stack[vm_sp] & 65535);
+  return a;
+}
+
+int (*ops[10])(int) = { op_push, op_add, op_sub, op_mul, op_load,
+                        op_store, op_dup, op_and, op_xor, op_acc };
+
+int code_op[512];
+int code_arg[512];
+int code_len;
+
+int seed;
+int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return (seed >> 7) % m;
+}
+
+void emit(int op, int arg) {
+  code_op[code_len] = op;
+  code_arg[code_len] = arg;
+  code_len = code_len + 1;
+}
+
+// Generate a random straight-line script that keeps the stack balanced.
+void gen_script() {
+  int i;
+  int depth = 0;
+  emit(0, 17);
+  depth = 1;
+  for (i = 0; i < 400; i = i + 1) {
+    int k = rnd(10);
+    if (depth < 2 && (k == 1 || k == 2 || k == 3 || k == 7 || k == 8)) { k = 0; }
+    if (depth > 48) { k = 9; }
+    if (k == 0) { emit(0, rnd(1000)); depth = depth + 1; }
+    if (k == 1) { emit(1, 0); depth = depth - 1; }
+    if (k == 2) { emit(2, 0); depth = depth - 1; }
+    if (k == 3) { emit(3, 0); depth = depth - 1; }
+    if (k == 4) { emit(4, rnd(16)); depth = depth + 1; }
+    if (k == 5) { if (depth > 1) { emit(5, rnd(16)); depth = depth - 1; } }
+    if (k == 6) { emit(6, 0); depth = depth + 1; }
+    if (k == 7) { emit(7, 0); depth = depth - 1; }
+    if (k == 8) { emit(8, 0); depth = depth - 1; }
+    if (k == 9) { if (depth > 1) { emit(9, 0); depth = depth - 1; } }
+  }
+  while (depth > 0) { emit(9, 0); depth = depth - 1; }
+}
+
+int run_pass() {
+  int pc;
+  vm_sp = 0;
+  for (pc = 0; pc < code_len; pc = pc + 1) {
+    ops[code_op[pc]](code_arg[pc]);
+  }
+  return vm_acc;
+}
+
+int main() {
+  int iter;
+  seed = 42;
+  gen_script();
+  for (iter = 0; iter < 300; iter = iter + 1) {
+    vm_vars[iter & 15] = iter * 3;
+    run_pass();
+  }
+  checksum(vm_acc);
+  print_int(vm_acc);
+  return 0;
+}
+|} }
+
+(* 401.bzip2: run-length encoding + move-to-front over generated buffers;
+   almost pure char-array manipulation. *)
+let bzip2 =
+  { Workload.name = "401.bzip2";
+    lang = Workload.C;
+    description = "RLE + move-to-front compression kernel on char buffers";
+    input = [||];
+    fuel = 30_000_000;
+    source = {|
+char inbuf[2048];
+char rlebuf[4096];
+char mtfbuf[4096];
+char mtf_table[64];
+int seed;
+
+int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return (seed >> 7) % m;
+}
+
+void gen_input() {
+  int i;
+  int v = 7;
+  for (i = 0; i < 2048; i = i + 1) {
+    if (rnd(4) == 0) { v = rnd(64); }
+    inbuf[i] = v;
+  }
+}
+
+int rle_encode() {
+  int i = 0;
+  int o = 0;
+  while (i < 2048) {
+    int run = 1;
+    while (i + run < 2048 && inbuf[i + run] == inbuf[i] && run < 63) {
+      run = run + 1;
+    }
+    rlebuf[o] = run;
+    rlebuf[o + 1] = inbuf[i];
+    o = o + 2;
+    i = i + run;
+  }
+  return o;
+}
+
+int mtf_encode(int n) {
+  int i, j;
+  for (i = 0; i < 64; i = i + 1) { mtf_table[i] = i; }
+  for (i = 0; i < n; i = i + 1) {
+    int c = rlebuf[i];
+    int pos = 0;
+    while (mtf_table[pos] != c) { pos = pos + 1; }
+    for (j = pos; j > 0; j = j - 1) { mtf_table[j] = mtf_table[j - 1]; }
+    mtf_table[0] = c;
+    mtfbuf[i] = pos;
+  }
+  return n;
+}
+
+int entropy_proxy(int n) {
+  int freq[64];
+  int i;
+  int bits = 0;
+  for (i = 0; i < 64; i = i + 1) { freq[i] = 0; }
+  for (i = 0; i < n; i = i + 1) { freq[mtfbuf[i] & 63] = freq[mtfbuf[i] & 63] + 1; }
+  for (i = 0; i < 64; i = i + 1) {
+    int f = freq[i];
+    int cost = 6;
+    if (f > n / 4) { cost = 2; }
+    if (f <= n / 4 && f > n / 16) { cost = 4; }
+    bits = bits + f * cost;
+  }
+  return bits;
+}
+
+int main() {
+  int pass;
+  int total = 0;
+  seed = 1234;
+  for (pass = 0; pass < 25; pass = pass + 1) {
+    int n;
+    gen_input();
+    n = rle_encode();
+    n = mtf_encode(n);
+    total = total + entropy_proxy(n);
+  }
+  checksum(total);
+  print_int(total);
+  return 0;
+}
+|} }
+
+(* 403.gcc: expression trees whose nodes carry fold callbacks — the
+   "embeds function pointers in its data structures" pattern the paper
+   names as the reason for gcc's higher CPI overhead. *)
+let gcc =
+  { Workload.name = "403.gcc";
+    lang = Workload.C;
+    description = "expression-tree constant folding through per-node callbacks";
+    input = [||];
+    fuel = 40_000_000;
+    source = {|
+struct tnode {
+  int kind;
+  int val;
+  struct tnode *l;
+  struct tnode *r;
+  int (*fold)(struct tnode *);
+};
+
+int seed;
+int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return (seed >> 7) % m;
+}
+
+int fold_const(struct tnode *n) { return n->val; }
+int fold_add(struct tnode *n) { return n->l->fold(n->l) + n->r->fold(n->r); }
+int fold_sub(struct tnode *n) { return n->l->fold(n->l) - n->r->fold(n->r); }
+int fold_mul(struct tnode *n) { return (n->l->fold(n->l) * n->r->fold(n->r)) & 65535; }
+
+struct tnode *mk(int depth) {
+  struct tnode *n;
+  n = (struct tnode *) malloc(sizeof(struct tnode));
+  if (depth <= 0 || rnd(4) == 0) {
+    n->kind = 0;
+    n->val = rnd(100);
+    n->l = 0;
+    n->r = 0;
+    n->fold = fold_const;
+    return n;
+  }
+  n->kind = 1 + rnd(3);
+  n->val = 0;
+  n->l = mk(depth - 1);
+  n->r = mk(depth - 1);
+  if (n->kind == 1) { n->fold = fold_add; }
+  if (n->kind == 2) { n->fold = fold_sub; }
+  if (n->kind == 3) { n->fold = fold_mul; }
+  return n;
+}
+
+// simple strength-reduction rewrite: x*const with small const -> adds
+int rewrite(struct tnode *n) {
+  int changed = 0;
+  if (n->kind == 0) { return 0; }
+  changed = rewrite(n->l) + rewrite(n->r);
+  if (n->kind == 3 && n->r->kind == 0 && n->r->val == 2) {
+    n->kind = 1;
+    n->fold = fold_add;
+    n->r->val = n->l->fold(n->l);
+    n->r->fold = fold_const;
+    n->r->kind = 0;
+    changed = changed + 1;
+  }
+  return changed;
+}
+
+int gen_bits[128];
+int kill_bits[128];
+int in_bits[128];
+
+/* iterative dataflow over a linear CFG: the array-crunching side of a
+   compiler, diluting the pointer-heavy tree phases as in real gcc */
+int dataflow_pass() {
+  int it, b;
+  int changed = 1;
+  int acc = 0;
+  for (it = 0; it < 12 && changed; it = it + 1) {
+    changed = 0;
+    for (b = 1; b < 128; b = b + 1) {
+      int inv = in_bits[b - 1] | gen_bits[b - 1];
+      inv = inv & ~kill_bits[b - 1];
+      if (inv != in_bits[b]) { in_bits[b] = inv; changed = 1; }
+    }
+  }
+  for (b = 0; b < 128; b = b + 1) { acc = (acc + in_bits[b]) & 16777215; }
+  return acc;
+}
+
+int main() {
+  int i;
+  int acc = 0;
+  seed = 77;
+  for (i = 0; i < 128; i = i + 1) {
+    gen_bits[i] = rnd(65536);
+    kill_bits[i] = rnd(65536);
+  }
+  for (i = 0; i < 220; i = i + 1) {
+    struct tnode *t = mk(6);
+    acc = acc + t->fold(t);
+    acc = acc + rewrite(t);
+    acc = (acc + t->fold(t)) & 16777215;
+    gen_bits[i & 127] = acc & 65535;
+    acc = (acc + dataflow_pass()) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|} }
+
+(* 429.mcf: single-source shortest path relaxation over a linked network;
+   pointer-chasing on structs that contain NO code pointers — the case
+   where CPI instruments almost nothing. *)
+let mcf =
+  { Workload.name = "429.mcf";
+    lang = Workload.C;
+    description = "network relaxation over code-pointer-free linked structs";
+    input = [||];
+    fuel = 40_000_000;
+    source = {|
+struct mnode {
+  int dist;
+  int supply;
+  struct arc *first;
+  struct mnode *nextq;
+};
+struct arc {
+  int cost;
+  struct mnode *head;
+  struct arc *next;
+};
+
+struct mnode *nodes[256];
+int seed;
+
+int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return (seed >> 7) % m;
+}
+
+void build() {
+  int i, j;
+  for (i = 0; i < 256; i = i + 1) {
+    struct mnode *n = (struct mnode *) malloc(sizeof(struct mnode));
+    n->dist = 1000000;
+    n->supply = rnd(100);
+    n->first = 0;
+    n->nextq = 0;
+    nodes[i] = n;
+  }
+  for (i = 0; i < 256; i = i + 1) {
+    for (j = 0; j < 6; j = j + 1) {
+      struct arc *a = (struct arc *) malloc(sizeof(struct arc));
+      a->cost = 1 + rnd(50);
+      a->head = nodes[rnd(256)];
+      a->next = nodes[i]->first;
+      nodes[i]->first = a;
+    }
+  }
+}
+
+int relax_all() {
+  int i;
+  int changed = 0;
+  for (i = 0; i < 256; i = i + 1) {
+    struct mnode *n = nodes[i];
+    struct arc *a = n->first;
+    while (a != 0) {
+      int nd = n->dist + a->cost;
+      if (nd < a->head->dist) {
+        a->head->dist = nd;
+        changed = changed + 1;
+      }
+      a = a->next;
+    }
+  }
+  return changed;
+}
+
+int main() {
+  int round;
+  int acc = 0;
+  int sweeps = 0;
+  seed = 5;
+  build();
+  for (round = 0; round < 40; round = round + 1) {
+    int i;
+    nodes[rnd(256)]->dist = 0;
+    while (relax_all() > 0 && sweeps < 4000) { sweeps = sweeps + 1; }
+    for (i = 0; i < 256; i = i + 1) {
+      acc = (acc + nodes[i]->dist) & 16777215;
+      nodes[i]->dist = 1000000 - (acc & 1023);
+    }
+  }
+  checksum(acc + sweeps);
+  print_int(acc + sweeps);
+  return 0;
+}
+|} }
+
+(* 445.gobmk: board-game influence propagation on 2-D arrays plus a small
+   pattern-matcher table. *)
+let gobmk =
+  { Workload.name = "445.gobmk";
+    lang = Workload.C;
+    description = "Go-like influence computation on boards, few pattern callbacks";
+    input = [||];
+    fuel = 40_000_000;
+    source = {|
+int board[21][21];
+int infl[21][21];
+int seed;
+
+int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return (seed >> 7) % m;
+}
+
+int pat_wall(int x, int y) { return board[x][y] * 3 + board[x][y - 1]; }
+int pat_corner(int x, int y) { return board[x][y] + board[x - 1][y - 1] * 2; }
+int pat_jump(int x, int y) { return board[x][y] * 2 - board[x - 1][y]; }
+
+int (*patterns[3])(int, int) = { pat_wall, pat_corner, pat_jump };
+
+void place_stones() {
+  int i;
+  for (i = 0; i < 120; i = i + 1) {
+    board[1 + rnd(19)][1 + rnd(19)] = 1 + rnd(2);
+  }
+}
+
+void propagate() {
+  int x, y, it;
+  for (it = 0; it < 8; it = it + 1) {
+    for (x = 1; x < 20; x = x + 1) {
+      for (y = 1; y < 20; y = y + 1) {
+        int v = board[x][y] * 64;
+        v = v + (infl[x - 1][y] + infl[x + 1][y] + infl[x][y - 1] + infl[x][y + 1]) / 4;
+        infl[x][y] = (infl[x][y] + v) / 2;
+      }
+    }
+  }
+}
+
+int score() {
+  int x, y;
+  int s = 0;
+  for (x = 1; x < 20; x = x + 1) {
+    for (y = 1; y < 20; y = y + 1) {
+      s = s + infl[x][y];
+      if (x > 1 && y > 1) {
+        s = s + patterns[(x + y) % 3](x, y);
+      }
+    }
+  }
+  return s & 16777215;
+}
+
+int main() {
+  int game;
+  int acc = 0;
+  seed = 99;
+  for (game = 0; game < 25; game = game + 1) {
+    int x, y;
+    for (x = 0; x < 21; x = x + 1) {
+      for (y = 0; y < 21; y = y + 1) { board[x][y] = 0; infl[x][y] = 0; }
+    }
+    place_stones();
+    propagate();
+    acc = (acc + score()) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|} }

@@ -1,0 +1,419 @@
+(** SPEC CPU2006-like workloads, part 2: sjeng, libquantum, h264ref,
+    astar, hmmer — the remaining integer benchmarks, all data-dominated
+    with few or no code pointers. *)
+
+(* 458.sjeng: alpha-beta game-tree search over a small board with move
+   generation into local arrays (the unsafe-frame case for the safe
+   stack). *)
+let sjeng =
+  { Workload.name = "458.sjeng";
+    lang = Workload.C;
+    description = "alpha-beta search with per-node move arrays";
+    input = [||];
+    fuel = 40_000_000;
+    source = {|
+int board[36];
+int seed;
+int nodes_visited;
+
+int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return (seed >> 7) % m;
+}
+
+int evaluate(int side) {
+  int i;
+  int s = 0;
+  for (i = 0; i < 36; i = i + 1) {
+    if (board[i] == side) { s = s + 10 + (i % 6); }
+    if (board[i] == 3 - side) { s = s - 10 - (i % 6); }
+  }
+  return s;
+}
+
+int gen_moves(int side, int *moves) {
+  int i;
+  int n = 0;
+  for (i = 0; i < 36; i = i + 1) {
+    if (board[i] == 0 && (i + side) % 2 == 0 && n < 12) {
+      moves[n] = i;
+      n = n + 1;
+    }
+  }
+  return n;
+}
+
+int search(int side, int depth, int alpha, int beta) {
+  int moves[12];
+  int n, i;
+  nodes_visited = nodes_visited + 1;
+  if (depth == 0) { return evaluate(side); }
+  n = gen_moves(side, moves);
+  if (n == 0) { return evaluate(side); }
+  for (i = 0; i < n; i = i + 1) {
+    int v;
+    board[moves[i]] = side;
+    v = -search(3 - side, depth - 1, -beta, -alpha);
+    board[moves[i]] = 0;
+    if (v > alpha) { alpha = v; }
+    if (alpha >= beta) { return alpha; }
+  }
+  return alpha;
+}
+
+int main() {
+  int game;
+  int acc = 0;
+  seed = 31337;
+  for (game = 0; game < 12; game = game + 1) {
+    int i;
+    for (i = 0; i < 36; i = i + 1) { board[i] = 0; }
+    for (i = 0; i < 8; i = i + 1) { board[rnd(36)] = 1 + rnd(2); }
+    acc = (acc + search(1, 4, -100000, 100000)) & 16777215;
+  }
+  checksum(acc + nodes_visited);
+  print_int(acc + nodes_visited);
+  return 0;
+}
+|} }
+
+(* 462.libquantum: quantum register simulation as gate sweeps over an
+   amplitude table (fixed-point). *)
+let libquantum =
+  { Workload.name = "462.libquantum";
+    lang = Workload.C;
+    description = "quantum gate sweeps over a fixed-point amplitude array";
+    input = [||];
+    fuel = 40_000_000;
+    source = {|
+int re[1024];
+int im[1024];
+
+void hadamard(int target) {
+  int i;
+  int mask = 1 << target;
+  for (i = 0; i < 1024; i = i + 1) {
+    if ((i & mask) == 0) {
+      int j = i | mask;
+      int ar = re[i]; int ai = im[i];
+      int br = re[j]; int bi = im[j];
+      re[i] = (ar + br) * 46341 / 65536;
+      im[i] = (ai + bi) * 46341 / 65536;
+      re[j] = (ar - br) * 46341 / 65536;
+      im[j] = (ai - bi) * 46341 / 65536;
+    }
+  }
+}
+
+void cnot(int control, int target) {
+  int i;
+  int cm = 1 << control;
+  int tm = 1 << target;
+  for (i = 0; i < 1024; i = i + 1) {
+    if ((i & cm) != 0 && (i & tm) == 0) {
+      int j = i | tm;
+      int t = re[i]; re[i] = re[j]; re[j] = t;
+      t = im[i]; im[i] = im[j]; im[j] = t;
+    }
+  }
+}
+
+void phase(int target, int k) {
+  int i;
+  int mask = 1 << target;
+  for (i = 0; i < 1024; i = i + 1) {
+    if ((i & mask) != 0) {
+      int r = re[i];
+      re[i] = (r * (65536 - k)) / 65536 - (im[i] * k) / 65536;
+      im[i] = (im[i] * (65536 - k)) / 65536 + (r * k) / 65536;
+    }
+  }
+}
+
+int main() {
+  int round;
+  int acc = 0;
+  re[0] = 65536;
+  for (round = 0; round < 60; round = round + 1) {
+    int q = round % 10;
+    hadamard(q);
+    cnot(q, (q + 1) % 10);
+    phase((q + 2) % 10, 3000 + round * 11);
+    acc = (acc + re[round % 1024] + im[(round * 7) % 1024]) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|} }
+
+(* 464.h264ref: block motion estimation with row copies through void*
+   helpers — the libc-memory-function overhead case of Section 3.2.2. *)
+let h264ref =
+  { Workload.name = "464.h264ref";
+    lang = Workload.C;
+    description = "motion estimation with memcpy-based block moves";
+    input = [||];
+    fuel = 60_000_000;
+    source = {|
+int frame_a[4096];
+int frame_b[4096];
+int *ref_frames[2];   // runtime reference-frame list, as the encoder keeps
+int block[64];
+int seed;
+
+int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return (seed >> 7) % m;
+}
+
+void gen_frames() {
+  int i;
+  for (i = 0; i < 4096; i = i + 1) {
+    frame_a[i] = rnd(256);
+    frame_b[i] = (frame_a[i] + rnd(16)) & 255;
+  }
+}
+
+// copy an 8x8 block out of a frame through an opaque buffer pointer
+void load_block(void *frame, int x, int y) {
+  int r;
+  int *f = (int *) frame;
+  for (r = 0; r < 8; r = r + 1) {
+    memcpy(block + r * 8, f + ((y + r) * 64 + x), 8);
+  }
+}
+
+int taps[64];
+
+/* fetch the candidate block's rows through an opaque pointer, as the
+   reference encoder's copy helpers do */
+void fetch_taps(void *frame, int x, int y) {
+  int *f = (int *) frame;
+  int r;
+  for (r = 0; r < 8; r = r + 1) {
+    memcpy(taps + r * 8, f + ((y + r) * 64 + x), 8);
+  }
+}
+
+int sad(int x, int y) {
+  int r, c;
+  int s = 0;
+  fetch_taps(ref_frames[1], x, y);
+  for (r = 0; r < 8; r = r + 1) {
+    for (c = 0; c < 8; c = c + 1) {
+      int d = block[r * 8 + c] - frame_b[(y + r) * 64 + x + c];
+      if (d < 0) { d = -d; }
+      s = s + d;
+    }
+  }
+  s = s + (taps[0] + taps[63]) / 256;
+  return s;
+}
+
+int best_match(int bx, int by) {
+  int dx, dy;
+  int best = 1000000000;
+  load_block(ref_frames[0], bx, by);
+  for (dy = -2; dy <= 2; dy = dy + 1) {
+    for (dx = -2; dx <= 2; dx = dx + 1) {
+      int x = bx + dx;
+      int y = by + dy;
+      if (x >= 0 && y >= 0 && x <= 56 && y <= 56) {
+        int s = sad(x, y);
+        if (s < best) { best = s; }
+      }
+    }
+  }
+  return best;
+}
+
+int main() {
+  int pass;
+  int acc = 0;
+  seed = 2024;
+  ref_frames[0] = frame_a;
+  ref_frames[1] = frame_b;
+  for (pass = 0; pass < 4; pass = pass + 1) {
+    int bx, by;
+    gen_frames();
+    for (by = 0; by < 56; by = by + 8) {
+      for (bx = 0; bx < 56; bx = bx + 8) {
+        acc = (acc + best_match(bx, by)) & 16777215;
+      }
+    }
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|} }
+
+(* 473.astar: grid pathfinding with a binary-heap open list. *)
+let astar =
+  { Workload.name = "473.astar";
+    lang = Workload.Cpp;
+    description = "A* pathfinding over a weighted grid with a heap open list";
+    input = [||];
+    fuel = 50_000_000;
+    source = {|
+int cost[48][48];
+int dist[48][48];
+int heap_key[4096];
+int heap_pos[4096];
+int heap_n;
+int seed;
+
+int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return (seed >> 7) % m;
+}
+
+void heap_push(int key, int pos) {
+  int i = heap_n;
+  heap_n = heap_n + 1;
+  heap_key[i] = key;
+  heap_pos[i] = pos;
+  while (i > 0) {
+    int p = (i - 1) / 2;
+    if (heap_key[p] <= heap_key[i]) { break; }
+    int tk = heap_key[p]; heap_key[p] = heap_key[i]; heap_key[i] = tk;
+    int tp = heap_pos[p]; heap_pos[p] = heap_pos[i]; heap_pos[i] = tp;
+    i = p;
+  }
+}
+
+int heap_pop() {
+  int top = heap_pos[0];
+  int i = 0;
+  heap_n = heap_n - 1;
+  heap_key[0] = heap_key[heap_n];
+  heap_pos[0] = heap_pos[heap_n];
+  while (1) {
+    int l = i * 2 + 1;
+    int r = l + 1;
+    int m = i;
+    if (l < heap_n && heap_key[l] < heap_key[m]) { m = l; }
+    if (r < heap_n && heap_key[r] < heap_key[m]) { m = r; }
+    if (m == i) { break; }
+    int tk = heap_key[m]; heap_key[m] = heap_key[i]; heap_key[i] = tk;
+    int tp = heap_pos[m]; heap_pos[m] = heap_pos[i]; heap_pos[i] = tp;
+    i = m;
+  }
+  return top;
+}
+
+int shortest(int sx, int sy) {
+  int x, y;
+  for (x = 0; x < 48; x = x + 1) {
+    for (y = 0; y < 48; y = y + 1) { dist[x][y] = 1000000000; }
+  }
+  heap_n = 0;
+  dist[sx][sy] = 0;
+  heap_push(0, sx * 48 + sy);
+  while (heap_n > 0) {
+    int pos = heap_pop();
+    int px = pos / 48;
+    int py = pos % 48;
+    int d = dist[px][py];
+    int k;
+    for (k = 0; k < 4; k = k + 1) {
+      int nx = px; int ny = py;
+      if (k == 0) { nx = px + 1; }
+      if (k == 1) { nx = px - 1; }
+      if (k == 2) { ny = py + 1; }
+      if (k == 3) { ny = py - 1; }
+      if (nx >= 0 && ny >= 0 && nx < 48 && ny < 48) {
+        int nd = d + cost[nx][ny];
+        if (nd < dist[nx][ny]) {
+          dist[nx][ny] = nd;
+          heap_push(nd, nx * 48 + ny);
+        }
+      }
+    }
+  }
+  return dist[47][47];
+}
+
+int main() {
+  int round;
+  int acc = 0;
+  int x, y;
+  seed = 4242;
+  for (x = 0; x < 48; x = x + 1) {
+    for (y = 0; y < 48; y = y + 1) { cost[x][y] = 1 + rnd(9); }
+  }
+  for (round = 0; round < 18; round = round + 1) {
+    cost[rnd(48)][rnd(48)] = 1 + rnd(9);
+    acc = (acc + shortest(round % 4, round % 7)) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|} }
+
+(* 456.hmmer: profile HMM Viterbi dynamic programming over int arrays. *)
+let hmmer =
+  { Workload.name = "456.hmmer";
+    lang = Workload.C;
+    description = "Viterbi dynamic programming over profile HMM scores";
+    input = [||];
+    fuel = 40_000_000;
+    source = {|
+int match_score[128][20];
+int mm[2][128];
+int im[2][128];
+int dm[2][128];
+int seq[512];
+int seed;
+
+int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return (seed >> 7) % m;
+}
+
+int max2(int a, int b) { if (a > b) { return a; } return b; }
+
+int viterbi(int len) {
+  int i, k;
+  int cur = 0;
+  int best = -1000000000;
+  for (k = 0; k < 128; k = k + 1) { mm[0][k] = 0; im[0][k] = -10000; dm[0][k] = -10000; }
+  for (i = 1; i <= len; i = i + 1) {
+    int prev = cur;
+    cur = 1 - cur;
+    mm[cur][0] = 0;
+    im[cur][0] = -10000;
+    dm[cur][0] = -10000;
+    for (k = 1; k < 128; k = k + 1) {
+      int sc = match_score[k][seq[i - 1]];
+      int m1 = max2(mm[prev][k - 1], im[prev][k - 1]);
+      int m2 = max2(dm[prev][k - 1], 0);
+      mm[cur][k] = max2(m1, m2) + sc;
+      im[cur][k] = max2(mm[prev][k] - 11, im[prev][k] - 1);
+      dm[cur][k] = max2(mm[cur][k - 1] - 11, dm[cur][k - 1] - 1);
+      if (i == len && mm[cur][k] > best) { best = mm[cur][k]; }
+    }
+  }
+  return best;
+}
+
+int main() {
+  int round;
+  int acc = 0;
+  int i, k;
+  seed = 314;
+  for (k = 0; k < 128; k = k + 1) {
+    for (i = 0; i < 20; i = i + 1) { match_score[k][i] = rnd(13) - 4; }
+  }
+  for (round = 0; round < 8; round = round + 1) {
+    int len = 150 + rnd(200);
+    for (i = 0; i < len; i = i + 1) { seq[i] = rnd(20); }
+    acc = (acc + viterbi(len)) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|} }

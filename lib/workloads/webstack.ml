@@ -1,0 +1,316 @@
+(** The web-server throughput case study (Table 4).
+
+    The paper benchmarks FreeBSD + Apache + SQLite + mod_wsgi + Python +
+    Django serving three page kinds. We model the same stack as three
+    request-processing workloads over shared substrates: a static file
+    server (request parsing, hook-table dispatch, block copies through
+    runtime-selected frame pointers — the unprovable-memcpy case), a
+    WSGI-ish page (routing + templating through a small Python-like object
+    layer), and a fully dynamic page (a template interpreter over the
+    dynamic object model plus an ORM query tree) — the last reproducing
+    the paper's pathologically high CPI overhead for Python-generated
+    pages. *)
+
+let rnd = {|
+int seed;
+int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return (seed >> 7) % m;
+}
+|}
+
+let static_page =
+  { Workload.name = "web-static";
+    lang = Workload.C;
+    description = "static page: parse + hook chain + sendfile through opaque pointers";
+    input = [||];
+    fuel = 40_000_000;
+    source = rnd ^ {|
+int file_a[256]; int file_b[256]; int file_c[256]; int file_d[256];
+int *file_cache[4];
+char reqline[48];
+char headers[96];
+int sockbuf[300];
+int served;
+
+// apache-style hook chain: each phase is a function pointer
+int hook_auth(int r) { return r + 1; }
+int hook_log(int r) { served = served + 1; return r; }
+int hook_type(int r) { return r * 2 + 1; }
+int hook_fixup(int r) { return r ^ 5; }
+
+int (*hooks[4])(int) = { hook_auth, hook_type, hook_fixup, hook_log };
+
+void gen_request(int which) {
+  strcpy(reqline, "GET /file");
+  reqline[9] = 48 + which;
+  reqline[10] = 0;
+}
+
+int parse_request() {
+  int i = 0;
+  int slash = -1;
+  while (reqline[i] != 0) {
+    if (reqline[i] == 47) { slash = i; }
+    i = i + 1;
+  }
+  if (slash < 0) { return -1; }
+  return (reqline[i - 1] - 48) & 3;
+}
+
+void build_headers(int len) {
+  int n;
+  strcpy(headers, "HTTP/1.1 200 OK content-length: ");
+  n = strlen(headers);
+  headers[n] = 48 + (len % 10);
+  headers[n + 1] = 0;
+}
+
+/* the sendfile path: source selected through a pointer table at runtime,
+   so its real type is not statically recoverable (Section 3.2.2) */
+void send_block(void *src, int n) {
+  memcpy(sockbuf, src, n);
+}
+
+int main() {
+  int req;
+  int acc = 0;
+  int i, h;
+  seed = 23;
+  file_cache[0] = file_a; file_cache[1] = file_b;
+  file_cache[2] = file_c; file_cache[3] = file_d;
+  for (i = 0; i < 256; i = i + 1) {
+    file_a[i] = rnd(256); file_b[i] = rnd(256);
+    file_c[i] = rnd(256); file_d[i] = rnd(256);
+  }
+  for (req = 0; req < 4000; req = req + 1) {
+    int which, len, r;
+    gen_request(rnd(4));
+    which = parse_request();
+    r = req;
+    for (h = 0; h < 4; h = h + 1) { r = hooks[h](r); }
+    len = 16 + rnd(64);
+    build_headers(len);
+    send_block(file_cache[which], len);
+    acc = (acc + sockbuf[len - 1] + r + strlen(headers)) & 16777215;
+  }
+  checksum(acc + served);
+  print_int(acc + served);
+  return 0;
+}
+|} }
+
+let wsgi_page =
+  { Workload.name = "web-wsgi";
+    lang = Workload.C;
+    description = "wsgi test page: routing + templating through a Python-like object layer";
+    input = [||];
+    fuel = 40_000_000;
+    source = rnd ^ {|
+struct wobj;
+struct wtype {
+  int (*as_int)(struct wobj *);
+  int (*render)(struct wobj *);
+};
+struct wobj { struct wtype *type; int ival; void *env; };
+
+int wint_as_int(struct wobj *o) { return o->ival; }
+int wint_render(struct wobj *o) { return (o->ival & 255) + 32; }
+int wstr_as_int(struct wobj *o) { return o->ival * 31; }
+int wstr_render(struct wobj *o) {
+  struct wobj *env = (struct wobj *) o->env;
+  if (env != 0) { return (o->ival + env->type->as_int(env)) & 255; }
+  return o->ival & 255;
+}
+struct wtype wint_type = { wint_as_int, wint_render };
+struct wtype wstr_type = { wstr_as_int, wstr_render };
+
+struct wobj *context[8];
+char tmpl[64];
+char page[256];
+int sessions[256];
+
+int render(int user) {
+  int i = 0;
+  int o = 0;
+  while (tmpl[i] != 0) {
+    if (tmpl[i] == 36) {
+      // '$': render the next context object through its type table
+      struct wobj *v = context[(user + o) & 7];
+      page[o] = v->type->render(v);
+      o = o + 1;
+    }
+    else { page[o] = tmpl[i]; o = o + 1; }
+    i = i + 1;
+  }
+  page[o] = 0;
+  sessions[user & 255] = (sessions[user & 255] + 1) & 65535;
+  return o;
+}
+
+int main() {
+  int req;
+  int acc = 0;
+  int i;
+  seed = 29;
+  strcpy(tmpl, "$ $:$ $=$ $ $.$ $ $;$ $");
+  for (i = 0; i < 8; i = i + 1) {
+    struct wobj *o = (struct wobj *) malloc(sizeof(struct wobj));
+    o->ival = 40 + rnd(60);
+    o->env = 0;
+    if (i % 2 == 0) { o->type = &wint_type; } else { o->type = &wstr_type; }
+    if (i > 0) { o->env = (void *) context[i - 1]; }
+    context[i] = o;
+  }
+  for (req = 0; req < 9000; req = req + 1) {
+    int user = rnd(1000);
+    acc = (acc + render(user) + sessions[user & 255]) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|} }
+
+let dynamic_page =
+  { Workload.name = "web-dynamic";
+    lang = Workload.C;
+    description = "dynamic page: template interpreter over a dynamic object model + query tree";
+    input = [||];
+    fuel = 80_000_000;
+    source = rnd ^ {|
+// ---- the Python-like object engine (method tables + void* payloads) ----
+struct pyobj;
+struct pytype {
+  int (*as_int)(struct pyobj *);
+  int (*item)(struct pyobj *, int);
+  int (*render)(struct pyobj *);
+};
+struct pyobj {
+  struct pytype *type;
+  int ival;
+  void *payload;
+};
+
+int int_as_int(struct pyobj *o) { return o->ival; }
+int int_item(struct pyobj *o, int i) { return o->ival + i; }
+int int_render(struct pyobj *o) { return o->ival & 255; }
+
+int list_as_int(struct pyobj *o) { return o->ival * 2; }
+int list_item(struct pyobj *o, int i) {
+  struct pyobj *inner = (struct pyobj *) o->payload;
+  if (inner != 0) { return inner->type->as_int(inner) + i; }
+  return i;
+}
+int list_render(struct pyobj *o) {
+  /* walk the payload chain, dispatching at every hop, like rendering a
+     nested template context */
+  struct pyobj *inner = (struct pyobj *) o->payload;
+  int s = o->ival;
+  int hops = 0;
+  while (inner != 0 && hops < 6) {
+    s = (s + inner->type->as_int(inner)) & 65535;
+    inner = (struct pyobj *) inner->payload;
+    hops = hops + 1;
+  }
+  return s & 65535;
+}
+
+struct pytype int_type = { int_as_int, int_item, int_render };
+struct pytype list_type = { list_as_int, list_item, list_render };
+
+struct pyobj *ctxvars[16];
+
+// ---- the ORM-ish query tree (data pointers only) ----
+struct row { int key; int val; struct row *l; struct row *r; };
+struct row *db;
+
+struct row *db_insert(struct row *n, int key, int val) {
+  if (n == 0) {
+    struct row *f = (struct row *) malloc(sizeof(struct row));
+    f->key = key; f->val = val; f->l = 0; f->r = 0;
+    return f;
+  }
+  if (key < n->key) { n->l = db_insert(n->l, key, val); }
+  if (key > n->key) { n->r = db_insert(n->r, key, val); }
+  return n;
+}
+
+int db_lookup(struct row *n, int key) {
+  if (n == 0) { return 0; }
+  if (key == n->key) { return n->val; }
+  if (key < n->key) { return db_lookup(n->l, key); }
+  return db_lookup(n->r, key);
+}
+
+/* ---- fragment cache: rendered HTML pieces appended to the response by
+   opaque-pointer copies, as CPython's string joins do ---- */
+int frag_a[48]; int frag_b[48]; int frag_c[48]; int frag_d[48];
+int *fragments[4];
+int response[4096];
+int resp_n;
+
+void emit_fragment(void *frag, int n) {
+  memcpy(response + resp_n, frag, n);
+  resp_n = resp_n + n;
+  if (resp_n > 4000) { resp_n = 0; }
+}
+
+/* ---- the template interpreter: each template op dispatches through the
+   object model and appends a rendered fragment, as CPython's eval loop
+   and string joins do ---- */
+int template_ops[64];
+
+int run_template(int reqid) {
+  int pc;
+  int out = 0;
+  for (pc = 0; pc < 64; pc = pc + 1) {
+    int op = template_ops[pc];
+    struct pyobj *v = ctxvars[(reqid + pc) & 15];
+    if (op == 0) { out = (out + v->type->render(v)) & 16777215; }
+    if (op == 1) { out = (out + v->type->as_int(v)) & 16777215; }
+    if (op == 2) { out = (out + v->type->item(v, pc)) & 16777215; }
+    if (op == 3) { out = (out + db_lookup(db, (reqid * 7 + pc) & 1023)) & 16777215; }
+    emit_fragment(fragments[(out + pc) & 3], 24 + (out & 15));
+  }
+  out = out + response[resp_n & 4095];
+  return out;
+}
+
+int main() {
+  int req;
+  int acc = 0;
+  int i;
+  seed = 31;
+  fragments[0] = frag_a; fragments[1] = frag_b;
+  fragments[2] = frag_c; fragments[3] = frag_d;
+  for (i = 0; i < 48; i = i + 1) {
+    frag_a[i] = 60 + i; frag_b[i] = 61 + i; frag_c[i] = 62 + i; frag_d[i] = 63 + i;
+  }
+  for (i = 0; i < 1024; i = i + 1) { db = db_insert(db, rnd(1024), i); }
+  for (i = 0; i < 16; i = i + 1) {
+    struct pyobj *o = (struct pyobj *) malloc(sizeof(struct pyobj));
+    o->ival = rnd(500);
+    o->payload = 0;
+    if (i % 4 == 3) { o->type = &int_type; } else { o->type = &list_type; }
+    if (i > 0) { o->payload = (void *) ctxvars[i - 1]; }
+    ctxvars[i] = o;
+  }
+  for (i = 0; i < 64; i = i + 1) {
+    int k = rnd(16);
+    /* a real template is mostly variable interpolation with an
+       occasional query: ops 0-2 dominate */
+    if (k == 3) { template_ops[i] = 3; }
+    else { template_ops[i] = k % 3; }
+  }
+  for (req = 0; req < 2500; req = req + 1) {
+    acc = (acc + run_template(req)) & 16777215;
+  }
+  checksum(acc);
+  print_int(acc);
+  return 0;
+}
+|} }
+
+(** Table 4 rows, in the paper's order. *)
+let all = [ static_page; wsgi_page; dynamic_page ]

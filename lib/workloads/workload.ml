@@ -1,0 +1,40 @@
+(** Workload descriptors for the evaluation suites.
+
+    A workload is a self-contained MiniC program that terminates with a
+    deterministic checksum; the benchmark harness runs each one under
+    several protection configurations and requires the checksum to be
+    identical across all of them (protections must not change program
+    behaviour) before comparing cycle counts. *)
+
+module Prog = Levee_ir.Prog
+
+type lang = C | Cpp
+
+type t = {
+  name : string;
+  lang : lang;                  (* which SPEC language group it models *)
+  description : string;
+  source : string;
+  input : int array;
+  fuel : int;
+}
+
+let lang_name = function C -> "C" | Cpp -> "C++"
+
+(* Compilation is deterministic and pure; cache per workload. *)
+let cache : (string, Prog.t) Hashtbl.t = Hashtbl.create 32
+
+let compile (w : t) : Prog.t =
+  match Hashtbl.find_opt cache w.name with
+  | Some p -> p
+  | None ->
+    let p = Levee_minic.Lower.compile ~name:w.name w.source in
+    Hashtbl.replace cache w.name p;
+    p
+
+(** Run [w] under a protection and return the interpreter result. *)
+let run ?(protection = Levee_core.Pipeline.Vanilla) (w : t) =
+  let prog = compile w in
+  let built = Levee_core.Pipeline.build protection prog in
+  Levee_machine.Interp.run_program ~input:w.input ~fuel:w.fuel
+    built.Levee_core.Pipeline.prog built.Levee_core.Pipeline.config

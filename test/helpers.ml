@@ -1,0 +1,42 @@
+(* Shared helpers for the test suites. *)
+
+module P = Levee_core.Pipeline
+module M = Levee_machine
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(** Compile MiniC source. *)
+let compile ?(name = "<test>") src = Levee_minic.Lower.compile ~name src
+
+(** Compile and run under a protection; returns the interpreter result. *)
+let run ?(protection = P.Vanilla) ?(input = [||]) ?(fuel = 5_000_000) src =
+  let prog = compile src in
+  let built = P.build protection prog in
+  M.Interp.run_program ~input ~fuel built.P.prog built.P.config
+
+(** Exit code of a run; fails the test on any other outcome. *)
+let exit_code (r : M.Interp.result) =
+  match r.M.Interp.outcome with
+  | M.Trap.Exit n -> n
+  | o -> Alcotest.failf "expected exit, got %s" (M.Trap.outcome_to_string o)
+
+(** Run and return printed output under vanilla. *)
+let output ?protection ?input ?fuel src =
+  let r = run ?protection ?input ?fuel src in
+  ignore (exit_code r);
+  r.M.Interp.output
+
+let check_exit ?protection ?input ?fuel ~code src =
+  let r = run ?protection ?input ?fuel src in
+  Alcotest.(check int) "exit code" code (exit_code r)
+
+let outcome_of ?protection ?input ?fuel src =
+  (run ?protection ?input ?fuel src).M.Interp.outcome
+
+let outcome_testable =
+  Alcotest.testable
+    (fun fmt o -> Format.pp_print_string fmt (M.Trap.outcome_to_string o))
+    ( = )

@@ -1,0 +1,23 @@
+(* Development scratch: run the full RIPE-style matrix and print it. *)
+
+module P = Levee_core.Pipeline
+module R = Levee_attacks.Ripe
+module A = Levee_attacks.Attack
+module M = Levee_machine
+
+let () =
+  let summaries = R.run_matrix ~include_beyond_ripe:true () in
+  List.iter
+    (fun (s : R.summary) ->
+      Printf.printf "%-18s total=%-3d hijacked=%-3d (stack:%d) trapped=%-3d crashed=%-3d\n"
+        (P.protection_name s.R.protection) s.R.total s.R.hijacked s.R.stack_hijacked
+        s.R.trapped_count s.R.crashed;
+      if Array.length Sys.argv > 1 then
+        List.iter
+          (fun (r : R.run) ->
+            Printf.printf "    %-28s %-16s -> %s\n"
+              r.R.instance.R.victim.Levee_attacks.Victims.vid
+              (A.payload_name r.R.instance.R.payload)
+              (M.Trap.outcome_to_string r.R.outcome))
+          s.R.runs)
+    summaries

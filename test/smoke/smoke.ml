@@ -1,0 +1,53 @@
+(* Quick end-to-end exercise of compile -> instrument -> run, used while
+   developing; the real suites live in ../ *)
+
+let src = {|
+struct node { int value; struct node *next; int (*handler)(int); };
+
+int double_it(int x) { return x * 2; }
+int triple_it(int x) { return x * 3; }
+
+int sum_list(struct node *head) {
+  int total = 0;
+  while (head != 0) {
+    total = total + head->handler(head->value);
+    head = head->next;
+  }
+  return total;
+}
+
+int main() {
+  struct node *a;
+  struct node *b;
+  int i;
+  int acc = 0;
+  char buf[8];
+  a = (struct node*) malloc(sizeof(struct node));
+  b = (struct node*) malloc(sizeof(struct node));
+  a->value = 10; a->handler = double_it; a->next = b;
+  b->value = 7; b->handler = triple_it; b->next = 0;
+  for (i = 0; i < 3; i = i + 1) { acc = acc + sum_list(a); }
+  strcpy(buf, "ok");
+  print_str(buf);
+  print_int(acc);
+  checksum(acc);
+  return acc == 123 ? 0 : 1;
+}
+|}
+
+let () =
+  let prog = Levee_minic.Lower.compile ~name:"smoke" src in
+  List.iter
+    (fun prot ->
+      let built = Levee_core.Pipeline.build prot prog in
+      let res =
+        Levee_machine.Interp.run_program built.Levee_core.Pipeline.prog
+          built.Levee_core.Pipeline.config
+      in
+      Printf.printf "%-18s outcome=%-12s cycles=%-8d instrs=%-7d memops=%d/%d out=%s\n"
+        (Levee_core.Pipeline.protection_name prot)
+        (Levee_machine.Trap.outcome_to_string res.Levee_machine.Interp.outcome)
+        res.Levee_machine.Interp.cycles res.Levee_machine.Interp.instrs
+        res.Levee_machine.Interp.instrumented_mem_ops res.Levee_machine.Interp.mem_ops
+        (String.concat "|" (String.split_on_char '\n' res.Levee_machine.Interp.output)))
+    Levee_core.Pipeline.all_protections

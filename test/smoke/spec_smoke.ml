@@ -1,0 +1,39 @@
+(* Development scratch: run all SPEC-like workloads under every protection
+   and check checksum equality + print overheads. *)
+
+module P = Levee_core.Pipeline
+module W = Levee_workloads
+module I = Levee_machine.Interp
+module T = Levee_machine.Trap
+
+let () =
+  let protections = [ P.Vanilla; P.Safe_stack; P.Cps; P.Cpi; P.Softbound ] in
+  List.iter
+    (fun (w : W.Workload.t) ->
+      let results =
+        List.map (fun p -> (p, W.Workload.run ~protection:p w)) protections
+      in
+      let base = List.assoc P.Vanilla results in
+      let ok =
+        List.for_all
+          (fun (_, (r : I.result)) ->
+            r.I.checksum = base.I.checksum
+            && (match r.I.outcome with T.Exit 0 -> true | _ -> false))
+          results
+      in
+      Printf.printf "%-16s %s base=%-9d " w.W.Workload.name
+        (if ok then "OK  " else "FAIL")
+        base.I.cycles;
+      List.iter
+        (fun (p, (r : I.result)) ->
+          if p <> P.Vanilla then
+            Printf.printf "%s=%+.1f%% "
+              (P.protection_name p)
+              (Levee_support.Stats.overhead_pct ~base:base.I.cycles
+                 ~instrumented:r.I.cycles))
+        results;
+      (match base.I.outcome with
+       | T.Exit 0 -> ()
+       | o -> Printf.printf " [base outcome: %s]" (T.outcome_to_string o));
+      print_newline ())
+    W.Spec.all

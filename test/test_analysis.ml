@@ -1,0 +1,228 @@
+(* Static analysis tests: Fig. 7 sensitivity, char* heuristic, unsafe-cast
+   data-flow augmentation, safe stack classification. *)
+
+module Ty = Levee_ir.Ty
+module Prog = Levee_ir.Prog
+module I = Levee_ir.Instr
+module An = Levee_analysis
+
+let t name f = Alcotest.test_case name `Quick f
+
+let ctx_of src =
+  let checked, prog = Levee_minic.Lower.compile_checked src in
+  let ctx =
+    An.Sensitivity.create prog.Prog.tenv
+      ~annotated:checked.Levee_minic.Typecheck.sensitive_structs
+  in
+  (ctx, prog)
+
+let test_fig7_criterion () =
+  let ctx, _ =
+    ctx_of
+      {|struct plain { int a; int b; };
+        struct vt { int (*m)(int); };
+        struct holder { int x; struct vt *table; };
+        struct selfref { int v; struct selfref *next; };
+        int main() { return 0; }|}
+  in
+  let sens = An.Sensitivity.is_sensitive ctx in
+  Alcotest.(check bool) "int" false (sens Ty.Int);
+  Alcotest.(check bool) "char" false (sens Ty.Char);
+  Alcotest.(check bool) "int*" false (sens (Ty.Ptr Ty.Int));
+  Alcotest.(check bool) "void*" true (sens (Ty.Ptr Ty.Void));
+  Alcotest.(check bool) "char*" true (sens (Ty.Ptr Ty.Char));
+  Alcotest.(check bool) "fn ptr" true (sens (Ty.Ptr (Ty.Fn ([ Ty.Int ], Ty.Int))));
+  Alcotest.(check bool) "ptr to plain struct" false (sens (Ty.Ptr (Ty.Struct "plain")));
+  Alcotest.(check bool) "ptr to vtable struct" true (sens (Ty.Ptr (Ty.Struct "vt")));
+  Alcotest.(check bool) "ptr to struct holding vtable ptr" true
+    (sens (Ty.Ptr (Ty.Struct "holder")));
+  Alcotest.(check bool) "code-ptr-free self-referential struct" false
+    (sens (Ty.Ptr (Ty.Struct "selfref")));
+  Alcotest.(check bool) "ptr to ptr to fn" true
+    (sens (Ty.Ptr (Ty.Ptr (Ty.Fn ([], Ty.Void)))));
+  Alcotest.(check bool) "array of fn ptrs" true
+    (sens (Ty.Arr (Ty.Ptr (Ty.Fn ([], Ty.Void)), 4)))
+
+let test_annotated_struct_sensitive () =
+  let ctx, _ =
+    ctx_of
+      {|sensitive struct ucred { int uid; int gid; };
+        int main() { return 0; }|}
+  in
+  Alcotest.(check bool) "annotated struct ptr sensitive" true
+    (An.Sensitivity.is_sensitive ctx (Ty.Ptr (Ty.Struct "ucred")))
+
+let test_cps_criterion () =
+  let ctx, _ = ctx_of "int main() { return 0; }" in
+  let cps = An.Sensitivity.is_cps_sensitive ctx in
+  Alcotest.(check bool) "fn ptr" true (cps (Ty.Ptr (Ty.Fn ([], Ty.Void))));
+  Alcotest.(check bool) "void*" true (cps (Ty.Ptr Ty.Void));
+  Alcotest.(check bool) "ptr to fn ptr NOT cps" false
+    (cps (Ty.Ptr (Ty.Ptr (Ty.Fn ([], Ty.Void)))));
+  Alcotest.(check bool) "int* not cps" false (cps (Ty.Ptr Ty.Int))
+
+(* char* heuristic: string-only pointers demoted, laundering sites kept *)
+let demoted_count src =
+  let prog = Levee_minic.Lower.compile src in
+  Hashtbl.length (An.Strheur.demoted prog)
+
+let test_strheur_demotes_strings () =
+  let n =
+    demoted_count
+      {|int main() {
+          char *msg = "hello";
+          char buf[16];
+          strcpy(buf, msg);
+          print_str(msg);
+          return strlen(msg);
+        }|}
+  in
+  Alcotest.(check bool) "string pointer accesses demoted" true (n > 0)
+
+let test_strheur_keeps_laundered () =
+  (* a char* that carries a function pointer must stay protected *)
+  let n =
+    demoted_count
+      {|int f(int x) { return x; }
+        char *sneak;
+        int main() {
+          sneak = (char*) f;
+          int (*g)(int) = (int (*)(int)) sneak;
+          return g(3);
+        }|}
+  in
+  Alcotest.(check int) "laundering site not demoted" 0 n
+
+let test_strheur_consistency () =
+  (* demotion must cover loads and stores of a site together *)
+  let prog =
+    Levee_minic.Lower.compile
+      {|char *greeting = "hi";
+        int use1() { return strlen(greeting); }
+        int use2() { print_str(greeting); return 0; }
+        int main() { greeting = "other"; return use1() + use2(); }|}
+  in
+  let dem = An.Strheur.demoted prog in
+  Alcotest.(check bool) "whole site demoted" true (Hashtbl.length dem >= 3)
+
+let test_castflow () =
+  let checked, prog =
+    Levee_minic.Lower.compile_checked
+      {|int f(int x) { return x; }
+        int slot;
+        int main() {
+          slot = (int) f;
+          int v = slot;
+          int (*g)(int) = (int (*)(int)) v;
+          return g(1);
+        }|}
+  in
+  let ctx =
+    An.Sensitivity.create prog.Prog.tenv
+      ~annotated:checked.Levee_minic.Typecheck.sensitive_structs
+  in
+  let fn = Prog.find_func prog "main" in
+  let forced = An.Castflow.forced_load_positions ctx fn in
+  Alcotest.(check bool) "load feeding sensitive cast is forced" true
+    (Hashtbl.length forced > 0)
+
+(* safe stack analysis *)
+let verdicts_of src fname =
+  let prog = Levee_minic.Lower.compile src in
+  let fn = Prog.find_func prog fname in
+  let verdicts, needs = An.Stackanalysis.classify prog.Prog.tenv fn in
+  (verdicts, needs, fn)
+
+let count_verdict verdicts v =
+  Hashtbl.fold (fun _ x acc -> if x = v then acc + 1 else acc) verdicts 0
+
+let test_stack_scalars_safe () =
+  let verdicts, needs, _ =
+    verdicts_of
+      {|int main() { int a = 1; int b = 2; int c; c = a + b; return c; }|}
+      "main"
+  in
+  Alcotest.(check int) "all safe"
+    (Hashtbl.length verdicts)
+    (count_verdict verdicts An.Stackanalysis.Safe);
+  Alcotest.(check bool) "no unsafe frame" false needs
+
+let test_stack_buffers_unsafe () =
+  let verdicts, needs, _ =
+    verdicts_of
+      {|int main() { char buf[16]; gets(buf); return buf[0]; }|}
+      "main"
+  in
+  Alcotest.(check bool) "needs unsafe frame" true needs;
+  Alcotest.(check bool) "at least one unsafe" true
+    (count_verdict verdicts An.Stackanalysis.Unsafe >= 1)
+
+let test_stack_escape_unsafe () =
+  let verdicts, needs, _ =
+    verdicts_of
+      {|void set(int *p, int v) { *p = v; }
+        int main() { int x = 0; set(&x, 3); return x; }|}
+      "main"
+  in
+  ignore verdicts;
+  Alcotest.(check bool) "address-taken local is unsafe" true needs
+
+let test_stack_const_index_safe () =
+  let _, needs, _ =
+    verdicts_of
+      {|struct pair { int a; int b; };
+        int main() { struct pair p; p.a = 1; p.b = 2; return p.a + p.b; }|}
+      "main"
+  in
+  Alcotest.(check bool) "struct with const fields safe" false needs
+
+let test_stack_dynamic_index_unsafe () =
+  let _, needs, _ =
+    verdicts_of
+      {|int main() { int a[8]; int i; for (i = 0; i < 8; i = i + 1) { a[i] = i; }
+         return a[3]; }|}
+      "main"
+  in
+  Alcotest.(check bool) "dynamically indexed array unsafe" true needs
+
+let test_usedef_origin () =
+  let prog =
+    Levee_minic.Lower.compile
+      {|int g;
+        int main() {
+          int *p = (int*) malloc(3);
+          int *q = &g;
+          int *r = p + 2;
+          return (q == r) + *p;
+        }|}
+  in
+  let fn = Prog.find_func prog "main" in
+  let ud = An.Usedef.build fn in
+  let origins = ref [] in
+  Prog.iter_instrs fn (fun i ->
+      match i with
+      | I.Store { ty = Ty.Ptr Ty.Int; v; _ } ->
+        origins := An.Usedef.origin ud v :: !origins
+      | _ -> ());
+  let has o = List.mem o !origins in
+  Alcotest.(check bool) "malloc origin" true (has An.Usedef.From_malloc);
+  Alcotest.(check bool) "global origin" true (has (An.Usedef.From_global "g"))
+
+let () =
+  Alcotest.run "analysis"
+    [ ("sensitivity",
+       [ t "Fig. 7 criterion" test_fig7_criterion;
+         t "programmer annotation" test_annotated_struct_sensitive;
+         t "CPS criterion" test_cps_criterion ]);
+      ("char* heuristic",
+       [ t "demotes string pointers" test_strheur_demotes_strings;
+         t "keeps laundered code pointers" test_strheur_keeps_laundered;
+         t "site-level consistency" test_strheur_consistency ]);
+      ("cast dataflow", [ t "forces loads feeding sensitive casts" test_castflow ]);
+      ("safe stack",
+       [ t "scalars safe" test_stack_scalars_safe;
+         t "buffers unsafe" test_stack_buffers_unsafe;
+         t "escapes unsafe" test_stack_escape_unsafe;
+         t "const fields safe" test_stack_const_index_safe;
+         t "dynamic index unsafe" test_stack_dynamic_index_unsafe ]);
+      ("usedef", [ t "origin tracing" test_usedef_origin ]) ]

@@ -1,0 +1,200 @@
+(* Security evaluation tests: the RIPE-style matrix must reproduce the
+   paper's Section 5.1 claims exactly. These are the repository's core
+   security theorems, checked on every run. *)
+
+module P = Levee_core.Pipeline
+module R = Levee_attacks.Ripe
+module A = Levee_attacks.Attack
+module V = Levee_attacks.Victims
+module M = Levee_machine
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* Run the full matrix once and share it across tests. *)
+let matrix = lazy (R.run_matrix ~include_beyond_ripe:true ())
+
+let summary prot =
+  List.find (fun (s : R.summary) -> s.R.protection = prot) (Lazy.force matrix)
+
+let test_benign_runs () =
+  (* every victim must behave benignly without attack input, under every
+     protection: protections must not break correct programs *)
+  List.iter
+    (fun (v : V.victim) ->
+      let prog = Levee_minic.Lower.compile v.V.source in
+      List.iter
+        (fun prot ->
+          let built = P.build prot prog in
+          Alcotest.(check bool)
+            (v.V.vid ^ " benign under " ^ P.protection_name prot)
+            true (R.benign_ok built))
+        [ P.Vanilla; P.Hardened; P.Cookies; P.Safe_stack; P.Cfi; P.Cps;
+          P.Cpi; P.Softbound ])
+    V.all
+
+let test_vanilla_all_hijacked () =
+  (* RIPE on an unprotected system: essentially every exploit succeeds *)
+  let s = summary P.Vanilla in
+  Alcotest.(check int) "all attacks succeed" s.R.total s.R.hijacked
+
+let test_cpi_prevents_all () =
+  (* the paper's central claim: CPI renders every control-flow hijack
+     impossible — including the beyond-RIPE vtable interchange *)
+  let s = summary P.Cpi in
+  Alcotest.(check int) "no hijacks under CPI" 0 s.R.hijacked
+
+let test_cps_prevents_ripe () =
+  (* CPS stops every RIPE attack; it permits only the valid-code-pointer
+     interchange that Section 3.3 explicitly trades away *)
+  let s = summary P.Cps in
+  List.iter
+    (fun (r : R.run) ->
+      if R.succeeded r then
+        Alcotest.(check bool)
+          ("only beyond-RIPE attacks may pass CPS: "
+           ^ r.R.instance.R.victim.V.vid)
+          true r.R.instance.R.victim.V.beyond_ripe)
+    s.R.runs;
+  (* and the vtable-swap demo really does bypass CPS but not CPI *)
+  Alcotest.(check bool) "vtable swap bypasses CPS" true (s.R.hijacked > 0)
+
+let test_safestack_stops_stack_attacks () =
+  (* Section 5.1: "when using only the safe stack, it prevents all
+     stack-based attacks" — heap/global attacks remain *)
+  let s = summary P.Safe_stack in
+  Alcotest.(check int) "no stack-based hijacks" 0 s.R.stack_hijacked;
+  Alcotest.(check bool) "non-stack attacks still succeed" true (s.R.hijacked > 0)
+
+let test_hardened_partial () =
+  (* DEP+ASLR+cookies stop many but not all (the paper's Ubuntu 13.10
+     observation: 43-49 of 850 still succeed) *)
+  let s = summary P.Hardened in
+  Alcotest.(check bool) "some attacks stopped" true (s.R.hijacked < s.R.total);
+  Alcotest.(check bool) "some attacks still succeed" true (s.R.hijacked > 0)
+
+let test_cookies_contiguous_only () =
+  (* cookies beat contiguous stack smashes but not indirect or heap ones *)
+  let s = summary P.Cookies in
+  let direct_ret_stopped =
+    List.for_all
+      (fun (r : R.run) ->
+        not
+          (R.succeeded r
+           && r.R.instance.R.victim.V.vid = "stack-direct-ret"
+           && r.R.instance.R.payload <> A.To_function_leak))
+      s.R.runs
+  in
+  Alcotest.(check bool) "contiguous ret smash stopped" true direct_ret_stopped;
+  Alcotest.(check bool) "other attacks pass" true (s.R.hijacked > 0)
+
+let test_cfi_bypassed () =
+  (* coarse-grained CFI is defeated by function-entry redirects and
+     call-site gadgets (the Gokta's/Davi attacks), but stops mid-function
+     gadget jumps *)
+  let s = summary P.Cfi in
+  let fn_entry_passes =
+    List.exists
+      (fun (r : R.run) ->
+        R.succeeded r && r.R.instance.R.payload = A.To_function)
+      s.R.runs
+  in
+  let rop_gadget_stopped =
+    List.for_all
+      (fun (r : R.run) ->
+        not (R.succeeded r
+             && r.R.instance.R.payload = A.To_gadget
+             && A.is_stack_attack r.R.instance.R.victim.V.target))
+      s.R.runs
+  in
+  let callsite_bypass =
+    List.exists
+      (fun (r : R.run) ->
+        R.succeeded r && r.R.instance.R.payload = A.To_callsite)
+      s.R.runs
+  in
+  Alcotest.(check bool) "function-entry redirect passes CFI" true fn_entry_passes;
+  Alcotest.(check bool) "stack rop gadget stopped by CFI" true rop_gadget_stopped;
+  Alcotest.(check bool) "call-site gadget bypasses coarse CFI" true callsite_bypass
+
+let test_softbound_traps_all () =
+  let s = summary P.Softbound in
+  Alcotest.(check int) "no hijacks" 0 s.R.hijacked;
+  Alcotest.(check int) "all trapped at the corruption" s.R.total s.R.trapped_count
+
+let test_aslr_leak () =
+  (* ASLR stops absolute-address payloads, but an information leak
+     reinstates them (the paper's leak-proof-hiding motivation) *)
+  let s = summary P.Hardened in
+  let leak_beats_aslr =
+    List.exists
+      (fun (r : R.run) ->
+        R.succeeded r && r.R.instance.R.payload = A.To_function_leak)
+      s.R.runs
+  in
+  Alcotest.(check bool) "leak-equipped attack beats ASLR" true leak_beats_aslr
+
+let test_shellcode_needs_dep_off () =
+  (* shellcode payloads succeed on the DEP-less vanilla config only *)
+  let ok_vanilla =
+    List.exists
+      (fun (r : R.run) -> R.succeeded r && r.R.instance.R.payload = A.Shellcode)
+      (summary P.Vanilla).R.runs
+  in
+  let none_hardened =
+    List.for_all
+      (fun (r : R.run) ->
+        not (R.succeeded r && r.R.instance.R.payload = A.Shellcode))
+      (summary P.Hardened).R.runs
+  in
+  Alcotest.(check bool) "shellcode works without DEP" true ok_vanilla;
+  Alcotest.(check bool) "DEP stops shellcode" true none_hardened
+
+let test_cpi_silent_prevention () =
+  (* Section 3.2.2: in the default mode, hijack attempts via non-protected
+     pointer errors are silently prevented (no trap, benign behaviour).
+     The exception is corruption routed through the safe-store-aware
+     memcpy variants: there the metadata invalidation is detected at the
+     next protected load, which is an abort, not a hijack. *)
+  let s = summary P.Cpi in
+  List.iter
+    (fun (r : R.run) ->
+      if R.trapped r then
+        Alcotest.(check bool)
+          ("only cpi_memcpy / temporal corruption traps: "
+           ^ r.R.instance.R.victim.V.vid)
+          true
+          (Helpers.contains r.R.instance.R.victim.V.vid "memcpy"
+           || Helpers.contains r.R.instance.R.victim.V.vid "uaf"))
+    s.R.runs
+
+let test_matrix_coverage () =
+  (* the matrix must cover all four RIPE dimensions *)
+  let insts = R.instances ~include_beyond_ripe:true () in
+  Alcotest.(check bool) "enough instances" true (List.length insts >= 40);
+  let techniques =
+    List.sort_uniq compare
+      (List.map (fun i -> i.R.victim.V.technique) insts)
+  in
+  let locations =
+    List.sort_uniq compare (List.map (fun i -> i.R.victim.V.location) insts)
+  in
+  Alcotest.(check int) "all three techniques" 3 (List.length techniques);
+  Alcotest.(check int) "all three locations" 3 (List.length locations)
+
+let () =
+  Alcotest.run "attacks"
+    [ ("sanity",
+       [ t "victims are benign without attacks" test_benign_runs;
+         t "matrix coverage" test_matrix_coverage ]);
+      ("paper claims",
+       [ t "vanilla: all hijacked" test_vanilla_all_hijacked;
+         t "CPI prevents everything" test_cpi_prevents_all;
+         t "CPI prevents silently" test_cpi_silent_prevention;
+         t "CPS prevents all RIPE attacks" test_cps_prevents_ripe;
+         t "safe stack stops stack attacks" test_safestack_stops_stack_attacks;
+         t "DEP+ASLR+cookies partial" test_hardened_partial;
+         t "cookies: contiguous only" test_cookies_contiguous_only;
+         t "coarse CFI bypassed" test_cfi_bypassed;
+         t "softbound traps all" test_softbound_traps_all;
+         t "info leak defeats ASLR" test_aslr_leak;
+         t "shellcode vs DEP" test_shellcode_needs_dep_off ]) ]

@@ -1,0 +1,284 @@
+(* Appendix A: executable operational semantics of the CPI enforcement
+   mechanism, plus the correctness-sketch invariants as properties.
+
+   The central theorems checked here:
+   1. Safety: under CPI semantics, no sensitive dereference ever accesses
+      memory outside its based-on object — it aborts instead (the oracle
+      counts any access that would slip through; it must stay 0).
+   2. All-sensitive degeneration: instantiating the criterion with
+      [fun _ -> true] yields full memory safety (SoftBound), and agrees
+      with CPI on programs whose pointers are all sensitive.
+   3. Regular-region freedom: programs without sensitive types never
+      abort (CPI adds no checks to them). *)
+
+module S = Levee_formal.Syntax
+module Sem = Levee_formal.Semantics
+open S
+
+let t name f = Alcotest.test_case name `Quick f
+
+let outcome_str = function
+  | Sem.Done -> "done"
+  | Sem.Abort m -> "abort: " ^ m
+  | Sem.Out_of_memory -> "oom"
+
+let run ?sensitive p = Sem.run ?sensitive p
+
+let check_done r =
+  match r.Sem.outcome with
+  | Sem.Done -> ()
+  | o -> Alcotest.failf "expected done, got %s" (outcome_str o)
+
+let check_abort r =
+  match r.Sem.outcome with
+  | Sem.Abort _ -> ()
+  | o -> Alcotest.failf "expected abort, got %s" (outcome_str o)
+
+(* fn-ptr variable fp; int variable x; function f sets x via global? The
+   command language is tiny, so programs poke variables directly. *)
+
+let test_fig7 () =
+  let structs =
+    [ ("plain", [ ("a", TInt); ("b", TInt) ]);
+      ("vt", [ ("m", TPtr PFn) ]) ]
+  in
+  Alcotest.(check bool) "int" false (sensitive_aty structs TInt);
+  Alcotest.(check bool) "void*" true (sensitive_aty structs (TPtr PVoid));
+  Alcotest.(check bool) "fn*" true (sensitive_aty structs (TPtr PFn));
+  Alcotest.(check bool) "plain struct ptr" false
+    (sensitive_aty structs (TPtr (PS "plain")));
+  Alcotest.(check bool) "vtable struct ptr" true
+    (sensitive_aty structs (TPtr (PS "vt")));
+  Alcotest.(check bool) "int*" false (sensitive_aty structs (TPtr (PA TInt)));
+  Alcotest.(check bool) "int**" false
+    (sensitive_aty structs (TPtr (PA (TPtr (PA TInt)))))
+
+let test_basic_assign () =
+  (* x = 5; y = x + 1 *)
+  let p =
+    { structs = []; vars = [ ("x", TInt); ("y", TInt) ]; funcs = [];
+      body = Seq (Assign (Var "x", Int 5),
+                  Assign (Var "y", Add (Lhs (Var "x"), Int 1))) }
+  in
+  let r = run p in
+  check_done r
+
+let test_fn_ptr_call () =
+  (* fp = &f; call fp — legitimate indirect call succeeds *)
+  let p =
+    { structs = []; vars = [ ("fp", TPtr PFn); ("x", TInt) ];
+      funcs = [ ("f", Assign (Var "x", Int 1)) ];
+      body = Seq (Assign (Var "fp", AddrFn "f"), CallPtr (Var "fp")) }
+  in
+  check_done (run p)
+
+let test_forged_code_ptr_aborts () =
+  (* fp = cast-to-fnptr 12345; call fp -- a forged code pointer must abort *)
+  let p =
+    { structs = []; vars = [ ("fp", TPtr PFn) ]; funcs = [];
+      body = Seq (Assign (Var "fp", Cast (TPtr PFn, Int 12345)),
+                  CallPtr (Var "fp")) }
+  in
+  (* the cast from a regular int yields a regular value; storing it into a
+     sensitive location stores "none" in safe memory; the call then aborts *)
+  check_abort (run p)
+
+let test_oob_sensitive_deref_aborts () =
+  (* p = malloc(2); p = p + 5; *p = 3 — out-of-bounds write through a
+     sensitive pointer aborts (spatial safety) *)
+  let p =
+    { structs = []; vars = [ ("p", TPtr (PA (TPtr PFn))) ]; funcs = [];
+      body =
+        Seq (Assign (Var "p", Malloc (Int 2)),
+             Seq (Assign (Var "p", Add (Lhs (Var "p"), Int 5)),
+                  Assign (Deref (Var "p"), AddrFn "nothing"))) }
+  in
+  let p = { p with funcs = [ ("nothing", Skip) ] } in
+  let r = run p in
+  check_abort r;
+  Alcotest.(check int) "no unsafe access slipped through" 0 r.Sem.oob_slipped
+
+let test_in_bounds_sensitive_deref_ok () =
+  let p =
+    { structs = []; vars = [ ("p", TPtr (PA (TPtr PFn))) ];
+      funcs = [ ("g", Skip) ];
+      body =
+        Seq (Assign (Var "p", Malloc (Int 2)),
+             Seq (Assign (Deref (Var "p"), AddrFn "g"),
+                  CallPtr (Deref (Var "p")))) }
+  in
+  let r = run p in
+  check_done r;
+  Alcotest.(check bool) "checked derefs happened" true (r.Sem.checked_derefs > 0);
+  Alcotest.(check int) "none out of bounds" 0 r.Sem.oob_slipped
+
+let test_regular_oob_not_aborted () =
+  (* int pointers are regular under Fig. 7: CPI lets their OOB accesses
+     proceed (they cannot touch safe memory) *)
+  let p =
+    { structs = []; vars = [ ("q", TPtr (PA TInt)) ]; funcs = [];
+      body =
+        Seq (Assign (Var "q", Malloc (Int 2)),
+             Seq (Assign (Var "q", Add (Lhs (Var "q"), Int 9)),
+                  Assign (Deref (Var "q"), Int 3))) }
+  in
+  check_done (run p)
+
+let test_all_sensitive_is_softbound () =
+  (* with everything sensitive, the same OOB access IS caught: CPI with an
+     all-sensitive classification degenerates to SoftBound *)
+  let p =
+    { structs = []; vars = [ ("q", TPtr (PA TInt)) ]; funcs = [];
+      body =
+        Seq (Assign (Var "q", Malloc (Int 2)),
+             Seq (Assign (Var "q", Add (Lhs (Var "q"), Int 9)),
+                  Assign (Deref (Var "q"), Int 3))) }
+  in
+  check_abort (run ~sensitive:(fun _ -> true) p)
+
+let test_universal_pointer_fallback () =
+  (* a void* holding a regular value falls back to regular memory (the
+     "none" marker rules) *)
+  let p =
+    { structs = []; vars = [ ("v", TPtr PVoid); ("x", TInt) ]; funcs = [];
+      body =
+        Seq (Assign (Var "v", Cast (TPtr PVoid, Int 42)),
+             Assign (Var "x", Lhs (Var "v"))) }
+  in
+  check_done (run p)
+
+let test_struct_fields () =
+  (* struct with an fn-ptr member: the member is safe, the int member is
+     regular; both are accessible through a struct pointer *)
+  let structs = [ ("obj", [ ("n", TInt); ("cb", TPtr PFn) ]) ] in
+  let p =
+    { structs;
+      vars = [ ("o", TPtr (PS "obj")); ("r", TInt) ];
+      funcs = [ ("h", Skip) ];
+      body =
+        Seq (Assign (Var "o", Malloc (Sizeof (PS "obj"))),
+             Seq (Assign (Arrow (Var "o", "n"), Int 5),
+                  Seq (Assign (Arrow (Var "o", "cb"), AddrFn "h"),
+                       Seq (CallPtr (Arrow (Var "o", "cb")),
+                            Assign (Var "r", Lhs (Arrow (Var "o", "n"))))))) }
+  in
+  check_done (run p)
+
+let test_oom () =
+  let p =
+    { structs = []; vars = [ ("p", TPtr (PA TInt)) ]; funcs = [];
+      body = Assign (Var "p", Malloc (Int 1_000_000)) }
+  in
+  match (run p).Sem.outcome with
+  | Sem.Out_of_memory -> ()
+  | o -> Alcotest.failf "expected oom, got %s" (outcome_str o)
+
+(* ---------- QCheck: randomized programs ---------- *)
+
+(* Random straight-line programs over a fixed variable set. Commands are
+   built from safe and unsafe ingredients; the safety theorem must hold on
+   all of them: under the Fig. 7 criterion, the run either completes or
+   aborts, and the oracle never observes an out-of-bounds sensitive access
+   slipping through. *)
+let gen_cmd : cmd QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var_int = oneofl [ "x"; "y" ] in
+  let var_fp = oneofl [ "fp"; "fq" ] in
+  let var_ptr = oneofl [ "p"; "q" ] in
+  let rhs_int =
+    oneof
+      [ map (fun i -> Int i) (int_range (-20) 20);
+        map (fun x -> Lhs (Var x)) var_int;
+        map2 (fun a b -> Add (Lhs (Var a), Int b)) var_int (int_range 0 9) ]
+  in
+  let assign_int = map2 (fun x r -> Assign (Var x, r)) var_int rhs_int in
+  let assign_fp =
+    oneof
+      [ map (fun v -> Assign (Var v, AddrFn "f")) var_fp;
+        map (fun v -> Assign (Var v, AddrFn "g")) var_fp;
+        (* forging attempts *)
+        map2 (fun v i -> Assign (Var v, Cast (TPtr PFn, Int i))) var_fp
+          (int_range 0 1_000_000) ]
+  in
+  let alloc = map2 (fun v n -> Assign (Var v, Malloc (Int n))) var_ptr (int_range 1 4) in
+  let drift =
+    map2 (fun v d -> Assign (Var v, Add (Lhs (Var v), Int d))) var_ptr
+      (int_range (-2) 6)
+  in
+  let write_thru = map (fun v -> Assign (Deref (Var v), Int 7)) var_ptr in
+  let call = map (fun v -> CallPtr (Var v)) var_fp in
+  let base =
+    frequency
+      [ (4, assign_int); (3, assign_fp); (3, alloc); (2, drift);
+        (2, write_thru); (1, call) ]
+  in
+  map (fun l -> List.fold_left (fun acc c -> Seq (acc, c)) Skip l)
+    (list_size (int_range 1 25) base)
+
+let program_of_cmd body =
+  { structs = [];
+    vars =
+      [ ("x", TInt); ("y", TInt); ("fp", TPtr PFn); ("fq", TPtr PFn);
+        ("p", TPtr (PA TInt)); ("q", TPtr (PA TInt)) ];
+    funcs = [ ("f", Assign (Var "x", Int 1)); ("g", Assign (Var "y", Int 2)) ];
+    body }
+
+let prop_safety =
+  QCheck.Test.make ~name:"CPI semantics never lets a sensitive OOB slip"
+    ~count:500
+    (QCheck.make gen_cmd)
+    (fun body ->
+      let r = run (program_of_cmd body) in
+      r.Sem.oob_slipped = 0)
+
+let prop_all_sensitive_stricter =
+  (* if the all-sensitive (SoftBound) run completes, so does the CPI run:
+     CPI checks a subset of what full memory safety checks *)
+  QCheck.Test.make ~name:"CPI aborts only when full memory safety would"
+    ~count:500
+    (QCheck.make gen_cmd)
+    (fun body ->
+      let p = program_of_cmd body in
+      let sb = run ~sensitive:(fun _ -> true) p in
+      let cpi = run p in
+      match sb.Sem.outcome, cpi.Sem.outcome with
+      | Sem.Done, Sem.Abort _ -> false   (* CPI stricter than SoftBound: bug *)
+      | _, _ -> true)
+
+let prop_int_only_never_aborts =
+  (* programs over regular types only never abort under CPI *)
+  let gen_int_cmd =
+    let open QCheck.Gen in
+    let var_int = oneofl [ "x"; "y" ] in
+    let assign =
+      map2 (fun x i -> Assign (Var x, Int i)) var_int (int_range 0 100)
+    in
+    let copy = map2 (fun a b -> Assign (Var a, Lhs (Var b))) var_int var_int in
+    map (fun l -> List.fold_left (fun acc c -> Seq (acc, c)) Skip l)
+      (list_size (int_range 1 30) (oneof [ assign; copy ]))
+  in
+  QCheck.Test.make ~name:"regular-only programs never abort" ~count:300
+    (QCheck.make gen_int_cmd)
+    (fun body ->
+      match (run (program_of_cmd body)).Sem.outcome with
+      | Sem.Done -> true
+      | Sem.Abort _ | Sem.Out_of_memory -> false)
+
+let () =
+  Alcotest.run "formal"
+    [ ("criterion", [ t "Fig. 7 on the subset" test_fig7 ]);
+      ("rules",
+       [ t "assignment" test_basic_assign;
+         t "indirect call" test_fn_ptr_call;
+         t "forged code pointer aborts" test_forged_code_ptr_aborts;
+         t "OOB sensitive deref aborts" test_oob_sensitive_deref_aborts;
+         t "in-bounds sensitive deref ok" test_in_bounds_sensitive_deref_ok;
+         t "regular OOB not CPI's business" test_regular_oob_not_aborted;
+         t "all-sensitive = full memory safety" test_all_sensitive_is_softbound;
+         t "universal pointer fallback" test_universal_pointer_fallback;
+         t "struct fields" test_struct_fields;
+         t "out of memory" test_oom ]);
+      ("properties",
+       [ QCheck_alcotest.to_alcotest prop_safety;
+         QCheck_alcotest.to_alcotest prop_all_sensitive_stricter;
+         QCheck_alcotest.to_alcotest prop_int_only_never_aborts ]) ]

@@ -1,0 +1,194 @@
+(* Interpreter semantics tests: traps, diversion decoding, cost model
+   behaviour and memory accounting — the parts not covered by the
+   language-feature tests. *)
+
+open Helpers
+module M = Levee_machine
+module P = Levee_core.Pipeline
+
+let t name f = Alcotest.test_case name `Quick f
+
+let check_trap ?protection ?input src pred name =
+  match outcome_of ?protection ?input src with
+  | M.Trap.Trapped tr when pred tr -> ()
+  | o -> Alcotest.failf "%s: got %s" name (M.Trap.outcome_to_string o)
+
+let test_div_by_zero () =
+  check_trap "int main() { int z = 0; return 5 / z; }"
+    (function M.Trap.Division_by_zero -> true | _ -> false)
+    "div by zero";
+  check_trap "int main() { int z = 0; return 5 % z; }"
+    (function M.Trap.Division_by_zero -> true | _ -> false)
+    "mod by zero"
+
+let test_null_deref () =
+  (match outcome_of "int main() { int *p = 0; return *p; }" with
+   | M.Trap.Crash _ -> ()
+   | o -> Alcotest.failf "null deref: %s" (M.Trap.outcome_to_string o));
+  match outcome_of "int main() { int *p = 0; *p = 1; return 0; }" with
+  | M.Trap.Crash _ -> ()
+  | o -> Alcotest.failf "null write: %s" (M.Trap.outcome_to_string o)
+
+let test_fuel () =
+  let r = run ~fuel:1000 "int main() { while (1) { } return 0; }" in
+  Alcotest.check outcome_testable "fuel" M.Trap.Fuel_exhausted r.M.Interp.outcome
+
+let test_stack_overflow () =
+  match
+    outcome_of ~fuel:200_000_000
+      {|int boom(int n) { int pad[2048]; pad[0] = n; return boom(n + 1) + pad[0]; }
+        int main() { return boom(0); }|}
+  with
+  | M.Trap.Crash msg when Helpers.contains msg "stack" -> ()
+  | o -> Alcotest.failf "stack overflow: %s" (M.Trap.outcome_to_string o)
+
+let test_oom () =
+  check_trap
+    {|int main() {
+        while (1) { int *p = (int*) malloc(65536); p[0] = 1; }
+        return 0;
+      }|}
+    (function M.Trap.Out_of_memory -> true | _ -> false)
+    "heap exhaustion"
+
+let test_double_free_traps () =
+  check_trap
+    {|int main() { int *p = (int*) malloc(4); free(p); free(p); return 0; }|}
+    (function M.Trap.Double_free -> true | _ -> false)
+    "double free"
+
+let test_use_after_free_cpi () =
+  (* A dangling sensitive pointer dereference must be caught by CPI's
+     temporal id; vanilla silently reads reused memory. *)
+  let src = {|
+int target(int x) { return x + 1; }
+int other(int x) { return x + 2; }
+int main() {
+  int (**slot)(int);
+  slot = (int (**)(int)) malloc(1);
+  *slot = target;
+  free((void*) slot);
+  // reallocate the same block: same address, new object
+  int (**slot2)(int) = (int (**)(int)) malloc(1);
+  *slot2 = other;
+  return (*slot)(1);   // use after free through the stale pointer
+}
+|}
+  in
+  (match outcome_of ~protection:P.Cpi src with
+   | M.Trap.Trapped M.Trap.Temporal_violation -> ()
+   | o -> Alcotest.failf "cpi UAF: %s" (M.Trap.outcome_to_string o));
+  (* vanilla executes the *wrong* function without noticing *)
+  match outcome_of ~protection:P.Vanilla src with
+  | M.Trap.Exit 3 -> ()
+  | o -> Alcotest.failf "vanilla UAF: %s" (M.Trap.outcome_to_string o)
+
+let test_oob_read_is_silent_vanilla () =
+  (* out-of-bounds reads of non-sensitive data are not CPI's business *)
+  let src =
+    {|int main() { int a[4]; int b[4]; a[0] = 0; b[0] = 9; return a[5] < 99; }|}
+  in
+  Alcotest.(check int) "vanilla" 1 (exit_code (run ~protection:P.Vanilla src));
+  Alcotest.(check int) "cpi ignores non-sensitive oob" 1
+    (exit_code (run ~protection:P.Cpi src));
+  (* ... but full memory safety traps it *)
+  match outcome_of ~protection:P.Softbound src with
+  | M.Trap.Trapped (M.Trap.Bounds_violation _) -> ()
+  | o -> Alcotest.failf "softbound oob: %s" (M.Trap.outcome_to_string o)
+
+let test_debug_mode_mirror () =
+  (* CPI debug mode keeps both copies; a benign program runs identically *)
+  let src = {|
+int inc(int x) { return x + 1; }
+int main() {
+  int (*f)(int) = inc;
+  int (*g[2])(int);
+  g[0] = f;
+  return g[0](41);
+}
+|}
+  in
+  Alcotest.(check int) "debug mode" 42 (exit_code (run ~protection:P.Cpi_debug src))
+
+let test_costs_monotone () =
+  let src = Helpers.compile "int main() { int i; int s = 0; for (i = 0; i < 100; i = i + 1) { s = s + i; } checksum(s); return 0; }" in
+  let cycles prot =
+    let b = P.build prot src in
+    (M.Interp.run_program b.P.prog b.P.config).M.Interp.cycles
+  in
+  let v = cycles P.Vanilla in
+  Alcotest.(check bool) "positive" true (v > 0);
+  Alcotest.(check bool) "softbound costs more" true (cycles P.Softbound > v)
+
+let test_sfi_isolation_cost () =
+  let prog = Helpers.compile
+      "int main() { int a[64]; int i; for (i = 0; i < 64; i = i + 1) { a[i] = i; } return a[63] - 63; }"
+  in
+  let cycles isolation =
+    let b = P.build ~isolation P.Cpi prog in
+    (M.Interp.run_program b.P.prog b.P.config).M.Interp.cycles
+  in
+  let seg = cycles M.Config.Segments in
+  let sfi = cycles M.Config.Sfi in
+  Alcotest.(check bool) "SFI strictly more expensive" true (sfi > seg);
+  (* the paper reports the SFI variant stays under ~5% extra *)
+  Alcotest.(check bool) "SFI under 8%" true
+    (float_of_int (sfi - seg) /. float_of_int seg < 0.08)
+
+let test_store_impl_costs () =
+  let prog =
+    Helpers.compile
+      {|int f1(int x) { return x + 1; }
+        int (*tbl[4])(int) = { f1, f1, f1, f1 };
+        int main() { int i; int s = 0;
+          for (i = 0; i < 200; i = i + 1) { s = s + tbl[i & 3](i); }
+          return s & 127; }|}
+  in
+  let cycles impl =
+    let b = P.build ~store_impl:impl P.Cpi prog in
+    (M.Interp.run_program b.P.prog b.P.config).M.Interp.cycles
+  in
+  Alcotest.(check bool) "array fastest, hashtable slowest" true
+    (cycles M.Safestore.Simple_array < cycles M.Safestore.Hashtable)
+
+let test_memory_accounting () =
+  let prog = Helpers.compile
+      {|int h(int x) { return x; }
+        int (*fp)(int) = h;
+        int main() { int i; int s = 0;
+          for (i = 0; i < 10; i = i + 1) { s = s + fp(i); }
+          return s & 1; }|}
+  in
+  let b = P.build P.Cpi prog in
+  let r = M.Interp.run_program b.P.prog b.P.config in
+  Alcotest.(check bool) "safe store used" true (r.M.Interp.store_footprint > 0);
+  let bv = P.build P.Vanilla prog in
+  let rv = M.Interp.run_program bv.P.prog bv.P.config in
+  Alcotest.(check int) "vanilla store empty" 0 rv.M.Interp.store_footprint
+
+let test_output_capture () =
+  let out =
+    output
+      {|int main() { print_int(42); print_str("done"); print_int(-1); return 0; }|}
+  in
+  Alcotest.(check string) "stdout" "42\ndone\n-1\n" out
+
+let () =
+  Alcotest.run "interp"
+    [ ("traps",
+       [ t "division by zero" test_div_by_zero;
+         t "null dereference" test_null_deref;
+         t "fuel exhaustion" test_fuel;
+         t "stack overflow" test_stack_overflow;
+         t "heap exhaustion" test_oom;
+         t "double free" test_double_free_traps ]);
+      ("memory safety semantics",
+       [ t "use-after-free under CPI" test_use_after_free_cpi;
+         t "non-sensitive OOB ignored by CPI" test_oob_read_is_silent_vanilla;
+         t "debug mode mirrors" test_debug_mode_mirror ]);
+      ("cost model",
+       [ t "monotone" test_costs_monotone;
+         t "SFI isolation cost" test_sfi_isolation_cost;
+         t "store organisations" test_store_impl_costs;
+         t "memory accounting" test_memory_accounting ]);
+      ("io", [ t "output capture" test_output_capture ]) ]

@@ -1,0 +1,356 @@
+(* End-to-end language-feature tests: compile MiniC and execute under the
+   vanilla machine, checking results. Every construct of the language gets
+   a behavioural test here. *)
+
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let test_arith () =
+  check_exit ~code:7 "int main() { return 1 + 2 * 3; }";
+  check_exit ~code:1 "int main() { return 10 % 3; }";
+  check_exit ~code:5 "int main() { return -(-5); }";
+  check_exit ~code:12 "int main() { return 3 << 2; }";
+  check_exit ~code:3 "int main() { return 13 >> 2; }";
+  check_exit ~code:8 "int main() { return 12 & 10; }";
+  check_exit ~code:14 "int main() { return 12 | 10; }";
+  check_exit ~code:6 "int main() { return 12 ^ 10; }";
+  check_exit ~code:(-2) "int main() { return ~1; }"
+
+let test_comparisons () =
+  check_exit ~code:1 "int main() { return 3 < 4; }";
+  check_exit ~code:0 "int main() { return 4 < 3; }";
+  check_exit ~code:1 "int main() { return 4 >= 4 && 4 <= 4 && 4 == 4 && 3 != 4; }";
+  check_exit ~code:0 "int main() { return !1; }";
+  check_exit ~code:1 "int main() { return !0; }"
+
+let test_shortcircuit () =
+  (* the right operand must not run when short-circuited *)
+  check_exit ~code:5
+    {|int g = 5;
+      int boom() { g = 99; return 1; }
+      int main() {
+        int x = 0 && boom();
+        int y = 1 || boom();
+        return g + x + y - 1;
+      }|}
+
+let test_ternary () =
+  check_exit ~code:10 "int main() { int x = 3; return x > 0 ? 10 : 20; }";
+  check_exit ~code:20 "int main() { int x = -3; return x > 0 ? 10 : 20; }"
+
+let test_control_flow () =
+  check_exit ~code:45
+    {|int main() { int i; int s = 0;
+       for (i = 0; i < 10; i = i + 1) { s = s + i; } return s; }|};
+  check_exit ~code:10
+    {|int main() { int s = 0; int i = 0;
+       while (1) { i = i + 1; if (i > 4) { break; } s = s + i; } return s; }|};
+  check_exit ~code:12
+    {|int main() { int s = 0; int i;
+       for (i = 0; i < 10; i = i + 1) { if (i % 2 == 1) { continue; } s = s + i; }
+       return s - 8; }|};
+  check_exit ~code:3
+    {|int main() { int n = 0; do { n = n + 1; } while (n < 3); return n; }|}
+
+let test_functions () =
+  check_exit ~code:120
+    {|int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+      int main() { return fact(5); }|};
+  check_exit ~code:13
+    {|int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+      int main() { return fib(7); }|};
+  check_exit ~code:42
+    {|void set(int *p, int v) { *p = v; }
+      int main() { int x = 0; set(&x, 42); return x; }|}
+
+let test_arrays () =
+  check_exit ~code:30
+    {|int main() { int a[5]; int i; int s = 0;
+       for (i = 0; i < 5; i = i + 1) { a[i] = i * 3; }
+       for (i = 0; i < 5; i = i + 1) { s = s + a[i]; }
+       return s; }|};
+  check_exit ~code:9
+    {|int main() { int m[3][3]; m[1][2] = 9; return m[1][2]; }|};
+  check_exit ~code:7
+    {|int g[4] = {1, 2, 4, 0};
+      int main() { return g[0] + g[1] + g[2] + g[3]; }|};
+  check_exit ~code:5
+    {|int main() { int a[4]; int *p = a + 1; p[0] = 5; return a[1]; }|}
+
+let test_pointers () =
+  check_exit ~code:11
+    {|int main() { int x = 11; int *p = &x; int **pp = &p; return **pp; }|};
+  check_exit ~code:3
+    {|int main() { int a[8]; int *p = a; int *q = a + 3; return q - p; }|};
+  check_exit ~code:1
+    {|int main() { int x; int *p = &x; return p == &x; }|}
+
+let test_structs () =
+  check_exit ~code:15
+    {|struct point { int x; int y; };
+      int main() { struct point p; p.x = 5; p.y = 10; return p.x + p.y; }|};
+  check_exit ~code:21
+    {|struct node { int v; struct node *next; };
+      int main() {
+        struct node a; struct node b; struct node c;
+        a.v = 1; b.v = 2; c.v = 18;
+        a.next = &b; b.next = &c; c.next = 0;
+        struct node *p = &a;
+        int s = 0;
+        while (p != 0) { s = s + p->v; p = p->next; }
+        return s;
+      }|};
+  check_exit ~code:99
+    {|struct inner { int val; };
+      struct outer { int pad; struct inner in; };
+      int main() { struct outer o; o.in.val = 99; return o.in.val; }|}
+
+let test_heap () =
+  check_exit ~code:10
+    {|int main() {
+        int *p = (int*) malloc(4);
+        p[0] = 1; p[1] = 2; p[2] = 3; p[3] = 4;
+        int s = p[0] + p[1] + p[2] + p[3];
+        free(p);
+        return s;
+      }|};
+  check_exit ~code:55
+    {|struct cell { int v; struct cell *next; };
+      int main() {
+        struct cell *head = 0;
+        int i; int s = 0;
+        for (i = 1; i <= 10; i = i + 1) {
+          struct cell *c = (struct cell*) malloc(sizeof(struct cell));
+          c->v = i; c->next = head; head = c;
+        }
+        while (head != 0) { s = s + head->v; head = head->next; }
+        return s;
+      }|}
+
+let test_function_pointers () =
+  check_exit ~code:9
+    {|int add(int a, int b) { return a + b; }
+      int mul(int a, int b) { return a * b; }
+      int main() {
+        int (*f)(int, int) = add;
+        int x = f(1, 2);
+        f = mul;
+        return x + f(2, 3);
+      }|};
+  check_exit ~code:6
+    {|int inc(int x) { return x + 1; }
+      int dbl(int x) { return x * 2; }
+      int (*table[2])(int) = { inc, dbl };
+      int main() { return table[0](1) + table[1](2); }|};
+  check_exit ~code:4
+    {|int three() { return 3; }
+      int main() { int (*f)() = &three; return (*f)() + 1; }|}
+
+let test_strings () =
+  check_exit ~code:5 {|int main() { return strlen("hello"); }|};
+  check_exit ~code:0 {|int main() { return strcmp("abc", "abc"); }|};
+  check_exit ~code:1 {|int main() { return strcmp("abd", "abc") > 0; }|};
+  check_exit ~code:3
+    {|int main() { char buf[8]; strcpy(buf, "xyz"); return strlen(buf); }|};
+  Alcotest.(check string) "print_str" "hi\n" (output {|int main() { print_str("hi"); return 0; }|})
+
+let test_memops () =
+  check_exit ~code:21
+    {|int main() {
+        int a[4]; int b[4];
+        a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 15;
+        memcpy(b, a, 4);
+        memset(a, 0, 4);
+        return b[0] + b[1] + b[2] + b[3] + a[0];
+      }|}
+
+let test_io_and_checksum () =
+  let r = run ~input:[| 3; 4 |] {|int main() { return read_int() + read_int(); }|} in
+  Alcotest.(check int) "read_int" 7 (exit_code r);
+  let r =
+    run ~input:[| 1; 2; 3; 10; 9 |]
+      {|int main() {
+          char buf[8];
+          int n = gets(buf);
+          return n * 100 + read_int();
+        }|}
+  in
+  Alcotest.(check int) "gets stops at newline" 309 (exit_code r);
+  let r = run {|int main() { checksum(123); checksum(456); return 0; }|} in
+  Alcotest.(check bool) "checksum accumulates" true (r.Levee_machine.Interp.checksum <> 0)
+
+let test_setjmp () =
+  check_exit ~code:42
+    {|int jb[4];
+      void deep(int n) { if (n == 0) { longjmp(jb, 42); } deep(n - 1); }
+      int main() {
+        int r = setjmp(jb);
+        if (r != 0) { return r; }
+        deep(5);
+        return 1;
+      }|};
+  (* setjmp returns 0 the first time; longjmp(_, 0) resumes with 1 *)
+  check_exit ~code:1
+    {|int jb[4];
+      int main() {
+        int r = setjmp(jb);
+        if (r != 0) { return r; }
+        longjmp(jb, 0);
+        return 99;
+      }|}
+
+let test_sizeof () =
+  check_exit ~code:1 "int main() { return sizeof(int); }";
+  check_exit ~code:1 "int main() { return sizeof(void*); }";
+  check_exit ~code:3
+    {|struct s { int a; int b; int c; };
+      int main() { return sizeof(struct s); }|}
+
+let test_globals_init () =
+  check_exit ~code:30
+    {|int a = 10;
+      int b[2] = {5, 15};
+      int main() { return a + b[0] + b[1]; }|};
+  check_exit ~code:104
+    {|char msg[8] = "hi";
+      int main() { return msg[0]; }|};
+  check_exit ~code:77
+    {|int f77() { return 77; }
+      int (*g)() = f77;
+      int main() { return g(); }|};
+  check_exit ~code:5
+    {|struct p { int x; int y; };
+      struct p pt = {2, 3};
+      int main() { return pt.x + pt.y; }|}
+
+let test_char_semantics () =
+  check_exit ~code:97 "int main() { char c = 'a'; return c; }";
+  check_exit ~code:2
+    {|int main() { char *s = "abc"; char *t = s + 1; return t - s + 1; }|}
+
+let test_nested_structs_arrays () =
+  check_exit ~code:42
+    {|struct inner { int a[3]; int b; };
+      struct outer { struct inner rows[2]; int tag; };
+      int main() {
+        struct outer o;
+        o.rows[0].a[2] = 20;
+        o.rows[1].a[0] = 21;
+        o.rows[1].b = 1;
+        o.tag = 0;
+        return o.rows[0].a[2] + o.rows[1].a[0] + o.rows[1].b;
+      }|};
+  check_exit ~code:6
+    {|struct p { int x; int y; };
+      struct p grid[2][2];
+      int main() {
+        grid[0][0].x = 1; grid[0][1].y = 2; grid[1][1].x = 3;
+        return grid[0][0].x + grid[0][1].y + grid[1][1].x;
+      }|}
+
+let test_callbacks_as_params () =
+  check_exit ~code:12
+    {|int twice(int (*f)(int), int x) { return f(f(x)); }
+      int add3(int x) { return x + 3; }
+      int main() { return twice(add3, 6); }|};
+  check_exit ~code:30
+    {|int apply_all(int (*fs[3])(int), int x) {
+        int i; int s = 0;
+        for (i = 0; i < 3; i = i + 1) { s = s + fs[i](x); }
+        return s;
+      }
+      int id(int x) { return x; }
+      int dbl(int x) { return x * 2; }
+      int trpl(int x) { return x * 3; }
+      int main() {
+        int (*table[3])(int);
+        table[0] = id; table[1] = dbl; table[2] = trpl;
+        return apply_all(table, 5);
+      }|}
+
+let test_pointer_arith_edge () =
+  check_exit ~code:1
+    {|struct s { int a; int b; };
+      int main() {
+        struct s arr[4];
+        struct s *p = arr;
+        struct s *q = p + 3;
+        return q - p == 3;
+      }|};
+  check_exit ~code:9
+    {|int main() {
+        int a[4];
+        int *end = a + 4;
+        int *p = a;
+        int s = 0;
+        while (p != end) { *p = 2; s = s + *p; p = p + 1; }
+        return s + 1;
+      }|}
+
+let test_void_ptr_roundtrip () =
+  check_exit ~code:5
+    {|int main() {
+        int x = 5;
+        void *v = (void*) &x;
+        int *p = (int*) v;
+        return *p;
+      }|};
+  check_exit ~code:7
+    {|int pick(void *a, void *b, int which) {
+        if (which) { return *((int*) a); }
+        return *((int*) b);
+      }
+      int main() { int x = 7; int y = 9; return pick(&x, &y, 1); }|}
+
+let test_string_escapes () =
+  Alcotest.(check string) "escapes" "a	b
+"
+    (output {|int main() { print_str("a	b"); return 0; }|});
+  check_exit ~code:0 {|int main() { char *s = " abc"; return s[0]; }|}
+
+let test_recursion_mutual () =
+  check_exit ~code:1
+    {|int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+      int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+      int main() { return is_even(10); }|}
+
+let test_exit_and_abort () =
+  check_exit ~code:3 "int main() { exit(3); return 0; }";
+  match outcome_of "int main() { abort(); return 0; }" with
+  | Levee_machine.Trap.Crash _ -> ()
+  | o -> Alcotest.failf "abort: %s" (Levee_machine.Trap.outcome_to_string o)
+
+let () =
+  Alcotest.run "lower-exec"
+    [ ("expressions",
+       [ t "arithmetic" test_arith;
+         t "comparisons" test_comparisons;
+         t "short-circuit" test_shortcircuit;
+         t "ternary" test_ternary;
+         t "sizeof" test_sizeof;
+         t "char" test_char_semantics ]);
+      ("statements",
+       [ t "control flow" test_control_flow;
+         t "functions" test_functions ]);
+      ("memory",
+       [ t "arrays" test_arrays;
+         t "pointers" test_pointers;
+         t "structs" test_structs;
+         t "heap" test_heap;
+         t "memcpy/memset" test_memops;
+         t "globals init" test_globals_init ]);
+      ("pointers-to-code",
+       [ t "function pointers" test_function_pointers ]);
+      ("more-coverage",
+       [ t "nested structs/arrays" test_nested_structs_arrays;
+         t "callbacks as parameters" test_callbacks_as_params;
+         t "pointer arithmetic edges" test_pointer_arith_edge;
+         t "void* round trips" test_void_ptr_roundtrip;
+         t "string escapes" test_string_escapes;
+         t "mutual recursion" test_recursion_mutual ]);
+      ("runtime",
+       [ t "strings" test_strings;
+         t "io and checksum" test_io_and_checksum;
+         t "setjmp/longjmp" test_setjmp;
+         t "exit/abort" test_exit_and_abort ]) ]

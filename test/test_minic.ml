@@ -1,0 +1,194 @@
+(* Front-end tests: lexer, parser, type checker. *)
+
+module L = Levee_minic.Lexer
+module Pa = Levee_minic.Parser
+module Tc = Levee_minic.Typecheck
+module Ast = Levee_minic.Ast
+
+(* ---------- lexer ---------- *)
+
+let all_tokens src =
+  let lx = L.create src in
+  let rec go acc =
+    match lx.L.tok with
+    | L.EOF -> List.rev acc
+    | t ->
+      L.next lx;
+      go (t :: acc)
+  in
+  go []
+
+let test_lex_basic () =
+  let toks = all_tokens "int x = 42; // comment\nx = x + 0x10;" in
+  Alcotest.(check int) "token count" 11 (List.length toks);
+  (match toks with
+   | L.KW "int" :: L.ID "x" :: L.PUNCT "=" :: L.INT 42 :: _ -> ()
+   | _ -> Alcotest.fail "unexpected token stream");
+  (match List.rev toks with
+   | L.PUNCT ";" :: L.INT 16 :: _ -> ()
+   | _ -> Alcotest.fail "hex literal not lexed")
+
+let test_lex_strings_chars () =
+  (match all_tokens {|"hi\n" 'a' '\0'|} with
+   | [ L.STR "hi\n"; L.CHARLIT 'a'; L.CHARLIT '\000' ] -> ()
+   | _ -> Alcotest.fail "string/char literals");
+  match all_tokens "a->b && c || d << 2 >= e" with
+  | [ L.ID "a"; L.PUNCT "->"; L.ID "b"; L.PUNCT "&&"; L.ID "c"; L.PUNCT "||";
+      L.ID "d"; L.PUNCT "<<"; L.INT 2; L.PUNCT ">="; L.ID "e" ] -> ()
+  | _ -> Alcotest.fail "multi-char punctuation"
+
+let test_lex_block_comment () =
+  match all_tokens ("a /" ^ "* stuff \n more *" ^ "/ b") with
+  | [ L.ID "a"; L.ID "b" ] -> ()
+  | _ -> Alcotest.fail "block comment not skipped"
+
+let test_lex_errors () =
+  (try
+     ignore (all_tokens "\"unterminated");
+     Alcotest.fail "accepted unterminated string"
+   with L.Lex_error _ -> ());
+  try
+    ignore (all_tokens "/* never closed");
+    Alcotest.fail "accepted unterminated comment"
+  with L.Lex_error _ -> ()
+
+(* ---------- parser ---------- *)
+
+let parses src = ignore (Pa.parse_program_exn src)
+
+let rejects_parse src =
+  try
+    parses src;
+    Alcotest.failf "parser accepted: %s" src
+  with Failure _ -> ()
+
+let test_parse_declarators () =
+  parses "int x; char *s; void *p; int arr[10]; int m[4][4];";
+  parses "int (*fp)(int, int);";
+  parses "int (*table[8])(int);";
+  parses "int (**pp)(int);";
+  parses "struct s { int a; struct s *next; int (*h)(int); };";
+  parses "struct s; struct s *g;";
+  parses "int f(int a, char *b, int (*cb)(int)) { return a; }";
+  parses "struct node { int d; }; struct node *mk(int d) { return 0; }"
+
+let test_parse_expressions () =
+  parses {|int main() { int x; x = 1 + 2 * 3 - -4; x = (1 + 2) * 3; return x; }|};
+  parses {|int main() { int a[4]; return a[1] + a[2 + 1]; }|};
+  parses {|int main() { return 1 < 2 && 3 != 4 || !(5 >= 6); }|};
+  parses {|int main() { int x = 5; return x > 0 ? x : -x; }|};
+  parses {|struct s { int x; };
+           int main() { return sizeof(int) + sizeof(struct s*) + sizeof(int(*)(int)); }|};
+  parses {|int main() { int *p; p = (int*) malloc(4); *p = 1; return p[0]; }|}
+
+let test_parse_statements () =
+  parses {|int main() {
+    int i; int s = 0;
+    for (i = 0; i < 10; i = i + 1) { s = s + i; if (s > 20) { break; } }
+    while (s > 0) { s = s - 3; if (s == 9) { continue; } }
+    do { s = s + 1; } while (s < 0);
+    return s;
+  }|};
+  parses {|int main() { int a, b = 2, c; a = b; c = a + b; return c; }|}
+
+let test_parse_globals () =
+  parses {|int g = 5;
+           char msg[16] = "hello";
+           int tbl[4] = {1, 2, 3, 4};
+           int helper(int x) { return x; }
+           int (*fp)(int) = helper;
+           struct pair { int a; int b; };
+           struct pair origin = {0, 0};
+           int main() { return g + fp(1); }|}
+
+let test_parse_rejects () =
+  rejects_parse "int main() { return 1 }";
+  rejects_parse "int main() { if 1 { } }";
+  rejects_parse "int = 5;";
+  rejects_parse "int main() { int a[]; return 0; }";
+  rejects_parse "struct { int x; };"
+
+let test_sensitive_annotation () =
+  let ast =
+    Pa.parse_program_exn
+      {|sensitive struct ucred { int uid; int gid; };
+        struct other { int x; };
+        int main() { return 0; }|}
+  in
+  Alcotest.(check (list string)) "annotated" [ "ucred" ] (Ast.sensitive_structs ast)
+
+(* ---------- type checker ---------- *)
+
+let checks src = ignore (Tc.check_program (Pa.parse_program_exn src))
+
+let rejects_type src =
+  try
+    checks src;
+    Alcotest.failf "typechecker accepted: %s" src
+  with Tc.Type_error _ -> ()
+
+let test_types_ok () =
+  checks {|int add(int a, int b) { return a + b; }
+           int main() {
+             int (*f)(int, int) = add;
+             int x = f(1, 2);
+             void *p = (void*) &x;
+             int *q = (int*) p;
+             return *q + x;
+           }|};
+  checks {|struct node { int v; struct node *next; };
+           int main() {
+             struct node n;
+             struct node *p = &n;
+             n.v = 1;
+             p->next = 0;
+             return p->v;
+           }|};
+  checks {|int main() { char *s = "abc"; return strlen(s) + strcmp(s, "abc"); }|};
+  checks {|int main() { int a[8]; int *p = a; return p[3] + *(a + 2); }|}
+
+let test_types_rejected () =
+  rejects_type {|int main() { return x; }|};
+  rejects_type {|int main() { int x; x = "str"; return 0; }|};
+  rejects_type {|int main() { int x; return x(); }|};
+  rejects_type {|int main() { void *p; return *p; }|};
+  rejects_type {|int f(int a) { return a; } int main() { return f(1, 2); }|};
+  rejects_type {|int f(int a) { return a; } int main() { return f("s"); }|};
+  rejects_type {|int main() { struct nope n; return 0; }|};
+  rejects_type {|int main() { int a[4]; a = 0; return 0; }|};
+  rejects_type
+    {|struct s { int x; };
+      int main() { struct s a; struct s b; a = b; return 0; }|};
+  rejects_type {|void f() { return 1; } int main() { return 0; }|};
+  rejects_type {|int f() { return; } int main() { return 0; }|};
+  rejects_type {|int main() { int x; int x; return 0; }|}
+
+let test_types_fnptr_mismatch () =
+  rejects_type
+    {|int add(int a, int b) { return a + b; }
+      int main() { int (*f)(int) = 0; f = add; return f(1); }|}
+
+let test_implicit_conversions () =
+  checks {|int main() { char c = 65; int x = c; c = x; return c; }|};
+  checks {|int main() { int *p = 0; return p == 0; }|};
+  checks {|int main() { void *v = malloc(4); char *c = v; return c == 0; }|}
+
+let () =
+  Alcotest.run "minic"
+    [ ("lexer",
+       [ Alcotest.test_case "basic tokens" `Quick test_lex_basic;
+         Alcotest.test_case "strings and chars" `Quick test_lex_strings_chars;
+         Alcotest.test_case "block comments" `Quick test_lex_block_comment;
+         Alcotest.test_case "errors" `Quick test_lex_errors ]);
+      ("parser",
+       [ Alcotest.test_case "declarators" `Quick test_parse_declarators;
+         Alcotest.test_case "expressions" `Quick test_parse_expressions;
+         Alcotest.test_case "statements" `Quick test_parse_statements;
+         Alcotest.test_case "globals" `Quick test_parse_globals;
+         Alcotest.test_case "rejects" `Quick test_parse_rejects;
+         Alcotest.test_case "sensitive annotation" `Quick test_sensitive_annotation ]);
+      ("typecheck",
+       [ Alcotest.test_case "accepts valid" `Quick test_types_ok;
+         Alcotest.test_case "rejects invalid" `Quick test_types_rejected;
+         Alcotest.test_case "fn ptr mismatch" `Quick test_types_fnptr_mismatch;
+         Alcotest.test_case "implicit conversions" `Quick test_implicit_conversions ]) ]

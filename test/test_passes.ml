@@ -1,0 +1,222 @@
+(* Instrumentation pass tests: what CPI/CPS/SafeStack/SoftBound/CFI/cookie
+   passes mark, the Table-2 statistics, and pipeline integrity. *)
+
+module Ty = Levee_ir.Ty
+module Prog = Levee_ir.Prog
+module I = Levee_ir.Instr
+module P = Levee_core.Pipeline
+module Stats = Levee_core.Stats
+module M = Levee_machine
+
+let t name f = Alcotest.test_case name `Quick f
+
+let fptr_prog = {|
+int h1(int x) { return x + 1; }
+int h2(int x) { return x * 2; }
+int (*table[2])(int) = { h1, h2 };
+int data[8];
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 8; i = i + 1) { data[i] = i; }
+  for (i = 0; i < 8; i = i + 1) { s = s + table[i & 1](data[i]); }
+  return s & 255;
+}
+|}
+
+let build prot src = P.build prot (Levee_minic.Lower.compile src)
+
+let count_instr prog pred =
+  Prog.fold_funcs prog
+    (fun acc fn ->
+      let c = ref 0 in
+      Prog.iter_instrs fn (fun i -> if pred i then incr c);
+      acc + !c)
+    0
+
+let test_cpi_marks () =
+  let b = build P.Cpi fptr_prog in
+  let safefull =
+    count_instr b.P.prog (fun i ->
+        match i with
+        | I.Load { where = I.SafeFull; _ } | I.Store { where = I.SafeFull; _ } -> true
+        | _ -> false)
+  in
+  let checked =
+    count_instr b.P.prog (fun i ->
+        match i with
+        | I.Load { checked = true; _ } | I.Store { checked = true; _ } -> true
+        | _ -> false)
+  in
+  Alcotest.(check bool) "fptr table accesses instrumented" true (safefull > 0);
+  Alcotest.(check bool) "derefs checked" true (checked > 0);
+  (* plain int array accesses stay uninstrumented *)
+  let total = (Stats.collect b.P.prog).Stats.mem_ops_total in
+  Alcotest.(check bool) "selective (< half of mem ops)" true (safefull * 2 < total)
+
+let test_cps_marks () =
+  let b = build P.Cps fptr_prog in
+  let safeval =
+    count_instr b.P.prog (fun i ->
+        match i with
+        | I.Load { where = I.SafeValue; _ } | I.Store { where = I.SafeValue; _ } -> true
+        | _ -> false)
+  in
+  let checked =
+    count_instr b.P.prog (fun i ->
+        match i with
+        | I.Load { checked = true; _ } | I.Store { checked = true; _ } -> true
+        | _ -> false)
+  in
+  Alcotest.(check bool) "code ptr accesses via SafeValue" true (safeval > 0);
+  Alcotest.(check int) "CPS needs no checks" 0 checked
+
+let test_cps_subset_of_cpi () =
+  (* MOCPS <= MOCPI on every program (Table 2's key premise) *)
+  List.iter
+    (fun (w : Levee_workloads.Workload.t) ->
+      let prog = Levee_workloads.Workload.compile w in
+      let cps = (P.build P.Cps prog).P.stats in
+      let cpi = (P.build P.Cpi prog).P.stats in
+      Alcotest.(check bool)
+        (w.Levee_workloads.Workload.name ^ ": MOCPS <= MOCPI") true
+        (Stats.mo_instrumented cps <= Stats.mo_instrumented cpi +. 1e-9))
+    [ Levee_workloads.Spec.find "400.perlbench";
+      Levee_workloads.Spec.find "471.omnetpp";
+      Levee_workloads.Spec.find "403.gcc" ]
+
+let test_softbound_marks () =
+  let b = build P.Softbound fptr_prog in
+  let stats = Stats.collect b.P.prog in
+  Alcotest.(check int) "all mem ops checked" stats.Stats.mem_ops_total
+    stats.Stats.mem_ops_checked
+
+let test_safestack_slots () =
+  let b = build P.Safe_stack {|
+int consume(int *p) { return p[0]; }
+int main() {
+  int scalar = 3;
+  int buf[8];
+  buf[0] = scalar;
+  return consume(buf) + scalar;
+}
+|}
+  in
+  let safe = count_instr b.P.prog (fun i ->
+      match i with I.Alloca { slot = I.SafeSlot; _ } -> true | _ -> false)
+  in
+  let unsafe = count_instr b.P.prog (fun i ->
+      match i with I.Alloca { slot = I.UnsafeSlot; _ } -> true | _ -> false)
+  in
+  Alcotest.(check bool) "has safe slots" true (safe > 0);
+  Alcotest.(check bool) "has unsafe slots" true (unsafe > 0)
+
+let test_cookie_pass () =
+  let b = build P.Cookies {|
+int with_buf() { char b[8]; gets(b); return b[0]; }
+int no_buf(int x) { return x + 1; }
+int main() { return no_buf(with_buf()); }
+|}
+  in
+  Alcotest.(check bool) "buffer function guarded" true
+    (Prog.find_func b.P.prog "with_buf").Prog.cookie;
+  Alcotest.(check bool) "scalar function unguarded" false
+    (Prog.find_func b.P.prog "no_buf").Prog.cookie
+
+let test_cfi_pass () =
+  let b = build P.Cfi fptr_prog in
+  let marked = count_instr b.P.prog (fun i ->
+      match i with I.Call { callee = I.Indirect _; cfi_checked; _ } -> cfi_checked
+                 | _ -> false)
+  in
+  Alcotest.(check bool) "indirect calls marked" true (marked > 0)
+
+let test_pipeline_verifies_all () =
+  let prog = Levee_minic.Lower.compile fptr_prog in
+  List.iter
+    (fun prot ->
+      let b = P.build prot prog in
+      match Levee_ir.Verify.program_result b.P.prog with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" (P.protection_name prot) e)
+    P.all_protections
+
+let test_behaviour_preserved () =
+  (* all protections preserve the behaviour of a benign program *)
+  let prog = Levee_minic.Lower.compile fptr_prog in
+  let expect =
+    let b = P.build P.Vanilla prog in
+    (M.Interp.run_program b.P.prog b.P.config).M.Interp.outcome
+  in
+  List.iter
+    (fun prot ->
+      let b = P.build prot prog in
+      let r = M.Interp.run_program b.P.prog b.P.config in
+      Alcotest.(check bool)
+        (P.protection_name prot ^ " behaves identically") true
+        (r.M.Interp.outcome = expect))
+    P.all_protections
+
+let test_annotated_data_protection () =
+  (* the struct-ucred use case: protect annotated plain data against an
+     arbitrary-write corruption (Section 4, "sensitive data protection") *)
+  let src = {|
+sensitive struct ucred { int uid; int gid; };
+char gbuf[8];
+struct ucred cred;
+int main() {
+  cred.uid = 1000;
+  gets(gbuf);               // overflows into cred in the regular region
+  if (cred.uid == 0) { system("rootshell"); }
+  return cred.uid == 1000 ? 0 : 1;
+}
+|}
+  in
+  let prog = Levee_minic.Lower.compile src in
+  let checked, _ = Levee_minic.Lower.compile_checked src in
+  let annotated = checked.Levee_minic.Typecheck.sensitive_structs in
+  (* attacker overflows gbuf to set uid = 0 *)
+  let dist =
+    let vanilla = P.build P.Vanilla prog in
+    let img = M.Loader.load vanilla.P.prog vanilla.P.config in
+    Hashtbl.find img.M.Loader.global_addr "cred"
+    - Hashtbl.find img.M.Loader.global_addr "gbuf"
+  in
+  let payload = Array.make (dist + 1) 0 in
+  let outcome prot =
+    let b = P.build ~annotated prot prog in
+    (M.Interp.run_program ~input:payload b.P.prog b.P.config).M.Interp.outcome
+  in
+  (match outcome P.Vanilla with
+   | M.Trap.Hijacked _ -> ()
+   | o -> Alcotest.failf "vanilla uid corruption: %s" (M.Trap.outcome_to_string o));
+  match outcome P.Cpi with
+  | M.Trap.Exit 0 -> ()
+  | o -> Alcotest.failf "cpi should keep uid intact: %s" (M.Trap.outcome_to_string o)
+
+let test_stats_fields () =
+  let b = build P.Cpi fptr_prog in
+  let s = b.P.stats in
+  Alcotest.(check bool) "funcs counted" true (s.Stats.funcs_total >= 3);
+  Alcotest.(check bool) "fnustack fraction in range" true
+    (Stats.fnustack s >= 0.0 && Stats.fnustack s <= 1.0);
+  Alcotest.(check bool) "mo fraction in range" true
+    (Stats.mo_instrumented s > 0.0 && Stats.mo_instrumented s < 1.0)
+
+let () =
+  Alcotest.run "passes"
+    [ ("cpi",
+       [ t "marks sensitive ops" test_cpi_marks;
+         t "annotated data protection" test_annotated_data_protection ]);
+      ("cps",
+       [ t "marks code pointers only" test_cps_marks;
+         t "subset of CPI" test_cps_subset_of_cpi ]);
+      ("baselines",
+       [ t "softbound checks everything" test_softbound_marks;
+         t "safestack slot partition" test_safestack_slots;
+         t "cookies on buffer functions" test_cookie_pass;
+         t "cfi marks indirect calls" test_cfi_pass ]);
+      ("pipeline",
+       [ t "verifier passes for all protections" test_pipeline_verifies_all;
+         t "behaviour preserved" test_behaviour_preserved;
+         t "statistics" test_stats_fields ]) ]

