@@ -14,9 +14,20 @@
      dune exec bench/main.exe -- ablation  design-choice ablations
      dune exec bench/main.exe -- bechamel  wall-clock microbenchmarks
 
+   Options:
+     --jobs N      fan independent (workload x protection x store) cells
+                   out over N domains (default: domain count). The cost
+                   model is deterministic, so any N produces the same
+                   tables; --jobs 1 is the sequential baseline.
+     --no-json     don't write BENCH_<target>.json run journals
+                   (--json, the default, is also accepted)
+     --fuel-cap N  clamp every workload's instruction budget (CI smoke)
+
    Cycle counts come from the machine's deterministic cost model, so every
    number below is exactly reproducible; the bechamel target additionally
-   measures real wall-clock time of the simulations. *)
+   measures real wall-clock time of the simulations. Each target also
+   serializes every execution to BENCH_<target>.json (schema in
+   EXPERIMENTS.md) and prints a one-line summary to stderr. *)
 
 module P = Levee_core.Pipeline
 module Stats = Levee_core.Stats
@@ -25,34 +36,26 @@ module M = Levee_machine
 module R = Levee_attacks.Ripe
 module A = Levee_attacks.Attack
 module SupStats = Levee_support.Stats
+module Pool = Levee_support.Pool
+module Journal = Levee_support.Journal
+module Engine = Levee_harness.Engine
+module Targets = Levee_harness.Targets
 
-(* ---------- measurement cache ---------- *)
+(* ---------- execution engine ---------- *)
 
-let cache : (string * string, M.Interp.result) Hashtbl.t = Hashtbl.create 64
+let jobs_flag = ref 0                   (* 0 = Domain.recommended_domain_count *)
+let json_flag = ref true
+let fuel_cap = ref None
 
-let run_workload ?(store_impl = M.Safestore.Simple_array) (w : W.Workload.t) prot =
-  let key = (w.W.Workload.name, P.protection_name prot ^ M.Safestore.impl_name store_impl) in
-  match Hashtbl.find_opt cache key with
-  | Some r -> r
-  | None ->
-    let prog = W.Workload.compile w in
-    let b = P.build ~store_impl prot prog in
-    let r =
-      M.Interp.run_program ~input:w.W.Workload.input ~fuel:w.W.Workload.fuel
-        b.P.prog b.P.config
-    in
-    (match r.M.Interp.outcome with
-     | M.Trap.Exit 0 -> ()
-     | o ->
-       Printf.printf "!! %s under %s: %s\n" w.W.Workload.name
-         (P.protection_name prot) (M.Trap.outcome_to_string o));
-    Hashtbl.replace cache key r;
-    r
+let eng =
+  lazy
+    (let jobs = if !jobs_flag <= 0 then Pool.default_jobs () else !jobs_flag in
+     Engine.create ?fuel_cap:!fuel_cap ~jobs ())
 
-let overhead (w : W.Workload.t) prot =
-  let base = run_workload w P.Vanilla in
-  let r = run_workload w prot in
-  SupStats.overhead_pct ~base:base.M.Interp.cycles ~instrumented:r.M.Interp.cycles
+let run_workload ?store_impl (w : W.Workload.t) prot =
+  Engine.run_workload (Lazy.force eng) ?store_impl w prot
+
+let overhead (w : W.Workload.t) prot = Engine.overhead (Lazy.force eng) w prot
 
 let line () = print_endline (String.make 78 '-')
 
@@ -64,7 +67,40 @@ let header title =
 
 (* ---------- Section 5.1: RIPE ---------- *)
 
-let ripe_summaries = lazy (R.run_matrix ~include_beyond_ripe:false ())
+(* The matrix is deterministic per protection, so protections fan out
+   through the pool; concatenating in protection order reproduces the
+   sequential run_matrix output exactly. *)
+let ripe_protections =
+  [ P.Vanilla; P.Hardened; P.Cookies; P.Safe_stack; P.Cfi; P.Cps; P.Cpi;
+    P.Softbound ]
+
+let ripe_summaries =
+  lazy
+    (let pool = Engine.pool (Lazy.force eng) in
+     Pool.map pool
+       (fun prot ->
+         List.hd (R.run_matrix ~include_beyond_ripe:false ~protections:[ prot ] ()))
+       ripe_protections
+     |> List.map (function
+          | Ok s -> s
+          | Error e -> raise e))
+
+(* One journal entry per protection: CI watches for a hijack slipping
+   past CPS/CPI/SoftBound, which the paper says stop everything. *)
+let ripe_journal_entry (s : R.summary) : Journal.entry =
+  let must_stop_all =
+    match s.R.protection with P.Cps | P.Cpi | P.Softbound -> true | _ -> false
+  in
+  { Journal.workload = "ripe-matrix";
+    protection = P.protection_name s.R.protection;
+    store = "array";
+    outcome =
+      Printf.sprintf "hijacked=%d trapped=%d crashed=%d of %d" s.R.hijacked
+        s.R.trapped_count s.R.crashed s.R.total;
+    status = (if must_stop_all && s.R.hijacked > 0 then 1 else 0);
+    cycles = 0; instrs = 0; mem_ops = 0; instrumented_mem_ops = 0;
+    store_accesses = 0; store_footprint = 0; heap_peak = 0; checksum = 0;
+    wall_us = 0 }
 
 let bench_ripe () =
   header "RIPE-style attack matrix (paper Section 5.1)";
@@ -475,18 +511,85 @@ let all_targets =
     ("ablation", bench_ablation); ("distro", bench_distro);
     ("bechamel", bench_bechamel) ]
 
+(* Run one target under its own journal: fan its independent cells out
+   through the pool first (a no-op at --jobs 1 beyond ordering the
+   journal), then let the unchanged printing code hit the memo. *)
+let run_target name f =
+  let e = Lazy.force eng in
+  let j =
+    if !json_flag then
+      Some (Journal.create ~jobs:(Engine.jobs e) ~target:name ())
+    else None
+  in
+  Engine.set_journal e j;
+  (match List.assoc_opt name Targets.by_name with
+   | Some cells -> Engine.prefetch e (cells ())
+   | None -> ());
+  f ();
+  (match j with
+   | Some j when name = "ripe" ->
+     List.iter
+       (fun s -> Journal.record j (ripe_journal_entry s))
+       (Lazy.force ripe_summaries)
+   | _ -> ());
+  Engine.set_journal e None;
+  match j with
+  | Some j ->
+    let path = Journal.write j in
+    Printf.eprintf "%s -> %s\n" (Journal.summary_line j) path
+  | None -> ()
+
+let usage () =
+  Printf.printf
+    "usage: main.exe [--jobs N] [--json|--no-json] [--fuel-cap N] [target...]\n\
+     targets: %s\n"
+    (String.concat " " (List.map fst all_targets));
+  exit 2
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [] ->
-    print_endline "Code-Pointer Integrity (OSDI 2014) — full evaluation reproduction";
-    List.iter (fun (_, f) -> f ()) all_targets
-  | names ->
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 -> jobs_flag := n
+       | _ -> usage ());
+      parse acc rest
+    | "--json" :: rest -> json_flag := true; parse acc rest
+    | "--no-json" :: rest -> json_flag := false; parse acc rest
+    | "--fuel-cap" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 -> fuel_cap := Some n
+       | _ -> usage ());
+      parse acc rest
+    | ("--help" | "-h" | "--jobs" | "--fuel-cap") :: _ -> usage ()
+    | name :: rest -> parse (name :: acc) rest
+  in
+  let names = parse [] (List.tl (Array.to_list Sys.argv)) in
+  List.iter
+    (fun name ->
+      if not (List.mem_assoc name all_targets) then begin
+        Printf.eprintf "unknown target %s; available: %s\n" name
+          (String.concat " " (List.map fst all_targets));
+        exit 2
+      end)
+    names;
+  (match names with
+   | [] ->
+     print_endline
+       "Code-Pointer Integrity (OSDI 2014) — full evaluation reproduction";
+     List.iter (fun (name, f) -> run_target name f) all_targets
+   | names ->
+     List.iter
+       (fun name -> run_target name (List.assoc name all_targets))
+       names);
+  let failures = Engine.vanilla_failures (Lazy.force eng) in
+  Engine.shutdown (Lazy.force eng);
+  if failures <> [] then begin
+    Printf.eprintf "[bench] %d vanilla run(s) did not exit cleanly:\n"
+      (List.length failures);
     List.iter
-      (fun name ->
-        match List.assoc_opt name all_targets with
-        | Some f -> f ()
-        | None ->
-          Printf.printf "unknown target %s; available: %s\n" name
-            (String.concat " " (List.map fst all_targets)))
-      names
+      (fun (name, o) ->
+        Printf.eprintf "  %s: %s\n" name (M.Trap.outcome_to_string o))
+      failures;
+    exit 1
+  end

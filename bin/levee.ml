@@ -15,16 +15,23 @@
        -fuel N                  instruction budget (default 50M)
        -store array|two-level|hash   safe-pointer-store organisation
        -sfi                     use SFI isolation instead of info hiding
-       -time                    print cycle counts *)
+       -time                    print cycle counts
+       -matrix                  run under ALL protections via the worker
+                                pool and print a comparison table
+       -jobs N                  pool width for -matrix (default 1)
+       -json FILE               write a BENCH-style JSON run journal *)
 
 module P = Levee_core.Pipeline
 module M = Levee_machine
+module Pool = Levee_support.Pool
+module Journal = Levee_support.Journal
 
 let usage () =
   prerr_endline
     "usage: levee [-fcpi|-fcps|-fstack-protector-safe|-fsoftbound|-fcfi|\n\
     \              -fcookies|-fvanilla|-fhardened|-fcpi-debug]\n\
-    \             [-emit-ir] [-stats] [-time] [-sfi]\n\
+    \             [-emit-ir] [-stats] [-time] [-sfi] [-matrix] [-jobs N]\n\
+    \             [-json FILE]\n\
     \             [-input w1,w2,...] [-fuel N] [-store array|two-level|hash]\n\
     \             file.c";
   exit 2
@@ -39,8 +46,18 @@ let () =
   let store_impl = ref M.Safestore.Simple_array in
   let isolation = ref M.Config.Info_hiding in
   let file = ref None in
+  let matrix = ref false in
+  let jobs = ref 1 in
+  let json_out = ref None in
   let rec parse = function
     | [] -> ()
+    | "-matrix" :: rest -> matrix := true; parse rest
+    | "-jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 -> jobs := n
+       | _ -> usage ());
+      parse rest
+    | "-json" :: f :: rest -> json_out := Some f; parse rest
     | "-fcpi" :: rest -> protection := P.Cpi; parse rest
     | "-fcps" :: rest -> protection := P.Cps; parse rest
     | "-fstack-protector-safe" :: rest -> protection := P.Safe_stack; parse rest
@@ -90,6 +107,98 @@ let () =
       exit 1
   in
   let annotated = checked.Levee_minic.Typecheck.sensitive_structs in
+  let journal_entry prot (r : M.Interp.result) wall_us : Journal.entry =
+    { Journal.workload = Filename.basename file;
+      protection = P.protection_name prot;
+      store = M.Safestore.impl_name !store_impl;
+      outcome = M.Trap.outcome_to_string r.M.Interp.outcome;
+      status = (match r.M.Interp.outcome with M.Trap.Exit 0 -> 0 | _ -> 1);
+      cycles = r.M.Interp.cycles; instrs = r.M.Interp.instrs;
+      mem_ops = r.M.Interp.mem_ops;
+      instrumented_mem_ops = r.M.Interp.instrumented_mem_ops;
+      store_accesses = r.M.Interp.store_accesses;
+      store_footprint = r.M.Interp.store_footprint;
+      heap_peak = r.M.Interp.heap_peak; checksum = r.M.Interp.checksum;
+      wall_us }
+  in
+  let write_journal entries =
+    match !json_out with
+    | None -> ()
+    | Some path ->
+      let j =
+        Journal.create ~jobs:!jobs ~target:(Filename.basename file) ()
+      in
+      List.iter (Journal.record j) entries;
+      (try
+         let oc = open_out path in
+         output_string oc (Journal.to_json j);
+         close_out oc
+       with Sys_error msg ->
+         Printf.eprintf "levee: cannot write journal: %s\n" msg;
+         exit 2)
+  in
+  if !matrix then begin
+    (* Build + run the file under every protection, fanned out over the
+       pool; vanilla is the behavioural reference. *)
+    let pool = Pool.create ~jobs:!jobs in
+    let prots = P.all_protections in
+    let outcomes =
+      Pool.map pool
+        (fun prot ->
+          let t0 = Unix.gettimeofday () in
+          let b =
+            P.build ~annotated ~store_impl:!store_impl ~isolation:!isolation
+              prot prog
+          in
+          let r =
+            M.Interp.run_program ~input:!input ~fuel:!fuel b.P.prog b.P.config
+          in
+          (r, int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)))
+        prots
+    in
+    Pool.shutdown pool;
+    let runs =
+      List.map2
+        (fun prot outcome ->
+          match outcome with
+          | Ok (r, wall) -> (prot, r, wall)
+          | Error e -> raise e)
+        prots outcomes
+    in
+    let base =
+      match List.find_opt (fun (p, _, _) -> p = P.Vanilla) runs with
+      | Some (_, r, _) -> r
+      | None -> assert false
+    in
+    Printf.printf "%-18s %-14s %10s %9s %8s  %s\n" "protection" "outcome"
+      "cycles" "overhead" "memops" "agrees";
+    let divergent = ref 0 in
+    List.iter
+      (fun (prot, (r : M.Interp.result), _) ->
+        let agrees =
+          r.M.Interp.checksum = base.M.Interp.checksum
+          && r.M.Interp.output = base.M.Interp.output
+          && r.M.Interp.outcome = base.M.Interp.outcome
+        in
+        if not agrees then incr divergent;
+        Printf.printf "%-18s %-14s %10d %8.1f%% %8d  %s\n"
+          (P.protection_name prot)
+          (M.Trap.outcome_to_string r.M.Interp.outcome)
+          r.M.Interp.cycles
+          (Levee_support.Stats.overhead_pct ~base:base.M.Interp.cycles
+             ~instrumented:r.M.Interp.cycles)
+          r.M.Interp.mem_ops
+          (if agrees then "yes" else "NO"))
+      runs;
+    write_journal
+      (List.map (fun (p, r, wall) -> journal_entry p r wall) runs);
+    (match base.M.Interp.outcome with
+     | M.Trap.Exit 0 -> ()
+     | o ->
+       Printf.eprintf "[levee] vanilla run: %s\n" (M.Trap.outcome_to_string o);
+       exit 101);
+    exit (if !divergent = 0 then 0 else 1)
+  end;
   let built =
     P.build ~annotated ~store_impl:!store_impl ~isolation:!isolation !protection
       prog
@@ -111,9 +220,13 @@ let () =
     print_string (Levee_ir.Printer.program built.P.prog);
     exit 0
   end;
+  let t0 = Unix.gettimeofday () in
   let r =
     M.Interp.run_program ~input:!input ~fuel:!fuel built.P.prog built.P.config
   in
+  write_journal
+    [ journal_entry !protection r
+        (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)) ];
   print_string r.M.Interp.output;
   if !time then begin
     Printf.printf "[levee] cycles:  %d\n" r.M.Interp.cycles;

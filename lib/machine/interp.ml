@@ -86,6 +86,7 @@ type result = {
   checksum : int;
   mem_footprint : int;         (* words of regular memory touched *)
   store_footprint : int;       (* words used by the safe pointer store *)
+  store_accesses : int;        (* safe-store get/set/clear operations *)
   heap_peak : int;
 }
 
@@ -821,6 +822,7 @@ let result_of st outcome =
     mem_footprint = Mem.footprint_words st.mem;
     store_footprint =
       Safestore.footprint_words ~entry_words:st.cfg.Config.cps_entry_words st.store;
+    store_accesses = Safestore.access_count st.store;
     heap_peak = st.heap.Heap.peak_words }
 
 (** Run [main] to completion. *)

@@ -17,6 +17,7 @@ type result = {
   checksum : int;            (** the checksum() accumulator *)
   mem_footprint : int;       (** words of regular memory touched (pages) *)
   store_footprint : int;     (** words used by the safe pointer store *)
+  store_accesses : int;      (** safe-store get/set/clear operations *)
   heap_peak : int;           (** peak live heap words *)
 }
 

@@ -102,42 +102,59 @@ end
 
 type mpx_tag = T_two | T_mpx
 
-type t =
+type backend =
   | Arr of A.t
   | Two of T.t * mpx_tag
   | Hsh of (int, entry) Hashtbl.t
+
+(* The backend is wrapped with an access counter so the harness can
+   journal how hard each run exercised the safe region. *)
+type t = {
+  backend : backend;
+  mutable accesses : int;
+}
 
 (* The MPX organisation (Section 4's "future MPX-based implementation")
    shares the two-level layout — which is exactly the structure Intel MPX's
    bound directory/table uses — but the walk is performed by hardware, so
    its lookup cost is the cheapest of all. We model it as the same data
    structure behind a distinct cost entry. *)
-let create = function
-  | Simple_array -> Arr (A.create ())
-  | Two_level -> Two (T.create (), T_two)
-  | Hashtable -> Hsh (Hashtbl.create 1024)
-  | Mpx -> Two (T.create (), T_mpx)
+let create impl =
+  let backend =
+    match impl with
+    | Simple_array -> Arr (A.create ())
+    | Two_level -> Two (T.create (), T_two)
+    | Hashtable -> Hsh (Hashtbl.create 1024)
+    | Mpx -> Two (T.create (), T_mpx)
+  in
+  { backend; accesses = 0 }
 
-let impl_of = function
+let impl_of t =
+  match t.backend with
   | Arr _ -> Simple_array
   | Two (_, T_two) -> Two_level
   | Two (_, T_mpx) -> Mpx
   | Hsh _ -> Hashtable
 
+let access_count t = t.accesses
+
 let set t addr e =
-  match t with
+  t.accesses <- t.accesses + 1;
+  match t.backend with
   | Arr a -> A.set a addr e
   | Two (a, _) -> T.set a addr e
   | Hsh h -> Hashtbl.replace h addr e
 
 let get t addr =
-  match t with
+  t.accesses <- t.accesses + 1;
+  match t.backend with
   | Arr a -> A.get a addr
   | Two (a, _) -> T.get a addr
   | Hsh h -> Hashtbl.find_opt h addr
 
 let clear_at t addr =
-  match t with
+  t.accesses <- t.accesses + 1;
+  match t.backend with
   | Arr a -> A.clear_at a addr
   | Two (a, _) -> T.clear_at a addr
   | Hsh h -> Hashtbl.remove h addr
@@ -157,7 +174,7 @@ let lookup_cost = function
     allocated pages/leaves; the hashtable pays per entry plus bucket
     overhead. *)
 let footprint_words ?(entry_words = 4) t =
-  match t with
+  match t.backend with
   | Arr a -> a.A.npages * A.page_words * entry_words
   | Two (a, _) ->
     (a.T.nleaves * T.leaf_words * entry_words) + (Hashtbl.length a.T.dirs * 2)
@@ -165,7 +182,7 @@ let footprint_words ?(entry_words = 4) t =
 
 (** Number of live entries (used by tests). *)
 let entry_count t =
-  match t with
+  match t.backend with
   | Arr a ->
     Hashtbl.fold
       (fun _ p acc -> Array.fold_left (fun n e -> if e = None then n else n + 1) acc p)

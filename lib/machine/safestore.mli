@@ -37,6 +37,10 @@ type t
 val create : impl -> t
 val impl_of : t -> impl
 
+(** Total get/set/clear operations performed on this store since creation
+    (the "safe-store accesses" column of the bench journal). *)
+val access_count : t -> int
+
 val set : t -> int -> entry -> unit
 val get : t -> int -> entry option
 val clear_at : t -> int -> unit

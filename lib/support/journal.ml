@@ -1,0 +1,266 @@
+(* Structured run journal: a thread-safe accumulator of per-cell records
+   plus a self-contained JSON emitter/parser (the toolchain has no JSON
+   library; the schema only needs objects, arrays, strings and ints). *)
+
+type entry = {
+  workload : string;
+  protection : string;
+  store : string;
+  outcome : string;
+  status : int;
+  cycles : int;
+  instrs : int;
+  mem_ops : int;
+  instrumented_mem_ops : int;
+  store_accesses : int;
+  store_footprint : int;
+  heap_peak : int;
+  checksum : int;
+  wall_us : int;
+}
+
+type t = {
+  target_name : string;
+  jobs_used : int;
+  m : Mutex.t;
+  mutable rev_entries : entry list;
+}
+
+let schema_id = "levee-bench-journal/1"
+
+let create ?(jobs = 1) ~target () =
+  { target_name = target; jobs_used = jobs; m = Mutex.create ();
+    rev_entries = [] }
+
+let target t = t.target_name
+let jobs t = t.jobs_used
+
+let record t e =
+  Mutex.lock t.m;
+  t.rev_entries <- e :: t.rev_entries;
+  Mutex.unlock t.m
+
+let entries t =
+  Mutex.lock t.m;
+  let es = List.rev t.rev_entries in
+  Mutex.unlock t.m;
+  es
+
+let failures t = List.filter (fun e -> e.status <> 0) (entries t)
+
+(* ---------- emitter ---------- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let entry_to_json e =
+  Printf.sprintf
+    "{\"workload\":\"%s\",\"protection\":\"%s\",\"store\":\"%s\",\
+     \"outcome\":\"%s\",\"status\":%d,\"cycles\":%d,\"instrs\":%d,\
+     \"mem_ops\":%d,\"instrumented_mem_ops\":%d,\"store_accesses\":%d,\
+     \"store_footprint\":%d,\"heap_peak\":%d,\"checksum\":%d,\"wall_us\":%d}"
+    (escape e.workload) (escape e.protection) (escape e.store)
+    (escape e.outcome) e.status e.cycles e.instrs e.mem_ops
+    e.instrumented_mem_ops e.store_accesses e.store_footprint e.heap_peak
+    e.checksum e.wall_us
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\n\"schema\":\"%s\",\n\"target\":\"%s\",\n\"jobs\":%d,\n\"entries\":[\n"
+       schema_id (escape t.target_name) t.jobs_used);
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b (entry_to_json e))
+    (entries t);
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+(* ---------- parser ---------- *)
+
+(* Minimal recursive-descent JSON reader covering the subset the emitter
+   produces (plus arbitrary nesting, so a future schema bump still parses). *)
+
+type json =
+  | Jstr of string
+  | Jint of int
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+exception Bad of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some '"' -> Buffer.add_char b '"'; advance ()
+         | Some '\\' -> Buffer.add_char b '\\'; advance ()
+         | Some 'n' -> Buffer.add_char b '\n'; advance ()
+         | Some 't' -> Buffer.add_char b '\t'; advance ()
+         | Some 'u' ->
+           advance ();
+           if !pos + 4 > n then fail "bad \\u escape";
+           let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+           Buffer.add_char b (Char.chr (code land 0xff));
+           pos := !pos + 4
+         | _ -> fail "bad escape");
+        loop ()
+      | Some c -> Buffer.add_char b c; advance (); loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let parse_int () =
+    skip_ws ();
+    let start = !pos in
+    (match peek () with Some '-' -> advance () | _ -> ());
+    let rec digits () =
+      match peek () with
+      | Some ('0' .. '9') -> advance (); digits ()
+      | _ -> ()
+    in
+    digits ();
+    if !pos = start then fail "expected integer";
+    int_of_string (String.sub s start (!pos - start))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstr (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (advance (); Jobj [])
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); members ((k, v) :: acc)
+          | Some '}' -> advance (); List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Jobj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (advance (); Jlist [])
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elems (v :: acc)
+          | Some ']' -> advance (); List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        Jlist (elems [])
+      end
+    | Some ('-' | '0' .. '9') -> Jint (parse_int ())
+    | _ -> fail "expected value"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field name = function
+  | Jobj kvs ->
+    (match List.assoc_opt name kvs with
+     | Some v -> v
+     | None -> raise (Bad ("missing field " ^ name)))
+  | _ -> raise (Bad "expected object")
+
+let as_str = function Jstr s -> s | _ -> raise (Bad "expected string")
+let as_int = function Jint i -> i | _ -> raise (Bad "expected int")
+let as_list = function Jlist l -> l | _ -> raise (Bad "expected array")
+
+let entry_of_json j =
+  let str k = as_str (field k j) and int k = as_int (field k j) in
+  { workload = str "workload"; protection = str "protection";
+    store = str "store"; outcome = str "outcome"; status = int "status";
+    cycles = int "cycles"; instrs = int "instrs"; mem_ops = int "mem_ops";
+    instrumented_mem_ops = int "instrumented_mem_ops";
+    store_accesses = int "store_accesses";
+    store_footprint = int "store_footprint"; heap_peak = int "heap_peak";
+    checksum = int "checksum"; wall_us = int "wall_us" }
+
+let of_json s =
+  try
+    let j = parse_json s in
+    let schema = as_str (field "schema" j) in
+    if schema <> schema_id then
+      raise (Bad ("unknown schema " ^ schema));
+    let t =
+      create ~jobs:(as_int (field "jobs" j))
+        ~target:(as_str (field "target" j)) ()
+    in
+    List.iter (fun e -> record t (entry_of_json e)) (as_list (field "entries" j));
+    t
+  with
+  | Bad msg -> failwith ("Journal.of_json: " ^ msg)
+  | Failure msg -> failwith ("Journal.of_json: " ^ msg)
+
+(* ---------- comparison / reporting ---------- *)
+
+let equal ?(ignore_wall = true) a b =
+  let strip e = if ignore_wall then { e with wall_us = 0 } else e in
+  a.target_name = b.target_name
+  && List.map strip (entries a) = List.map strip (entries b)
+
+let summary_line t =
+  let es = entries t in
+  let failed = List.length (List.filter (fun e -> e.status <> 0) es) in
+  let cycles = List.fold_left (fun acc e -> acc + e.cycles) 0 es in
+  let wall = List.fold_left (fun acc e -> acc + e.wall_us) 0 es in
+  Printf.sprintf
+    "[journal] %s: %d runs (%d failed), %d model cycles, %.1f ms wall, jobs=%d"
+    t.target_name (List.length es) failed cycles
+    (float_of_int wall /. 1000.) t.jobs_used
+
+let write ?(dir = ".") t =
+  let path = Filename.concat dir ("BENCH_" ^ t.target_name ^ ".json") in
+  let oc = open_out path in
+  output_string oc (to_json t);
+  close_out oc;
+  path

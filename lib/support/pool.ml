@@ -1,0 +1,85 @@
+(* Fixed-size Domain-based worker pool with deterministic result order.
+
+   Tasks are erased to [unit -> unit] closures that write into their own
+   result slot; the queue/counters are protected by one mutex. Workers
+   never die on a task exception: the wrapper catches it into the slot.
+   A batch is complete when [outstanding] drops back to zero, at which
+   point the submitter is woken. *)
+
+type t = {
+  size : int;
+  m : Mutex.t;
+  work_cv : Condition.t;            (* workers: queue non-empty or stop *)
+  done_cv : Condition.t;            (* submitter: batch drained *)
+  queue : (unit -> unit) Queue.t;
+  mutable outstanding : int;        (* queued + running tasks *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs p = p.size
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let rec worker p =
+  Mutex.lock p.m;
+  while Queue.is_empty p.queue && not p.stop do
+    Condition.wait p.work_cv p.m
+  done;
+  if Queue.is_empty p.queue then Mutex.unlock p.m (* stop requested *)
+  else begin
+    let task = Queue.pop p.queue in
+    Mutex.unlock p.m;
+    task ();                        (* never raises: see [slot_of] *)
+    Mutex.lock p.m;
+    p.outstanding <- p.outstanding - 1;
+    if p.outstanding = 0 then Condition.broadcast p.done_cv;
+    Mutex.unlock p.m;
+    worker p
+  end
+
+let create ~jobs =
+  let size = max 1 jobs in
+  let p =
+    { size; m = Mutex.create (); work_cv = Condition.create ();
+      done_cv = Condition.create (); queue = Queue.create ();
+      outstanding = 0; stop = false; workers = [] }
+  in
+  if size > 1 then
+    p.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker p));
+  p
+
+let slot_of slots i thunk () =
+  slots.(i) <- Some (try Ok (thunk ()) with e -> Error e)
+
+let run p thunks =
+  let n = List.length thunks in
+  let slots = Array.make n None in
+  if p.size <= 1 then
+    List.iteri (fun i th -> slot_of slots i th ()) thunks
+  else begin
+    Mutex.lock p.m;
+    List.iteri (fun i th -> Queue.push (slot_of slots i th) p.queue) thunks;
+    p.outstanding <- p.outstanding + n;
+    Condition.broadcast p.work_cv;
+    while p.outstanding > 0 do
+      Condition.wait p.done_cv p.m
+    done;
+    Mutex.unlock p.m
+  end;
+  Array.to_list
+    (Array.map (function Some r -> r | None -> assert false) slots)
+
+let map p f xs = run p (List.map (fun x () -> f x) xs)
+
+let shutdown p =
+  let ws =
+    Mutex.lock p.m;
+    p.stop <- true;
+    Condition.broadcast p.work_cv;
+    let ws = p.workers in
+    p.workers <- [];
+    Mutex.unlock p.m;
+    ws
+  in
+  List.iter Domain.join ws

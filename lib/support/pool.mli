@@ -1,0 +1,37 @@
+(** A fixed-size Domain-based worker pool.
+
+    The benchmark harness fans independent (workload x protection x store)
+    cells out across OCaml 5 domains. The pool guarantees:
+
+    - results come back ordered by submission index, regardless of which
+      worker finished first, so a parallel run is bit-for-bit comparable
+      with a sequential one;
+    - a raising task is captured as [Error exn] in its own slot and does
+      not kill the worker or poison the rest of the batch;
+    - [jobs = 1] executes every task inline in the submitting domain, in
+      submission order, spawning no domains at all — the sequential
+      baseline path. *)
+
+type t
+
+(** [create ~jobs] spawns [jobs] worker domains when [jobs > 1];
+    [jobs <= 1] creates an inline pool that runs tasks in the caller and
+    spawns nothing. *)
+val create : jobs:int -> t
+
+(** The pool's configured size (>= 1). *)
+val jobs : t -> int
+
+(** [Domain.recommended_domain_count ()], the default for [--jobs]. *)
+val default_jobs : unit -> int
+
+(** [run p thunks] executes all thunks and returns their outcomes in
+    submission order. Blocks until the whole batch is done. *)
+val run : t -> (unit -> 'a) list -> ('a, exn) result list
+
+(** [map p f xs] = [run p (List.map (fun x () -> f x) xs)]. *)
+val map : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+
+(** Stop the workers and join their domains. The pool must not be used
+    afterwards; idempotent. *)
+val shutdown : t -> unit

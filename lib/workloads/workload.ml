@@ -21,15 +21,27 @@ type t = {
 
 let lang_name = function C -> "C" | Cpp -> "C++"
 
-(* Compilation is deterministic and pure; cache per workload. *)
+(* Compilation is deterministic and pure; cache per workload. The bench
+   harness compiles from several domains at once, so the table is guarded
+   by a mutex (compilation itself runs outside the lock — a duplicate
+   compile of the same workload is wasted work, never wrong work). *)
 let cache : (string, Prog.t) Hashtbl.t = Hashtbl.create 32
+let cache_m = Mutex.create ()
 
 let compile (w : t) : Prog.t =
-  match Hashtbl.find_opt cache w.name with
+  let cached =
+    Mutex.lock cache_m;
+    let c = Hashtbl.find_opt cache w.name in
+    Mutex.unlock cache_m;
+    c
+  in
+  match cached with
   | Some p -> p
   | None ->
     let p = Levee_minic.Lower.compile ~name:w.name w.source in
+    Mutex.lock cache_m;
     Hashtbl.replace cache w.name p;
+    Mutex.unlock cache_m;
     p
 
 (** Run [w] under a protection and return the interpreter result. *)

@@ -40,3 +40,8 @@ let outcome_testable =
   Alcotest.testable
     (fun fmt o -> Format.pp_print_string fmt (M.Trap.outcome_to_string o))
     ( = )
+
+let exn_testable =
+  Alcotest.testable
+    (fun fmt e -> Format.pp_print_string fmt (Printexc.to_string e))
+    ( = )

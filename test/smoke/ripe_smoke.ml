@@ -6,13 +6,14 @@ module A = Levee_attacks.Attack
 module M = Levee_machine
 
 let () =
+  let verbose = Array.length Sys.argv > 1 && Sys.argv.(1) = "-v" in
   let summaries = R.run_matrix ~include_beyond_ripe:true () in
   List.iter
     (fun (s : R.summary) ->
       Printf.printf "%-18s total=%-3d hijacked=%-3d (stack:%d) trapped=%-3d crashed=%-3d\n"
         (P.protection_name s.R.protection) s.R.total s.R.hijacked s.R.stack_hijacked
         s.R.trapped_count s.R.crashed;
-      if Array.length Sys.argv > 1 then
+      if verbose then
         List.iter
           (fun (r : R.run) ->
             Printf.printf "    %-28s %-16s -> %s\n"
@@ -20,4 +21,23 @@ let () =
               (A.payload_name r.R.instance.R.payload)
               (M.Trap.outcome_to_string r.R.outcome))
           s.R.runs)
-    summaries
+    summaries;
+  (* Invariants from the paper's Section 5.1 that must never regress:
+     the unprotected build is hijackable, the safe stack stops every
+     stack-based attack, and CPI/SoftBound stop everything. (CPS is
+     exempt here: the beyond-RIPE relaxation demo is included.) *)
+  let find p =
+    List.find (fun (s : R.summary) -> s.R.protection = p) summaries
+  in
+  let violations = ref [] in
+  let check name ok = if not ok then violations := name :: !violations in
+  check "vanilla must be hijackable" ((find P.Vanilla).R.hijacked > 0);
+  check "safestack must stop stack attacks"
+    ((find P.Safe_stack).R.stack_hijacked = 0);
+  check "cpi must stop everything" ((find P.Cpi).R.hijacked = 0);
+  check "softbound must stop everything" ((find P.Softbound).R.hijacked = 0);
+  if !violations <> [] then begin
+    List.iter (fun v -> print_endline ("ripe_smoke: FAILED: " ^ v))
+      (List.rev !violations);
+    exit 1
+  end

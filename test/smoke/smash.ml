@@ -23,6 +23,7 @@ int main() {
 
 let () =
   let prog = Levee_minic.Lower.compile ~name:"smash" src in
+  let failed = ref false in
   List.iter
     (fun prot ->
       let built = P.build prot prog in
@@ -50,6 +51,17 @@ let () =
       let payload = Array.make (dist + 1) 0x41 in
       payload.(dist) <- target;
       let res = M.Interp.run ~input:payload image in
+      (* The smash must succeed on the unprotected build and be stopped
+         (trap or harmless exit, never a hijack) by every other one. *)
+      (match prot, res.M.Interp.outcome with
+       | P.Vanilla, M.Trap.Hijacked _ -> ()
+       | P.Vanilla, _ -> failed := true
+       | _, M.Trap.Hijacked _ -> failed := true
+       | _, _ -> ());
       Printf.printf "%-18s dist=%d -> %s\n" (P.protection_name prot) dist
         (M.Trap.outcome_to_string res.M.Interp.outcome))
-    P.all_protections
+    P.all_protections;
+  if !failed then begin
+    print_endline "smash: protection expectation violated";
+    exit 1
+  end

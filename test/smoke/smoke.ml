@@ -37,6 +37,7 @@ int main() {
 
 let () =
   let prog = Levee_minic.Lower.compile ~name:"smoke" src in
+  let failed = ref false in
   List.iter
     (fun prot ->
       let built = Levee_core.Pipeline.build prot prog in
@@ -44,10 +45,14 @@ let () =
         Levee_machine.Interp.run_program built.Levee_core.Pipeline.prog
           built.Levee_core.Pipeline.config
       in
+      (match res.Levee_machine.Interp.outcome with
+       | Levee_machine.Trap.Exit 0 -> ()
+       | _ -> failed := true);
       Printf.printf "%-18s outcome=%-12s cycles=%-8d instrs=%-7d memops=%d/%d out=%s\n"
         (Levee_core.Pipeline.protection_name prot)
         (Levee_machine.Trap.outcome_to_string res.Levee_machine.Interp.outcome)
         res.Levee_machine.Interp.cycles res.Levee_machine.Interp.instrs
         res.Levee_machine.Interp.instrumented_mem_ops res.Levee_machine.Interp.mem_ops
         (String.concat "|" (String.split_on_char '\n' res.Levee_machine.Interp.output)))
-    Levee_core.Pipeline.all_protections
+    Levee_core.Pipeline.all_protections;
+  if !failed then exit 1

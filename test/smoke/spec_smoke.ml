@@ -7,6 +7,21 @@ module I = Levee_machine.Interp
 module T = Levee_machine.Trap
 
 let () =
+  (* Positional args select workloads by name (the runtest wiring runs a
+     cheap subset); no args = the full suite. *)
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let selected =
+    if requested = [] then W.Spec.all
+    else
+      List.filter
+        (fun (w : W.Workload.t) -> List.mem w.W.Workload.name requested)
+        W.Spec.all
+  in
+  (if requested <> [] && List.length selected <> List.length requested then begin
+     prerr_endline "unknown workload name among arguments";
+     exit 2
+   end);
+  let any_fail = ref false in
   let protections = [ P.Vanilla; P.Safe_stack; P.Cps; P.Cpi; P.Softbound ] in
   List.iter
     (fun (w : W.Workload.t) ->
@@ -21,6 +36,7 @@ let () =
             && (match r.I.outcome with T.Exit 0 -> true | _ -> false))
           results
       in
+      if not ok then any_fail := true;
       Printf.printf "%-16s %s base=%-9d " w.W.Workload.name
         (if ok then "OK  " else "FAIL")
         base.I.cycles;
@@ -36,4 +52,5 @@ let () =
        | T.Exit 0 -> ()
        | o -> Printf.printf " [base outcome: %s]" (T.outcome_to_string o));
       print_newline ())
-    W.Spec.all
+    selected;
+  if !any_fail then exit 1

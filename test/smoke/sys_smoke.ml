@@ -5,6 +5,21 @@ module I = Levee_machine.Interp
 module T = Levee_machine.Trap
 
 let () =
+  (* Positional args select workloads by name (the runtest wiring runs a
+     cheap subset); no args = the full suite. *)
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let selected =
+    if requested = [] then (W.Phoronix.all @ W.Webstack.all)
+    else
+      List.filter
+        (fun (w : W.Workload.t) -> List.mem w.W.Workload.name requested)
+        (W.Phoronix.all @ W.Webstack.all)
+  in
+  (if requested <> [] && List.length selected <> List.length requested then begin
+     prerr_endline "unknown workload name among arguments";
+     exit 2
+   end);
+  let any_fail = ref false in
   let protections = [ P.Vanilla; P.Safe_stack; P.Cps; P.Cpi ] in
   List.iter
     (fun (w : W.Workload.t) ->
@@ -17,6 +32,7 @@ let () =
             && (match r.I.outcome with T.Exit 0 -> true | _ -> false))
           results
       in
+      if not ok then any_fail := true;
       Printf.printf "%-16s %s base=%-9d " w.W.Workload.name (if ok then "OK  " else "FAIL") base.I.cycles;
       List.iter
         (fun (p, (r : I.result)) ->
@@ -26,4 +42,5 @@ let () =
         results;
       (match base.I.outcome with T.Exit 0 -> () | o -> Printf.printf " [%s]" (T.outcome_to_string o));
       print_newline ())
-    (W.Phoronix.all @ W.Webstack.all)
+    selected;
+  if !any_fail then exit 1

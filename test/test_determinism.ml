@@ -1,0 +1,69 @@
+(* Determinism regression: the cost model is fully deterministic, so the
+   table1 computation must produce identical cycle counts and identical
+   journals whether it runs sequentially or fanned out over domains, and
+   across repeated runs. Fuel is clamped so the whole matrix stays cheap;
+   fuel-exhausted cells are themselves deterministic. *)
+
+module Engine = Levee_harness.Engine
+module Targets = Levee_harness.Targets
+module Journal = Levee_support.Journal
+
+let fuel_cap = 150_000
+
+let run_table1 ~jobs =
+  let e = Engine.create ~fuel_cap ~jobs () in
+  let j = Journal.create ~jobs ~target:"table1" () in
+  Engine.set_journal e (Some j);
+  Engine.prefetch e (Targets.table1 ());
+  Engine.set_journal e None;
+  Engine.shutdown e;
+  j
+
+let cycles j = List.map (fun (e : Journal.entry) -> e.Journal.cycles) j
+
+let keys j =
+  List.map
+    (fun (e : Journal.entry) ->
+      (e.Journal.workload, e.Journal.protection, e.Journal.store))
+    j
+
+let test_determinism () =
+  let j1a = run_table1 ~jobs:1 in
+  let j1b = run_table1 ~jobs:1 in
+  let j4a = run_table1 ~jobs:4 in
+  let j4b = run_table1 ~jobs:4 in
+  Alcotest.(check bool) "non-empty" true (Journal.entries j1a <> []);
+  Alcotest.(check (list int)) "jobs=1 rerun: identical cycles"
+    (cycles (Journal.entries j1a))
+    (cycles (Journal.entries j1b));
+  Alcotest.(check (list int)) "jobs=4 rerun: identical cycles"
+    (cycles (Journal.entries j4a))
+    (cycles (Journal.entries j4b));
+  Alcotest.(check (list int)) "jobs=1 vs jobs=4: identical cycles"
+    (cycles (Journal.entries j1a))
+    (cycles (Journal.entries j4a));
+  Alcotest.(check bool) "jobs=1 journals equal modulo wall-clock" true
+    (Journal.equal j1a j1b);
+  Alcotest.(check bool) "jobs=1 vs jobs=4 journals equal modulo wall-clock"
+    true
+    (Journal.equal j1a j4a);
+  Alcotest.(check bool) "jobs=4 journals equal modulo wall-clock" true
+    (Journal.equal j4a j4b);
+  (* same cells, same canonical order, whatever the scheduling did *)
+  Alcotest.(check bool) "cell order is canonical" true
+    (keys (Journal.entries j1a) = keys (Journal.entries j4a))
+
+(* The journal must also survive a disk round trip unchanged: what a
+   future trajectory-comparison job reads equals what this run measured. *)
+let test_journal_disk_roundtrip () =
+  let j = run_table1 ~jobs:2 in
+  let j' = Journal.of_json (Journal.to_json j) in
+  Alcotest.(check bool) "parse (to_json j) = j" true
+    (Journal.equal ~ignore_wall:false j j')
+
+let () =
+  Alcotest.run "determinism"
+    [ ( "table1",
+        [ Alcotest.test_case "jobs 1 vs 4, run twice" `Quick test_determinism;
+          Alcotest.test_case "journal disk round trip" `Quick
+            test_journal_disk_roundtrip ] ) ]

@@ -125,6 +125,43 @@ let prop_differential =
           protections
       | _ -> false (* generated programs are benign by construction *))
 
+(* The paper claims all three safe-store organisations and both software
+   isolation mechanisms are semantics-preserving: cross the protection
+   axis with every (store, isolation) combination, not just the defaults. *)
+let store_axis =
+  [ M.Safestore.Simple_array; M.Safestore.Two_level; M.Safestore.Hashtable ]
+
+let isolation_axis = [ M.Config.Info_hiding; M.Config.Sfi ]
+
+let prop_store_isolation_cross =
+  QCheck.Test.make
+    ~name:"store organisations x isolation modes preserve semantics"
+    ~count:20
+    (QCheck.make ~print:(fun s -> s) gen_program)
+    (fun src ->
+      let prog = Levee_minic.Lower.compile src in
+      let run ?store_impl ?isolation prot =
+        let b = P.build ?store_impl ?isolation prot prog in
+        M.Interp.run_program ~fuel:3_000_000 b.P.prog b.P.config
+      in
+      let base = run P.Vanilla in
+      match base.M.Interp.outcome with
+      | M.Trap.Exit 0 ->
+        List.for_all
+          (fun prot ->
+            List.for_all
+              (fun store_impl ->
+                List.for_all
+                  (fun isolation ->
+                    let r = run ~store_impl ~isolation prot in
+                    r.M.Interp.outcome = base.M.Interp.outcome
+                    && r.M.Interp.checksum = base.M.Interp.checksum
+                    && r.M.Interp.output = base.M.Interp.output)
+                  isolation_axis)
+              store_axis)
+          [ P.Safe_stack; P.Cps; P.Cpi; P.Softbound ]
+      | _ -> false (* generated programs are benign by construction *))
+
 let prop_overhead_ordering =
   (* cycle counts: vanilla <= cps-ish <= softbound on dispatch-heavy
      programs; we assert only the coarse, always-true ordering:
@@ -145,4 +182,5 @@ let () =
   Alcotest.run "props"
     [ ("differential",
        [ QCheck_alcotest.to_alcotest prop_differential;
+         QCheck_alcotest.to_alcotest prop_store_isolation_cross;
          QCheck_alcotest.to_alcotest prop_overhead_ordering ]) ]
