@@ -1,0 +1,147 @@
+(* Wall-clock performance benchmark for the simulator itself.
+
+   The bench targets measure *simulated* cycles, which are deterministic
+   and independent of host speed. This harness measures the opposite: how
+   fast the host executes the simulation. It replays the same cells the
+   CI smoke path runs (the table1 SPEC matrix plus the RIPE attack
+   matrix) sequentially (--jobs 1, so the numbers are not confounded by
+   domain scheduling) and writes BENCH_perf.json:
+
+     { "schema": "levee-bench-perf/1",
+       "jobs": 1, "fuel_cap": <int or 0 for full fuel>,
+       "cells": <number of table1 cells>,
+       "wall_us_total": <microseconds for cells + ripe>,
+       "cells_wall_us": <microseconds for the table1 cells alone>,
+       "ripe_wall_us": <microseconds for the RIPE matrix alone>,
+       "cells_per_sec": <cells / (cells_wall_us * 1e-6)>,
+       "sim_cycles": <total simulated cycles over the cells>,
+       "sim_instrs": <total simulated instructions over the cells>,
+       "entries": [ {workload, protection, store, cycles, instrs,
+                     wall_us}, ... ] }
+
+   Simulated totals are included so a perf regression can be told apart
+   from a workload change: across commits, identical sim_cycles/sim_instrs
+   with differing wall_us_total is a pure host-speed (interpreter) delta.
+
+     dune exec bench/perf.exe --              full-fuel measurement
+     dune exec bench/perf.exe -- --fuel-cap 20000   tiny smoke (CI)
+
+   Exits non-zero if any vanilla cell fails, like the main harness. *)
+
+module P = Levee_core.Pipeline
+module W = Levee_workloads
+module R = Levee_attacks.Ripe
+module Journal = Levee_support.Journal
+module Engine = Levee_harness.Engine
+module Targets = Levee_harness.Targets
+
+let fuel_cap = ref None
+let json_flag = ref true
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--fuel-cap" :: n :: rest ->
+      fuel_cap := Some (int_of_string n);
+      parse rest
+    | "--no-json" :: rest -> json_flag := false; parse rest
+    | "--json" :: rest -> json_flag := true; parse rest
+    | arg :: _ ->
+      Printf.eprintf "perf: unknown argument %s\n" arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let () =
+  let eng = Engine.create ?fuel_cap:!fuel_cap ~jobs:1 () in
+  let journal = Journal.create ~jobs:1 ~target:"perf" () in
+  Engine.set_journal eng (Some journal);
+  let cells = Targets.table1 () in
+  let t0 = Unix.gettimeofday () in
+  Engine.prefetch eng cells;
+  let t1 = Unix.gettimeofday () in
+  (* The RIPE matrix: wall-clock only; its verdicts are covered by the
+     main harness and the attack tests. *)
+  let _summaries =
+    R.run_matrix ~include_beyond_ripe:false
+      ~protections:
+        [ P.Vanilla; P.Hardened; P.Cookies; P.Safe_stack; P.Cfi; P.Cps;
+          P.Cpi; P.Softbound ]
+      ()
+  in
+  let t2 = Unix.gettimeofday () in
+  let entries = Journal.entries journal in
+  let ncells = List.length entries in
+  let sim_cycles =
+    List.fold_left (fun a (e : Journal.entry) -> a + e.Journal.cycles) 0 entries
+  in
+  let sim_instrs =
+    List.fold_left (fun a (e : Journal.entry) -> a + e.Journal.instrs) 0 entries
+  in
+  let cells_us = int_of_float ((t1 -. t0) *. 1e6) in
+  let ripe_us = int_of_float ((t2 -. t1) *. 1e6) in
+  let total_us = cells_us + ripe_us in
+  let cells_per_sec =
+    if cells_us = 0 then 0.0
+    else float_of_int ncells /. (float_of_int cells_us *. 1e-6)
+  in
+  Printf.printf "perf: %d cells in %.1f ms (%.1f cells/s), ripe %.1f ms\n"
+    ncells
+    (float_of_int cells_us /. 1e3)
+    cells_per_sec
+    (float_of_int ripe_us /. 1e3);
+  Printf.printf "perf: %d simulated cycles, %d simulated instrs\n" sim_cycles
+    sim_instrs;
+  if !json_flag then begin
+    let b = Buffer.create 4096 in
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\n\"schema\":\"levee-bench-perf/1\",\n\"jobs\":1,\n\
+          \"fuel_cap\":%d,\n\"cells\":%d,\n\"wall_us_total\":%d,\n\
+          \"cells_wall_us\":%d,\n\"ripe_wall_us\":%d,\n\
+          \"cells_per_sec\":%.1f,\n\"sim_cycles\":%d,\n\"sim_instrs\":%d,\n\
+          \"entries\":[\n"
+         (match !fuel_cap with Some f -> f | None -> 0)
+         ncells total_us cells_us ripe_us cells_per_sec sim_cycles sim_instrs);
+    List.iteri
+      (fun i (e : Journal.entry) ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"workload\":\"%s\",\"protection\":\"%s\",\"store\":\"%s\",\
+              \"cycles\":%d,\"instrs\":%d,\"wall_us\":%d}"
+             (escape e.Journal.workload)
+             (escape e.Journal.protection)
+             (escape e.Journal.store) e.Journal.cycles e.Journal.instrs
+             e.Journal.wall_us))
+      entries;
+    Buffer.add_string b "\n]}\n";
+    let oc = open_out "BENCH_perf.json" in
+    output_string oc (Buffer.contents b);
+    close_out oc;
+    prerr_endline "perf: wrote BENCH_perf.json"
+  end;
+  (match Engine.vanilla_failures eng with
+   | [] -> ()
+   | fails ->
+     List.iter
+       (fun (name, outcome) ->
+         Printf.eprintf "perf: vanilla failure: %s: %s\n" name
+           (Levee_machine.Trap.outcome_to_string outcome))
+       fails;
+     Engine.shutdown eng;
+     exit 1);
+  Engine.shutdown eng

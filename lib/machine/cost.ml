@@ -26,7 +26,7 @@ let create () =
   { cycles = 0; instrs = 0; mem_ops = 0; instrumented_mem_ops = 0;
     checks = 0; safe_store_ops = 0; calls = 0; unsafe_frames = 0 }
 
-let add t n = t.cycles <- t.cycles + n
+let[@inline] add t n = t.cycles <- t.cycles + n
 
 (* ---- Base instruction costs ---- *)
 
@@ -73,15 +73,15 @@ let locality_penalty = 1
    must probe the safe pointer store in addition to the copy itself. *)
 let cpi_memop_per_word store_impl = Safestore.lookup_cost store_impl
 
-let charge_mem t ~instrumented n =
+let[@inline] charge_mem t ~instrumented n =
   t.mem_ops <- t.mem_ops + 1;
   if instrumented then t.instrumented_mem_ops <- t.instrumented_mem_ops + 1;
   add t n
 
-let charge_check t =
+let[@inline] charge_check t =
   t.checks <- t.checks + 1;
   add t check_cost
 
-let charge_safe_store t impl =
+let[@inline] charge_safe_store t impl =
   t.safe_store_ops <- t.safe_store_ops + 1;
   add t (Safestore.lookup_cost impl + meta_move)

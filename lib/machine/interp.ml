@@ -7,31 +7,34 @@
     Control-flow is fully decodable: every instruction has a code address,
     so a corrupted return address or function pointer "jumps" exactly where
     the attacker pointed it — into a function, a gadget in the middle of
-    one, injected shellcode in a data page, or garbage. *)
+    one, injected shellcode in a data page, or garbage.
+
+    This interpreter executes the *prepared* (decode-once) form of the
+    program built by [Loader.load] — see [Levee_ir.Prepared]. Operands are
+    resolved, alloca placements and call return addresses are baked in, and
+    switch dispatch is table-driven, so the hot loop performs no hashtable
+    lookups. The deterministic cost model is charged exactly as it was by
+    the decode-per-step interpreter: simulated cycles, instruction counts,
+    footprints and checksums are byte-identical; only host wall-clock
+    changes (asserted by the golden-determinism regression test). *)
 
 module Ty = Levee_ir.Ty
 module I = Levee_ir.Instr
+module Pr = Levee_ir.Prepared
 module Prog = Levee_ir.Prog
 open Trap
 
-type meta = { lower : int; upper : int; tid : int; kind : Safestore.kind }
+type meta = Meta.t = { lower : int; upper : int; tid : int; kind : Safestore.kind }
 
-let meta_of_entry (e : Safestore.entry) =
-  match e.Safestore.kind with
-  | Safestore.Invalid -> None
-  | k -> Some { lower = e.Safestore.lower; upper = e.Safestore.upper;
-                tid = e.Safestore.tid; kind = k }
-
-let entry_of_meta value = function
-  | Some m ->
-    { Safestore.value; lower = m.lower; upper = m.upper; tid = m.tid; kind = m.kind }
-  | None -> Safestore.invalid_entry value
+let meta_of_entry = Meta.of_entry
+let entry_of_meta = Meta.to_entry
 
 type frame = {
-  fr_fn : Prog.func;
+  fr_pf : Loader.pmeta Pr.func;
   regs : int array;
   rmeta : meta option array;
   mutable block : int;
+  mutable blk : Loader.pmeta Pr.block;   (* cache of fr_pf.blocks.(block) *)
   mutable ip : int;
   base_r : int;
   base_s : int;
@@ -53,13 +56,17 @@ type jmp_ctx = {
 type t = {
   image : Loader.image;
   cfg : Config.t;
+  slide : int;                 (* image slide, cached off the hot path *)
   mem : Mem.t;
   store : Safestore.t;
   heap : Heap.t;
   cost : Cost.t;
   mutable frames : frame list;
+  mutable depth : int;         (* List.length frames, maintained incrementally *)
+  mutable cur : frame;         (* cached head of [frames] *)
   mutable sp_r : int;
   mutable sp_s : int;
+  fuel0 : int;                 (* initial fuel; instrs executed = fuel0 - fuel *)
   input : int array;
   mutable input_pos : int;
   out : Buffer.t;
@@ -96,10 +103,21 @@ let exit_sentinel = Layout.code_base - 7
 
 let stop outcome = raise (Machine_stop outcome)
 
-let current st =
-  match st.frames with
-  | f :: _ -> f
-  | [] -> assert false
+(* Placeholder [cur] before the first frame is pushed; never executed. *)
+let dummy_layout : Loader.frame_layout =
+  { Loader.fl_slots = Hashtbl.create 1; fl_regular_size = 0; fl_safe_size = 0;
+    fl_ret_on_safe = false; fl_ret_offset = 0; fl_cookie_offset = None;
+    fl_hot_words = 0; fl_array_words = 0; fl_has_unsafe = false }
+
+let dummy_pf : Loader.pmeta Pr.func =
+  { Pr.findex = -1; fname = "<none>"; nregs = 0; nparams = 0; blocks = [||];
+    addrs = [||]; entry_addr = 0 }
+
+let dummy_frame () =
+  { fr_pf = dummy_pf; regs = [||]; rmeta = [||]; block = 0;
+    blk = { Pr.instrs = [||]; term = Pr.Unreachable }; ip = 0;
+    base_r = 0; base_s = 0; ret_dst = None; pushed_ret = 0; cookie_value = 0;
+    penalize_stack = false; layout = dummy_layout }
 
 (* ---------- Memory access with isolation ---------- *)
 
@@ -111,46 +129,58 @@ let charge_sfi st =
    attacker-influenced access: blocked by segments / guaranteed-miss under
    leak-proof info hiding / masked by SFI — uniformly reported as an
    isolation violation. *)
-let check_region st addr meta ~is_write ~size =
-  let slide = st.image.Loader.slide in
-  match Layout.region_of ~slide addr with
-  | Layout.Safe ->
-    (match meta with
-     | Some m when m.kind = Safestore.Data && addr >= m.lower && addr + size <= m.upper -> ()
-     | _ -> stop (Trapped Isolation_violation))
-  | Layout.Code -> if is_write then stop (Crash "write to code segment")
-  | Layout.Null -> stop (Crash "null-page access")
-  | Layout.Globals | Layout.Heap | Layout.Stack | Layout.Other -> ()
+let check_safe_access addr meta ~size =
+  match meta with
+  | Some m when m.kind = Safestore.Data && addr >= m.lower && addr + size <= m.upper -> ()
+  | _ -> stop (Trapped Isolation_violation)
 
 (* SFI isolation protects the *integrity* of the safe region: only writes
    need masking (reads cannot corrupt, and the safe region's secrecy is the
    info-hiding mechanism's job). Accesses the safe stack analysis proved
    safe live in the safe region and need no mask either — this is how the
    paper keeps the SFI variant under ~5%. *)
+
+(* The region classification is fused into the accessors: the regions are
+   disjoint address ranges and only Null, Safe and Code need any action, so
+   the overwhelmingly common regular-region access (globals / heap / unsafe
+   stack) costs two compares before touching memory. *)
 let plain_read st addr meta =
-  check_region st addr meta ~is_write:false ~size:1;
-  if Layout.in_code ~slide:st.image.Loader.slide addr then 0xC0DE
+  let a = addr - st.slide in
+  if a < Layout.safe_base then begin
+    if a < Layout.null_guard then stop (Crash "null-page access");
+    Mem.read st.mem addr
+  end
+  else if a < Layout.safe_end then begin
+    check_safe_access addr meta ~size:1;
+    Mem.read st.mem addr
+  end
+  else if a >= Layout.code_base && a < Layout.code_end then 0xC0DE
   else Mem.read st.mem addr
 
 let plain_write st addr meta v =
-  check_region st addr meta ~is_write:true ~size:1;
-  if not (Layout.in_safe_region ~slide:st.image.Loader.slide addr) then charge_sfi st;
-  Mem.write st.mem addr v
+  let a = addr - st.slide in
+  if a < Layout.safe_base then begin
+    if a < Layout.null_guard then stop (Crash "null-page access");
+    charge_sfi st;
+    Mem.write st.mem addr v
+  end
+  else if a < Layout.safe_end then begin
+    check_safe_access addr meta ~size:1;
+    Mem.write st.mem addr v
+  end
+  else begin
+    if a >= Layout.code_base && a < Layout.code_end then
+      stop (Crash "write to code segment");
+    charge_sfi st;
+    Mem.write st.mem addr v
+  end
 
-(* Reads/writes that may hit the safe stack carry metadata through the
-   shadow (see [safe_meta] above). *)
-let read_with_shadow st addr meta =
-  let v = plain_read st addr meta in
-  let m =
-    if Layout.in_safe_region ~slide:st.image.Loader.slide addr then
-      Hashtbl.find_opt st.safe_meta addr
-    else None
-  in
-  (v, m)
-
+(* Writes that may hit the safe stack carry metadata through the shadow
+   (see [safe_meta] above); the matching read path is inlined in
+   [do_load]'s [Regular] arm to keep it allocation-free. *)
 let write_with_shadow st addr meta v vmeta =
   plain_write st addr meta v;
-  if Layout.in_safe_region ~slide:st.image.Loader.slide addr then begin
+  if Layout.in_safe_region_s st.slide addr then begin
     match vmeta with
     | Some m -> Hashtbl.replace st.safe_meta addr m
     | None -> Hashtbl.remove st.safe_meta addr
@@ -175,46 +205,46 @@ let check_deref st addr meta ~size ~what =
 
 (* ---------- Operand evaluation ---------- *)
 
-let eval st (o : I.operand) : int * meta option =
-  let fr = current st in
+(* Operands are pre-resolved: a register read or a constant, no lookups.
+   The value and metadata projections are split so the hot loop never
+   allocates a pair per operand (no flambda to elide it). *)
+let eval fr (o : Loader.pmeta Pr.operand) : int * meta option =
   match o with
-  | I.Reg r -> (fr.regs.(r), fr.rmeta.(r))
-  | I.Imm n -> (n, None)
-  | I.Nullp -> (0, None)
-  | I.Glob g ->
-    let addr = Hashtbl.find st.image.Loader.global_addr g in
-    let lo, hi = Hashtbl.find st.image.Loader.global_bounds g in
-    (addr, Some { lower = lo; upper = hi; tid = 0; kind = Safestore.Data })
-  | I.Fun f ->
-    let addr = Loader.entry_addr st.image f in
-    (addr, Some { lower = addr; upper = addr + 1; tid = 0; kind = Safestore.Code })
+  | Pr.Reg r -> (fr.regs.(r), fr.rmeta.(r))
+  | Pr.Const (v, m) -> (v, m)
 
-let set_reg st dst v m =
-  let fr = current st in
-  fr.regs.(dst) <- v;
-  fr.rmeta.(dst) <- m
+(* Register indices are validated against [nregs] when the function is
+   prepared, so the register files are accessed unchecked. *)
+let[@inline] eval_v fr (o : Loader.pmeta Pr.operand) =
+  match o with
+  | Pr.Reg r -> Array.unsafe_get fr.regs r
+  | Pr.Const (v, _) -> v
+
+let[@inline] eval_m fr (o : Loader.pmeta Pr.operand) =
+  match o with
+  | Pr.Reg r -> Array.unsafe_get fr.rmeta r
+  | Pr.Const (_, m) -> m
+
+let[@inline] set_reg fr dst v m =
+  Array.unsafe_set fr.regs dst v;
+  Array.unsafe_set fr.rmeta dst m
 
 (* ---------- Frame management ---------- *)
 
 let cookie_secret base = 0x600DC00C lxor (base * 31)
 
-let push_frame st (fn : Prog.func) ~args ~ret_dst ~pushed_ret ~entry =
-  let layout = Hashtbl.find st.image.Loader.layouts fn.Prog.fname in
+(* Push a frame with zeroed registers; the caller fills the argument
+   registers afterwards (before any callee instruction runs). *)
+let push_frame_empty st (pf : Loader.pmeta Pr.func) ~ret_dst ~pushed_ret ~entry =
+  let layout = st.image.Loader.p_layouts.(pf.Pr.findex) in
   let base_r = st.sp_r in
   let base_s = st.sp_s in
   st.sp_r <- st.sp_r - layout.Loader.fl_regular_size;
   st.sp_s <- st.sp_s - layout.Loader.fl_safe_size;
-  if st.sp_r < Layout.stack_limit + st.image.Loader.slide then
+  if st.sp_r < Layout.stack_limit + st.slide then
     stop (Crash "regular stack overflow");
-  let regs = Array.make (max fn.Prog.nregs 1) 0 in
-  let rmeta = Array.make (max fn.Prog.nregs 1) None in
-  List.iteri
-    (fun i (v, m) ->
-      if i < Array.length regs then begin
-        regs.(i) <- v;
-        rmeta.(i) <- m
-      end)
-    args;
+  let regs = Array.make (max pf.Pr.nregs 1) 0 in
+  let rmeta = Array.make (max pf.Pr.nregs 1) None in
   let cookie_value = cookie_secret base_r in
   (match layout.Loader.fl_cookie_offset with
    | Some off ->
@@ -239,21 +269,40 @@ let push_frame st (fn : Prog.func) ~args ~ret_dst ~pushed_ret ~entry =
   in
   let penalize_stack = hot_resident > Cost.hot_frame_threshold in
   let block, ip = entry in
-  st.frames <-
-    { fr_fn = fn; regs; rmeta; block; ip; base_r; base_s; ret_dst; pushed_ret;
-      cookie_value; penalize_stack; layout }
-    :: st.frames
+  let fr =
+    { fr_pf = pf; regs; rmeta; block; blk = pf.Pr.blocks.(block); ip;
+      base_r; base_s; ret_dst; pushed_ret; cookie_value; penalize_stack;
+      layout }
+  in
+  st.frames <- fr :: st.frames;
+  st.depth <- st.depth + 1;
+  st.cur <- fr;
+  fr
+
+let push_frame st pf ~args ~ret_dst ~pushed_ret ~entry =
+  let fr = push_frame_empty st pf ~ret_dst ~pushed_ret ~entry in
+  Array.iteri
+    (fun i (v, m) ->
+      if i < Array.length fr.regs then begin
+        fr.regs.(i) <- v;
+        fr.rmeta.(i) <- m
+      end)
+    args
 
 let pop_frame st =
   match st.frames with
   | f :: rest ->
     st.frames <- rest;
+    st.depth <- st.depth - 1;
+    (match rest with g :: _ -> st.cur <- g | [] -> ());
     st.sp_r <- f.base_r;
     st.sp_s <- f.base_s;
     f
   | [] -> assert false
 
 (* ---------- Control-flow diversion ---------- *)
+
+let pf_of_index st idx = st.image.Loader.p_funcs.(idx)
 
 (* [divert st target ~via] models the machine transferring control to an
    arbitrary address: the core of every hijack attempt. *)
@@ -265,18 +314,20 @@ let divert st target ~via =
    | (`Ret | `Call | `Longjmp), _ -> ());
   match Loader.decode st.image target with
   | Some cp ->
-    let fn = Prog.find_func st.image.Loader.prog cp.Loader.cp_fn in
+    let pf =
+      pf_of_index st (Hashtbl.find st.image.Loader.p_findex cp.Loader.cp_fn)
+    in
     if Loader.is_function_entry st.image target then
       (* Jump to a function entry: executes it with garbage arguments. *)
-      push_frame st fn ~args:[] ~ret_dst:None ~pushed_ret:exit_sentinel
+      push_frame st pf ~args:[||] ~ret_dst:None ~pushed_ret:exit_sentinel
         ~entry:(0, 0)
     else
       (* Jump into the middle of a function: a gadget; registers hold
          garbage (zeroes). *)
-      push_frame st fn ~args:[] ~ret_dst:None ~pushed_ret:exit_sentinel
+      push_frame st pf ~args:[||] ~ret_dst:None ~pushed_ret:exit_sentinel
         ~entry:(cp.Loader.cp_block, cp.Loader.cp_ip)
   | None ->
-    if Layout.in_code ~slide:st.image.Loader.slide target then
+    if Layout.in_code_s st.slide target then
       stop (Crash "jump into code padding")
     else if st.cfg.Config.dep then stop (Trapped Exec_violation)
     else if Mem.read st.mem target = Layout.shellcode_magic then
@@ -285,31 +336,38 @@ let divert st target ~via =
 
 (* ---------- Calls and returns ---------- *)
 
-let invoke st (fn : Prog.func) args ret_dst =
-  let caller = current st in
-  let pushed_ret =
-    Loader.point_addr st.image caller.fr_fn.Prog.fname caller.block caller.ip
-  in
-  push_frame st fn ~args ~ret_dst ~pushed_ret ~entry:(0, 0)
-
-let do_call st dst callee args cfi_checked =
-  Cost.add st.cost (List.length args);
-  let argvals = List.map (eval st) args in
+(* [ret_addr] was resolved at load time: the code address of the
+   instruction after the call site. *)
+let do_call st fr dst callee args cfi_checked ret_addr =
+  Cost.add st.cost (Array.length args);
   (* Advance the caller past the call before pushing the callee, so the
-     pushed return address denotes the next instruction. *)
-  let caller = current st in
-  caller.ip <- caller.ip + 1;
+     frame resumes at the next instruction on return. *)
+  fr.ip <- fr.ip + 1;
+  let invoke pf =
+    (* Operand evaluation is pure, so the arguments can be read out of the
+       caller's (still live) registers directly into the callee's. *)
+    let nf = push_frame_empty st pf ~ret_dst:dst ~pushed_ret:ret_addr
+        ~entry:(0, 0) in
+    let nregs = Array.length nf.regs in
+    for i = 0 to Array.length args - 1 do
+      if i < nregs then begin
+        let o = Array.unsafe_get args i in
+        Array.unsafe_set nf.regs i (eval_v fr o);
+        Array.unsafe_set nf.rmeta i (eval_m fr o)
+      end
+    done
+  in
   match callee with
-  | I.Direct name -> invoke st (Prog.find_func st.image.Loader.prog name) argvals dst
-  | I.Indirect o ->
-    let v, m = eval st o in
+  | Pr.Direct idx -> invoke (pf_of_index st idx)
+  | Pr.Indirect o ->
+    let v, m = eval fr o in
     if st.cfg.Config.enforce_code_meta then begin
       (* CPI/CPS: only values with genuine code-pointer provenance may be
          indirect-call targets. *)
       match m with
       | Some { kind = Safestore.Code; _ } ->
-        (match Hashtbl.find_opt st.image.Loader.func_entries v with
-         | Some name -> invoke st (Prog.find_func st.image.Loader.prog name) argvals dst
+        (match Hashtbl.find_opt st.image.Loader.entry_findex v with
+         | Some idx -> invoke (pf_of_index st idx)
          | None -> stop (Crash "code pointer does not decode"))
       | Some _ | None -> stop (Trapped Invalid_code_pointer)
     end
@@ -319,14 +377,14 @@ let do_call st dst callee args cfi_checked =
         if not (Loader.is_function_entry st.image v) then
           stop (Trapped (Cfi_violation "indirect call target not a function"))
       end;
-      match Hashtbl.find_opt st.image.Loader.func_entries v with
-      | Some name -> invoke st (Prog.find_func st.image.Loader.prog name) argvals dst
+      match Hashtbl.find_opt st.image.Loader.entry_findex v with
+      | Some idx -> invoke (pf_of_index st idx)
       | None -> divert st v ~via:`Call
     end
 
-let do_ret st retval =
+let do_ret st rv rm =
   Cost.add st.cost Cost.ret_base;
-  let fr = current st in
+  let fr = st.cur in
   (* Cookie check (epilogue). *)
   (match fr.layout.Loader.fl_cookie_offset with
    | Some off when st.cfg.Config.check_cookies ->
@@ -340,10 +398,10 @@ let do_ret st retval =
   let popped = pop_frame st in
   if stored = popped.pushed_ret then begin
     if stored = exit_sentinel || st.frames = [] then
-      stop (Exit (fst retval))
+      stop (Exit rv)
     else begin
       (match popped.ret_dst with
-       | Some dst -> set_reg st dst (fst retval) (snd retval)
+       | Some dst -> set_reg st.cur dst rv rm
        | None -> ())
     end
   end
@@ -385,10 +443,17 @@ let checksum_mix cs v =
 let libc_check st meta addr n what =
   if st.cfg.Config.check_libc && n > 0 then check_deref st addr meta ~size:n ~what
 
-let do_intrin st dst (op : I.intrin) args =
-  let v i = fst (List.nth args i) in
-  let m i = snd (List.nth args i) in
-  let ret value meta = match dst with Some d -> set_reg st d value meta | None -> () in
+(* [argv] holds the pre-evaluated arguments: one array-indexing per use
+   instead of the old O(args^2) [List.nth] walks. *)
+(* Arguments are evaluated on demand out of the caller's registers; every
+   arm reads its operands before any frame is pushed or popped, so the
+   caller frame is still live at each [v]/[m] use. *)
+let do_intrin st fr dst (op : I.intrin) (args : Loader.pmeta Pr.operand array) =
+  let v i = eval_v fr args.(i) in
+  let m i = eval_m fr args.(i) in
+  let ret value meta =
+    match dst with Some d -> set_reg st.cur d value meta | None -> ()
+  in
   Cost.add st.cost Cost.intrin_setup;
   match op with
   | I.I_malloc ->
@@ -489,14 +554,14 @@ let do_intrin st dst (op : I.intrin) args =
   | I.I_checksum -> st.checksum <- checksum_mix st.checksum (v 0)
   | I.I_setjmp ->
     let buf = v 0 in
-    let fr = current st in
+    let fr = st.cur in
     (* Resume point: the instruction after this setjmp (ip was already
        advanced by the dispatch loop). *)
-    let resume = Loader.point_addr st.image fr.fr_fn.Prog.fname fr.block fr.ip in
+    let resume = fr.fr_pf.Pr.addrs.(fr.block).(fr.ip) in
     let id = st.next_jmp in
     st.next_jmp <- id + 1;
     Hashtbl.replace st.jmp_ctxs id
-      { jc_depth = List.length st.frames; jc_block = fr.block; jc_ip = fr.ip;
+      { jc_depth = st.depth; jc_block = fr.block; jc_ip = fr.ip;
         jc_dst = dst; jc_resume_addr = resume };
     (* jmp_buf layout: [saved PC; context id]. The saved PC is an
        implicitly-created code pointer (Section 3.2.1) — protected via the
@@ -523,17 +588,18 @@ let do_intrin st dst (op : I.intrin) args =
     in
     let id = plain_read st (buf + 1) (m 0) in
     (match Hashtbl.find_opt st.jmp_ctxs id with
-     | Some ctx
-       when ctx.jc_resume_addr = target && ctx.jc_depth <= List.length st.frames ->
-       (* Legitimate unwind. *)
-       while List.length st.frames > ctx.jc_depth do
+     | Some ctx when ctx.jc_resume_addr = target && ctx.jc_depth <= st.depth ->
+       (* Legitimate unwind: pop down to the recorded depth. The depth is
+          tracked incrementally, so the unwind is O(frames popped). *)
+       while st.depth > ctx.jc_depth do
          ignore (pop_frame st)
        done;
-       let fr = current st in
+       let fr = st.cur in
        fr.block <- ctx.jc_block;
+       fr.blk <- fr.fr_pf.Pr.blocks.(ctx.jc_block);
        fr.ip <- ctx.jc_ip;
        (match ctx.jc_dst with
-        | Some d -> set_reg st d (if x = 0 then 1 else x) None
+        | Some d -> set_reg fr d (if x = 0 then 1 else x) None
         | None -> ())
      | Some _ | None ->
        (* Corrupted jmp_buf: control flows to the stored "PC". *)
@@ -544,80 +610,95 @@ let do_intrin st dst (op : I.intrin) args =
 
 (* ---------- Loads and stores ---------- *)
 
-let do_load st dst ty addr_op where checked =
-  let a, ma = eval st addr_op in
+(* Each arm writes the destination register directly instead of returning a
+   [(value, meta)] pair: the regular-load path must stay allocation-free. *)
+let do_load st fr dst ~what ~universal addr_op where checked =
+  let a = eval_v fr addr_op in
+  let ma = eval_m fr addr_op in
   let size = 1 in
   if checked then
-    check_deref st a ma ~size ~what:(Ty.to_string ty);
-  let v, m =
-    match where with
-    | I.Regular ->
-      Cost.charge_mem st.cost ~instrumented:false Cost.load_base;
-      if (current st).penalize_stack
-         && a land 7 = 0
-         && a <= Layout.stack_top + st.image.Loader.slide
-         && a > Layout.stack_limit + st.image.Loader.slide
-      then Cost.add st.cost Cost.locality_penalty;
-      read_with_shadow st a ma
-    | I.SafeFull | I.SafeDebug ->
-      Cost.charge_safe_store st.cost st.cfg.Config.store_impl;
-      Cost.charge_mem st.cost ~instrumented:true 0;
-      (match Safestore.get st.store a with
-       | Some e ->
-         if where = I.SafeDebug then begin
-           (* debug mode: regular mirror must match *)
-           let mirror = Mem.read st.mem a in
-           if mirror <> e.Safestore.value then stop (Trapped Debug_mismatch)
-         end;
-         (e.Safestore.value, meta_of_entry e)
-       | None ->
-         (* No protected value here: universal pointer currently holding a
-            regular value; fall back to the regular region. *)
-         Cost.add st.cost Cost.load_base;
-         (plain_read st a ma, None))
-    | I.SafeValue ->
-      st.cost.Cost.safe_store_ops <- st.cost.Cost.safe_store_ops + 1;
-      Cost.charge_mem st.cost ~instrumented:true
-        (Safestore.lookup_cost st.cfg.Config.store_impl + 2
-         + (if Ty.is_universal_pointer ty then 1 else 0));
-      (match Safestore.get st.store a with
-       | Some e ->
-         (e.Safestore.value,
-          Some { lower = e.Safestore.value; upper = e.Safestore.value + 1;
+    check_deref st a ma ~size ~what;
+  match where with
+  | I.Regular ->
+    Cost.charge_mem st.cost ~instrumented:false Cost.load_base;
+    if fr.penalize_stack
+       && a land 7 = 0
+       && a <= Layout.stack_top + st.slide
+       && a > Layout.stack_limit + st.slide
+    then Cost.add st.cost Cost.locality_penalty;
+    (* plain_read with the safe-region shadow lookup fused in, so the
+       address is classified once. *)
+    let a' = a - st.slide in
+    if a' < Layout.safe_base then begin
+      if a' < Layout.null_guard then stop (Crash "null-page access");
+      set_reg fr dst (Mem.read st.mem a) None
+    end
+    else if a' < Layout.safe_end then begin
+      check_safe_access a ma ~size:1;
+      set_reg fr dst (Mem.read st.mem a) (Hashtbl.find_opt st.safe_meta a)
+    end
+    else if a' >= Layout.code_base && a' < Layout.code_end then
+      set_reg fr dst 0xC0DE None
+    else set_reg fr dst (Mem.read st.mem a) None
+  | I.SafeFull | I.SafeDebug ->
+    Cost.charge_safe_store st.cost st.cfg.Config.store_impl;
+    Cost.charge_mem st.cost ~instrumented:true 0;
+    (match Safestore.get st.store a with
+     | Some e ->
+       if where = I.SafeDebug then begin
+         (* debug mode: regular mirror must match *)
+         let mirror = Mem.read st.mem a in
+         if mirror <> e.Safestore.value then stop (Trapped Debug_mismatch)
+       end;
+       set_reg fr dst e.Safestore.value (meta_of_entry e)
+     | None ->
+       (* No protected value here: universal pointer currently holding a
+          regular value; fall back to the regular region. *)
+       Cost.add st.cost Cost.load_base;
+       set_reg fr dst (plain_read st a ma) None)
+  | I.SafeValue ->
+    st.cost.Cost.safe_store_ops <- st.cost.Cost.safe_store_ops + 1;
+    Cost.charge_mem st.cost ~instrumented:true
+      (Safestore.lookup_cost st.cfg.Config.store_impl + 2
+       + (if universal then 1 else 0));
+    (match Safestore.get st.store a with
+     | Some e ->
+       set_reg fr dst e.Safestore.value
+         (Some { lower = e.Safestore.value; upper = e.Safestore.value + 1;
                  tid = 0; kind = Safestore.Code })
-       | None -> (plain_read st a ma, None))
-    | I.SafeData ->
-      Cost.charge_safe_store st.cost st.cfg.Config.store_impl;
-      Cost.charge_mem st.cost ~instrumented:true 0;
-      (match Safestore.get st.store a with
-       | Some e -> (e.Safestore.value, meta_of_entry e)
-       | None ->
-         Cost.add st.cost Cost.load_base;
-         (plain_read st a ma, None))
-    | I.RegularMeta ->
-      Cost.charge_mem st.cost ~instrumented:true Cost.load_base;
-      Cost.charge_safe_store st.cost st.cfg.Config.store_impl;
-      let v = plain_read st a ma in
-      let m =
-        match Safestore.get st.store a with
-        | Some e when e.Safestore.value = v -> meta_of_entry e
-        | Some _ | None -> None
-      in
-      (v, m)
-  in
-  set_reg st dst v m
+     | None -> set_reg fr dst (plain_read st a ma) None)
+  | I.SafeData ->
+    Cost.charge_safe_store st.cost st.cfg.Config.store_impl;
+    Cost.charge_mem st.cost ~instrumented:true 0;
+    (match Safestore.get st.store a with
+     | Some e -> set_reg fr dst e.Safestore.value (meta_of_entry e)
+     | None ->
+       Cost.add st.cost Cost.load_base;
+       set_reg fr dst (plain_read st a ma) None)
+  | I.RegularMeta ->
+    Cost.charge_mem st.cost ~instrumented:true Cost.load_base;
+    Cost.charge_safe_store st.cost st.cfg.Config.store_impl;
+    let v = plain_read st a ma in
+    let m =
+      match Safestore.get st.store a with
+      | Some e when e.Safestore.value = v -> meta_of_entry e
+      | Some _ | None -> None
+    in
+    set_reg fr dst v m
 
-let do_store st ty v_op addr_op where checked =
-  let vv, vm = eval st v_op in
-  let a, ma = eval st addr_op in
-  if checked then check_deref st a ma ~size:1 ~what:(Ty.to_string ty);
+let do_store st fr ~what ~universal v_op addr_op where checked =
+  let vv = eval_v fr v_op in
+  let vm = eval_m fr v_op in
+  let a = eval_v fr addr_op in
+  let ma = eval_m fr addr_op in
+  if checked then check_deref st a ma ~size:1 ~what;
   match where with
   | I.Regular ->
     Cost.charge_mem st.cost ~instrumented:false Cost.store_base;
-    if (current st).penalize_stack
+    if fr.penalize_stack
        && a land 7 = 0
-       && a <= Layout.stack_top + st.image.Loader.slide
-       && a > Layout.stack_limit + st.image.Loader.slide
+       && a <= Layout.stack_top + st.slide
+       && a > Layout.stack_limit + st.slide
     then Cost.add st.cost Cost.locality_penalty;
     write_with_shadow st a ma vv vm
   | I.SafeFull | I.SafeDebug ->
@@ -640,7 +721,7 @@ let do_store st ty v_op addr_op where checked =
     st.cost.Cost.safe_store_ops <- st.cost.Cost.safe_store_ops + 1;
     Cost.charge_mem st.cost ~instrumented:true
       (Safestore.lookup_cost st.cfg.Config.store_impl + 2
-       + (if Ty.is_universal_pointer ty then 1 else 0));
+       + (if universal then 1 else 0));
     (match vm with
      | Some { kind = Safestore.Code; _ } ->
        Safestore.set st.store a
@@ -695,106 +776,105 @@ let exec_cmp op a b =
   in
   if r then 1 else 0
 
-let exec_instr st (i : I.instr) =
+(* Every arm advances [ip] past the instruction itself, except [Call],
+   which must push the callee with the caller already advanced. *)
+let exec_instr st fr (i : Loader.pmeta Pr.instr) =
   match i with
-  | I.Alloca { dst; ty = _; slot = _ } ->
+  | Pr.Alloca { dst; on_safe; offset; size } ->
+    fr.ip <- fr.ip + 1;
     Cost.add st.cost Cost.alu;
-    let fr = current st in
-    let sl = Hashtbl.find fr.layout.Loader.fl_slots dst in
-    let base = if sl.Loader.sl_on_safe then fr.base_s else fr.base_r in
-    let addr = base - sl.Loader.sl_offset in
-    set_reg st dst addr
-      (Some { lower = addr; upper = addr + sl.Loader.sl_size; tid = 0;
+    let base = if on_safe then fr.base_s else fr.base_r in
+    let addr = base - offset in
+    set_reg fr dst addr
+      (Some { lower = addr; upper = addr + size; tid = 0;
               kind = Safestore.Data })
-  | I.Bin { dst; op; l; r } ->
+  | Pr.Bin { dst; op; l; r } ->
+    fr.ip <- fr.ip + 1;
     Cost.add st.cost Cost.alu;
-    let a, am = eval st l in
-    let b, bm = eval st r in
+    let a = eval_v fr l in
+    let b = eval_v fr r in
+    let am = eval_m fr l in
+    let bm = eval_m fr r in
     let m =
       match op, am, bm with
       | (I.Add | I.Sub), Some m, None -> Some m
       | I.Add, None, Some m -> Some m
       | _, _, _ -> None
     in
-    set_reg st dst (exec_binop op a b) m
-  | I.Cmp { dst; op; l; r } ->
+    set_reg fr dst (exec_binop op a b) m
+  | Pr.Cmp { dst; op; l; r } ->
+    fr.ip <- fr.ip + 1;
     Cost.add st.cost Cost.alu;
-    let a, _ = eval st l in
-    let b, _ = eval st r in
-    set_reg st dst (exec_cmp op a b) None
-  | I.Load { dst; ty; addr; where; checked } -> do_load st dst ty addr where checked
-  | I.Store { ty; v; addr; where; checked } -> do_store st ty v addr where checked
-  | I.Gep { dst; base_ty = _; base; path } ->
-    let v, m = eval st base in
-    let tenv = st.image.Loader.prog.Prog.tenv in
-    let addr, meta =
-      List.fold_left
-        (fun (a, m) step ->
-          Cost.add st.cost Cost.alu;
-          match step with
-          | I.Field (_, off, fsize) ->
-            let a = a + off in
-            (* Narrow the based-on bounds to the sub-object (case iii). *)
-            let m =
-              match m with
-              | Some mm when mm.kind = Safestore.Data ->
-                Some { mm with lower = a; upper = a + fsize }
-              | other -> other
-            in
-            (a, m)
-          | I.Index (ty, idx_op) ->
-            let idx, _ = eval st idx_op in
-            (a + (idx * Ty.size_of tenv ty), m))
-        (v, m) path
+    let a = eval_v fr l in
+    let b = eval_v fr r in
+    set_reg fr dst (exec_cmp op a b) None
+  | Pr.Load { dst; what; universal; addr; where; checked } ->
+    fr.ip <- fr.ip + 1;
+    do_load st fr dst ~what ~universal addr where checked
+  | Pr.Store { what; universal; v; addr; where; checked } ->
+    fr.ip <- fr.ip + 1;
+    do_store st fr ~what ~universal v addr where checked
+  | Pr.Gep { dst; base; path } ->
+    fr.ip <- fr.ip + 1;
+    let n = Array.length path in
+    let rec go k a m =
+      if k = n then set_reg fr dst a m
+      else begin
+        Cost.add st.cost Cost.alu;
+        match path.(k) with
+        | Pr.Field (off, fsize) ->
+          let a = a + off in
+          (* Narrow the based-on bounds to the sub-object (case iii). *)
+          let m =
+            match m with
+            | Some mm when mm.kind = Safestore.Data ->
+              Some { mm with lower = a; upper = a + fsize }
+            | other -> other
+          in
+          go (k + 1) a m
+        | Pr.Index (elem_size, idx_op) ->
+          go (k + 1) (a + (eval_v fr idx_op * elem_size)) m
+      end
     in
-    set_reg st dst addr meta
-  | I.Cast { dst; kind = _; ty = _; v } ->
+    go 0 (eval_v fr base) (eval_m fr base)
+  | Pr.Cast { dst; v } ->
+    fr.ip <- fr.ip + 1;
     Cost.add st.cost Cost.alu;
-    let vv, vm = eval st v in
-    set_reg st dst vv vm
-  | I.Call { dst; callee; args; fty = _; cfi_checked } ->
-    do_call st dst callee args cfi_checked
-  | I.Intrin { dst; op; args } ->
-    let argvals = List.map (eval st) args in
-    do_intrin st dst op argvals
+    set_reg fr dst (eval_v fr v) (eval_m fr v)
+  | Pr.Call { dst; callee; args; cfi_checked; ret_addr } ->
+    do_call st fr dst callee args cfi_checked ret_addr
+  | Pr.Intrin { dst; op; args } ->
+    fr.ip <- fr.ip + 1;
+    do_intrin st fr dst op args
 
-let exec_term st (t : I.term) =
-  let fr = current st in
+let[@inline] goto fr b =
+  fr.block <- b;
+  fr.blk <- fr.fr_pf.Pr.blocks.(b);
+  fr.ip <- 0
+
+let exec_term st fr (t : Loader.pmeta Pr.term) =
   match t with
-  | I.Ret None -> do_ret st (0, None)
-  | I.Ret (Some o) -> do_ret st (eval st o)
-  | I.Br (c, bt, bf) ->
+  | Pr.Ret None -> do_ret st 0 None
+  | Pr.Ret (Some o) -> do_ret st (eval_v fr o) (eval_m fr o)
+  | Pr.Br (c, bt, bf) ->
     Cost.add st.cost Cost.branch;
-    let v, _ = eval st c in
-    fr.block <- (if v <> 0 then bt else bf);
-    fr.ip <- 0
-  | I.Jmp b ->
+    goto fr (if eval_v fr c <> 0 then bt else bf)
+  | Pr.Jmp b ->
     Cost.add st.cost Cost.branch;
-    fr.block <- b;
-    fr.ip <- 0
-  | I.Switch (o, cases, dflt) ->
+    goto fr b
+  | Pr.Switch (o, tbl) ->
     Cost.add st.cost (Cost.branch + 1);
-    let v, _ = eval st o in
-    let target = match List.assoc_opt v cases with Some b -> b | None -> dflt in
-    fr.block <- target;
-    fr.ip <- 0
-  | I.Unreachable -> stop (Crash "unreachable executed")
+    goto fr (Pr.switch_target tbl (eval_v fr o))
+  | Pr.Unreachable -> stop (Crash "unreachable executed")
 
 let step st =
   if st.fuel <= 0 then stop Fuel_exhausted;
   st.fuel <- st.fuel - 1;
-  st.cost.Cost.instrs <- st.cost.Cost.instrs + 1;
-  let fr = current st in
-  let blk = fr.fr_fn.Prog.blocks.(fr.block) in
-  if fr.ip < Array.length blk.Prog.instrs then begin
-    let i = blk.Prog.instrs.(fr.ip) in
-    (* Calls advance ip themselves (before pushing); everything else here. *)
-    (match i with
-     | I.Call _ -> ()
-     | _ -> fr.ip <- fr.ip + 1);
-    exec_instr st i
-  end
-  else exec_term st blk.Prog.term
+  let fr = st.cur in
+  let blk = fr.blk in
+  if fr.ip < Array.length blk.Pr.instrs then
+    exec_instr st fr (Array.unsafe_get blk.Pr.instrs fr.ip)
+  else exec_term st fr blk.Pr.term
 
 (* ---------- Top level ---------- *)
 
@@ -806,15 +886,16 @@ let create ?(input = [||]) ?(fuel = 60_000_000) (image : Loader.image) =
     Heap.create mem ~base:(Layout.heap_base + slide) ~limit:(Layout.heap_limit + slide)
   in
   Loader.init_globals image mem store;
-  { image; cfg = image.Loader.cfg; mem; store; heap; cost = Cost.create ();
-    frames = []; sp_r = Layout.stack_top + slide; sp_s = Layout.safe_stack_top + slide;
-    input; input_pos = 0; out = Buffer.create 256; checksum = 0; fuel;
+  { image; cfg = image.Loader.cfg; slide; mem; store; heap; cost = Cost.create ();
+    frames = []; depth = 0; cur = dummy_frame ();
+    sp_r = Layout.stack_top + slide; sp_s = Layout.safe_stack_top + slide;
+    fuel0 = fuel; input; input_pos = 0; out = Buffer.create 256; checksum = 0; fuel;
     jmp_ctxs = Hashtbl.create 8; next_jmp = 1; safe_meta = Hashtbl.create 64 }
 
 let result_of st outcome =
   { outcome;
     cycles = st.cost.Cost.cycles;
-    instrs = st.cost.Cost.instrs;
+    instrs = st.fuel0 - st.fuel;
     mem_ops = st.cost.Cost.mem_ops;
     instrumented_mem_ops = st.cost.Cost.instrumented_mem_ops;
     output = Buffer.contents st.out;
@@ -830,12 +911,12 @@ let run ?input ?fuel (image : Loader.image) : result =
   let st = create ?input ?fuel image in
   if not (Prog.has_func st.image.Loader.prog "main") then
     invalid_arg "Interp.run: program has no main";
-  let main = Prog.find_func st.image.Loader.prog "main" in
+  let main = Loader.prepared st.image "main" in
   (* A synthetic outermost frame is not needed: push main with the exit
      sentinel as its return address. *)
   (try
      push_frame st main
-       ~args:(List.map (fun _ -> (0, None)) main.Prog.params)
+       ~args:(Array.make main.Pr.nparams (0, None))
        ~ret_dst:None ~pushed_ret:exit_sentinel ~entry:(0, 0);
      let rec loop () =
        step st;

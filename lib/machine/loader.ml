@@ -10,8 +10,12 @@
 module Ty = Levee_ir.Ty
 module Instr = Levee_ir.Instr
 module Prog = Levee_ir.Prog
+module Prepared = Levee_ir.Prepared
 
 type code_point = { cp_fn : string; cp_block : int; cp_ip : int }
+
+(** Metadata type the prepared program's resolved operands carry. *)
+type pmeta = Meta.t option
 
 (** Placement of one alloca slot within its frame. *)
 type slot = {
@@ -44,6 +48,12 @@ type image = {
   global_addr : (string, int) Hashtbl.t;
   global_bounds : (string, int * int) Hashtbl.t;
   layouts : (string, frame_layout) Hashtbl.t;
+  (* Decode-once layer: every function resolved at load time so the
+     interpreter's hot loop never touches the hashtables above. *)
+  p_funcs : pmeta Prepared.func array;      (* indexed by function index *)
+  p_findex : (string, int) Hashtbl.t;       (* function name -> index *)
+  entry_findex : (int, int) Hashtbl.t;      (* entry addr -> function index *)
+  p_layouts : frame_layout array;           (* indexed by function index *)
 }
 
 let layout_of_func tenv (cfg : Config.t) (fn : Prog.func) =
@@ -99,6 +109,118 @@ let layout_of_func tenv (cfg : Config.t) (fn : Prog.func) =
     fl_array_words = !arrays;
     fl_has_unsafe = !has_unsafe }
 
+(* ---------- Decode-once preparation ---------- *)
+
+(* Resolve an operand: immediates and null become bare constants, global
+   and function references become (address, metadata) constants. The
+   metadata records are built once and shared by every execution of the
+   instruction; they are immutable, so sharing is safe. *)
+let prepare_operand ~global_addr ~global_bounds ~func_entry
+    (o : Instr.operand) : pmeta Prepared.operand =
+  match o with
+  | Instr.Reg r -> Prepared.Reg r
+  | Instr.Imm n -> Prepared.Const (n, None)
+  | Instr.Nullp -> Prepared.Const (0, None)
+  | Instr.Glob g ->
+    let addr = Hashtbl.find global_addr g in
+    let lo, hi = Hashtbl.find global_bounds g in
+    Prepared.Const
+      (addr, Some { Meta.lower = lo; upper = hi; tid = 0; kind = Safestore.Data })
+  | Instr.Fun f ->
+    let addr = Hashtbl.find func_entry f in
+    Prepared.Const
+      (addr,
+       Some { Meta.lower = addr; upper = addr + 1; tid = 0; kind = Safestore.Code })
+
+(* [block_base.(bid)] is the code address of (bid, ip=0); addresses within
+   a block are consecutive, so every program-point address is one add away
+   and preparing a function performs no [addr_of_point] probes. *)
+let prepare_func ~tenv ~global_addr ~global_bounds ~func_entry ~block_base
+    ~p_findex ~(layout : frame_layout) ~findex (fn : Prog.func) :
+    pmeta Prepared.func =
+  let op o = prepare_operand ~global_addr ~global_bounds ~func_entry o in
+  let blocks =
+    Array.map
+      (fun (b : Prog.block) ->
+        let instrs =
+          Array.mapi
+            (fun ip (i : Instr.instr) ->
+              match i with
+              | Instr.Alloca { dst; ty = _; slot = _ } ->
+                let sl = Hashtbl.find layout.fl_slots dst in
+                Prepared.Alloca
+                  { dst; on_safe = sl.sl_on_safe; offset = sl.sl_offset;
+                    size = sl.sl_size }
+              | Instr.Bin { dst; op = bop; l; r } ->
+                Prepared.Bin { dst; op = bop; l = op l; r = op r }
+              | Instr.Cmp { dst; op = cop; l; r } ->
+                Prepared.Cmp { dst; op = cop; l = op l; r = op r }
+              | Instr.Load { dst; ty; addr; where; checked } ->
+                Prepared.Load
+                  { dst; what = Ty.to_string ty;
+                    universal = Ty.is_universal_pointer ty; addr = op addr;
+                    where; checked }
+              | Instr.Store { ty; v; addr; where; checked } ->
+                Prepared.Store
+                  { what = Ty.to_string ty;
+                    universal = Ty.is_universal_pointer ty; v = op v;
+                    addr = op addr; where; checked }
+              | Instr.Gep { dst; base_ty = _; base; path } ->
+                Prepared.Gep
+                  { dst; base = op base;
+                    path =
+                      Array.of_list
+                        (List.map
+                           (function
+                             | Instr.Field (_, off, fsize) ->
+                               Prepared.Field (off, fsize)
+                             | Instr.Index (ty, idx) ->
+                               Prepared.Index (Ty.size_of tenv ty, op idx))
+                           path) }
+              | Instr.Cast { dst; kind = _; ty = _; v } ->
+                Prepared.Cast { dst; v = op v }
+              | Instr.Call { dst; callee; args; fty = _; cfi_checked } ->
+                let callee =
+                  match callee with
+                  | Instr.Direct name ->
+                    Prepared.Direct (Hashtbl.find p_findex name)
+                  | Instr.Indirect o -> Prepared.Indirect (op o)
+                in
+                Prepared.Call
+                  { dst; callee; args = Array.of_list (List.map op args);
+                    cfi_checked;
+                    (* The return address a call pushes: the code address
+                       of the instruction after the call site. *)
+                    ret_addr = block_base.(b.Prog.bid) + ip + 1 }
+              | Instr.Intrin { dst; op = iop; args } ->
+                Prepared.Intrin
+                  { dst; op = iop; args = Array.of_list (List.map op args) })
+            b.Prog.instrs
+        in
+        let term =
+          match b.Prog.term with
+          | Instr.Ret None -> Prepared.Ret None
+          | Instr.Ret (Some o) -> Prepared.Ret (Some (op o))
+          | Instr.Br (c, bt, bf) -> Prepared.Br (op c, bt, bf)
+          | Instr.Jmp b -> Prepared.Jmp b
+          | Instr.Switch (o, cases, dflt) ->
+            Prepared.Switch (op o, Prepared.switch_table cases dflt)
+          | Instr.Unreachable -> Prepared.Unreachable
+        in
+        { Prepared.instrs; term })
+      fn.Prog.blocks
+  in
+  let addrs =
+    Array.map
+      (fun (b : Prog.block) ->
+        let base = block_base.(b.Prog.bid) in
+        Array.init (Array.length b.Prog.instrs + 1) (fun ip -> base + ip))
+      fn.Prog.blocks
+  in
+  { Prepared.findex; fname = fn.Prog.fname; nregs = fn.Prog.nregs;
+    nparams = List.length fn.Prog.params; blocks; addrs;
+    entry_addr = Hashtbl.find func_entry fn.Prog.fname }
+
 (** [load prog cfg] builds the image and the initial memory/metadata state
     for globals. Returns the image plus an initialization function that
     populates a fresh memory. *)
@@ -110,11 +232,17 @@ let load (prog : Prog.t) (cfg : Config.t) =
   let return_sites = Hashtbl.create 64 in
   let func_entries = Hashtbl.create 16 in
   let next_code = ref (Layout.code_base + slide) in
+  (* Per-function array of block base addresses (address of ip = 0),
+     consumed by [prepare_func] below. *)
+  let block_bases : (string, int array) Hashtbl.t = Hashtbl.create 16 in
   Prog.iter_funcs prog (fun fn ->
       Hashtbl.replace func_entry fn.Prog.fname !next_code;
       Hashtbl.replace func_entries !next_code fn.Prog.fname;
+      let bases = Array.make (Array.length fn.Prog.blocks) 0 in
+      Hashtbl.replace block_bases fn.Prog.fname bases;
       Array.iter
         (fun (b : Prog.block) ->
+          bases.(b.Prog.bid) <- !next_code;
           (* one address per instruction plus one for the terminator *)
           for ip = 0 to Array.length b.Prog.instrs do
             let addr = !next_code in
@@ -140,15 +268,35 @@ let load (prog : Prog.t) (cfg : Config.t) =
       Hashtbl.replace global_bounds g.Prog.gname (!next_g, !next_g + size);
       next_g := !next_g + size + 1 (* one guard word between globals *))
     prog.Prog.globals;
-  let image =
-    { prog; cfg; slide; func_entry; addr_of_point; point_of_addr;
-      return_sites; func_entries; global_addr; global_bounds;
-      layouts = Hashtbl.create 16 }
-  in
+  let layouts = Hashtbl.create 16 in
   Prog.iter_funcs prog (fun fn ->
-      Hashtbl.replace image.layouts fn.Prog.fname
+      Hashtbl.replace layouts fn.Prog.fname
         (layout_of_func prog.Prog.tenv cfg fn));
-  image
+  (* Decode-once layer: resolve every function into its prepared form. *)
+  let funcs = ref [] in
+  Prog.iter_funcs prog (fun fn -> funcs := fn :: !funcs);
+  let funcs = Array.of_list (List.rev !funcs) in
+  let p_findex = Hashtbl.create 16 in
+  Array.iteri (fun i (fn : Prog.func) -> Hashtbl.replace p_findex fn.Prog.fname i) funcs;
+  let entry_findex = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (fn : Prog.func) ->
+      Hashtbl.replace entry_findex (Hashtbl.find func_entry fn.Prog.fname) i)
+    funcs;
+  let p_layouts =
+    Array.map (fun (fn : Prog.func) -> Hashtbl.find layouts fn.Prog.fname) funcs
+  in
+  let p_funcs =
+    Array.mapi
+      (fun i fn ->
+        prepare_func ~tenv:prog.Prog.tenv ~global_addr ~global_bounds
+          ~func_entry ~block_base:(Hashtbl.find block_bases fn.Prog.fname)
+          ~p_findex ~layout:p_layouts.(i) ~findex:i fn)
+      funcs
+  in
+  { prog; cfg; slide; func_entry; addr_of_point; point_of_addr;
+    return_sites; func_entries; global_addr; global_bounds; layouts;
+    p_funcs; p_findex; entry_findex; p_layouts }
 
 (** Write global initializers into [mem]; code-pointer cells that the
     compiler/linker emitted (jump tables etc., Section 4 "binary level
@@ -188,6 +336,9 @@ let init_globals (image : image) (mem : Mem.t) (store : Safestore.t) =
     image.prog.Prog.globals
 
 let entry_addr image name = Hashtbl.find image.func_entry name
+
+(** Prepared form of a function. @raise Not_found if unknown. *)
+let prepared image name = image.p_funcs.(Hashtbl.find image.p_findex name)
 
 let point_addr image fname block ip =
   Hashtbl.find image.addr_of_point (fname, block, ip)

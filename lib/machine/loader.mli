@@ -9,6 +9,9 @@ module Prog = Levee_ir.Prog
 
 type code_point = { cp_fn : string; cp_block : int; cp_ip : int }
 
+(** Metadata type carried by the prepared program's resolved operands. *)
+type pmeta = Meta.t option
+
 (** Placement of one alloca slot within its frame. *)
 type slot = {
   sl_on_safe : bool;      (** safe stack vs regular (unsafe) stack *)
@@ -40,6 +43,13 @@ type image = {
   global_addr : (string, int) Hashtbl.t;
   global_bounds : (string, int * int) Hashtbl.t;
   layouts : (string, frame_layout) Hashtbl.t;
+  (* Decode-once layer (see [Levee_ir.Prepared]): every function resolved
+     at load time so the interpreter's hot loop never probes the
+     hashtables above. *)
+  p_funcs : pmeta Levee_ir.Prepared.func array;
+  p_findex : (string, int) Hashtbl.t;
+  entry_findex : (int, int) Hashtbl.t;
+  p_layouts : frame_layout array;
 }
 
 (** Frame layout of one function under a configuration. *)
@@ -55,6 +65,10 @@ val init_globals : image -> Mem.t -> Safestore.t -> unit
 
 (** Code address of a function's entry. @raise Not_found if unknown. *)
 val entry_addr : image -> string -> int
+
+(** Prepared (decode-once) form of a function.
+    @raise Not_found if unknown. *)
+val prepared : image -> string -> pmeta Levee_ir.Prepared.func
 
 (** Code address of instruction [ip] of block [block] of [fname]. *)
 val point_addr : image -> string -> int -> int -> int

@@ -2,18 +2,34 @@
 
     Pages are allocated lazily and zero-filled, which both matches OS
     behaviour and lets the evaluation measure the memory footprint of each
-    configuration (pages touched x page size). *)
+    configuration (pages touched x page size).
+
+    A one-entry direct-mapped page cache fronts the page hashtable: the hot
+    loop's accesses are overwhelmingly to the page they last touched (stack
+    frames, the current heap object), so the common path is an integer
+    compare plus an array index instead of a hashtable probe. The cache is
+    invalidated by [clear]; reads of unmapped memory never allocate a page
+    and never populate the cache. *)
 
 let page_bits = 12
 let page_words = 1 lsl page_bits
 let page_mask = page_words - 1
 
+(* Sentinel page index that no address maps to: [addr lsr page_bits] is
+   non-negative for every int, so [min_int] never matches. *)
+let no_page_idx = min_int
+let no_page : int array = [||]
+
 type t = {
   pages : (int, int array) Hashtbl.t;
   mutable pages_allocated : int;
+  mutable last_idx : int;       (* page cache: index of [last_page] *)
+  mutable last_page : int array;
 }
 
-let create () = { pages = Hashtbl.create 64; pages_allocated = 0 }
+let create () =
+  { pages = Hashtbl.create 64; pages_allocated = 0;
+    last_idx = no_page_idx; last_page = no_page }
 
 let page t idx =
   match Hashtbl.find_opt t.pages idx with
@@ -27,15 +43,35 @@ let page t idx =
 (** [read t addr] returns the word at [addr]; unmapped memory reads as 0
     without allocating a page. *)
 let read t addr =
-  match Hashtbl.find_opt t.pages (addr lsr page_bits) with
-  | Some p -> p.(addr land page_mask)
-  | None -> 0
+  let idx = addr lsr page_bits in
+  (* [addr land page_mask] < page_words by construction: unchecked. *)
+  if idx = t.last_idx then Array.unsafe_get t.last_page (addr land page_mask)
+  else
+    match Hashtbl.find_opt t.pages idx with
+    | Some p ->
+      t.last_idx <- idx;
+      t.last_page <- p;
+      Array.unsafe_get p (addr land page_mask)
+    | None -> 0
 
-let write t addr v = (page t (addr lsr page_bits)).(addr land page_mask) <- v
+let write t addr v =
+  let idx = addr lsr page_bits in
+  let p =
+    if idx = t.last_idx then t.last_page
+    else begin
+      let p = page t idx in
+      t.last_idx <- idx;
+      t.last_page <- p;
+      p
+    end
+  in
+  Array.unsafe_set p (addr land page_mask) v
 
 (** Words of memory currently backed by allocated pages. *)
 let footprint_words t = t.pages_allocated * page_words
 
 let clear t =
   Hashtbl.reset t.pages;
-  t.pages_allocated <- 0
+  t.pages_allocated <- 0;
+  t.last_idx <- no_page_idx;
+  t.last_page <- no_page

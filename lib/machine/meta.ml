@@ -1,0 +1,20 @@
+(** Based-on metadata attached to register values and resolved operands.
+
+    Lives in its own module (rather than inside the interpreter) so the
+    loader can pre-build metadata for resolved [Glob]/[Fun] operands when
+    it prepares a program. *)
+
+type t = { lower : int; upper : int; tid : int; kind : Safestore.kind }
+
+let of_entry (e : Safestore.entry) =
+  match e.Safestore.kind with
+  | Safestore.Invalid -> None
+  | k ->
+    Some { lower = e.Safestore.lower; upper = e.Safestore.upper;
+           tid = e.Safestore.tid; kind = k }
+
+let to_entry value = function
+  | Some m ->
+    { Safestore.value; lower = m.lower; upper = m.upper; tid = m.tid;
+      kind = m.kind }
+  | None -> Safestore.invalid_entry value

@@ -30,6 +30,15 @@ let impl_name = function
   | Hashtable -> "hashtable"
   | Mpx -> "mpx"
 
+(* A sentinel page index that no address maps to ([addr lsr bits] is
+   non-negative), plus the empty page it nominally caches. Both paged
+   organisations below front their hashtable with a one-entry direct-mapped
+   cache of the last page touched, so the hot loop's per-word probe is an
+   integer compare on the common path. Misses on get/clear_at never
+   allocate and never populate the cache with a phantom page. *)
+let no_page_idx = min_int
+let no_page : entry option array = [||]
+
 (* Array organisation: one flat, lazily-paged table indexed by address
    (models the sparse-mmap-backed array; large footprint, cheapest lookup). *)
 module A = struct
@@ -39,9 +48,13 @@ module A = struct
   type t = {
     pages : (int, entry option array) Hashtbl.t;
     mutable npages : int;
+    mutable last_idx : int;
+    mutable last_page : entry option array;
   }
 
-  let create () = { pages = Hashtbl.create 64; npages = 0 }
+  let create () =
+    { pages = Hashtbl.create 64; npages = 0;
+      last_idx = no_page_idx; last_page = no_page }
 
   let page t idx =
     match Hashtbl.find_opt t.pages idx with
@@ -52,17 +65,47 @@ module A = struct
       t.npages <- t.npages + 1;
       p
 
-  let set t addr e = (page t (addr lsr page_bits)).(addr land (page_words - 1)) <- Some e
+  let set t addr e =
+    let idx = addr lsr page_bits in
+    let p =
+      if idx = t.last_idx then t.last_page
+      else begin
+        let p = page t idx in
+        t.last_idx <- idx;
+        t.last_page <- p;
+        p
+      end
+    in
+    Array.unsafe_set p (addr land (page_words - 1)) (Some e)
 
   let get t addr =
-    match Hashtbl.find_opt t.pages (addr lsr page_bits) with
-    | Some p -> p.(addr land (page_words - 1))
-    | None -> None
+    let idx = addr lsr page_bits in
+    (* [addr land (page_words - 1)] < page_words by construction. *)
+    if idx = t.last_idx then Array.unsafe_get t.last_page (addr land (page_words - 1))
+    else
+      match Hashtbl.find_opt t.pages idx with
+      | Some p ->
+        t.last_idx <- idx;
+        t.last_page <- p;
+        Array.unsafe_get p (addr land (page_words - 1))
+      | None -> None
 
   let clear_at t addr =
-    match Hashtbl.find_opt t.pages (addr lsr page_bits) with
-    | Some p -> p.(addr land (page_words - 1)) <- None
-    | None -> ()
+    let idx = addr lsr page_bits in
+    if idx = t.last_idx then t.last_page.(addr land (page_words - 1)) <- None
+    else
+      match Hashtbl.find_opt t.pages idx with
+      | Some p ->
+        t.last_idx <- idx;
+        t.last_page <- p;
+        p.(addr land (page_words - 1)) <- None
+      | None -> ()
+
+  let reset t =
+    Hashtbl.reset t.pages;
+    t.npages <- 0;
+    t.last_idx <- no_page_idx;
+    t.last_page <- no_page
 end
 
 (* Two-level organisation: directory + smaller leaves (the layout MPX uses,
@@ -74,9 +117,13 @@ module T = struct
   type t = {
     dirs : (int, entry option array) Hashtbl.t;
     mutable nleaves : int;
+    mutable last_idx : int;
+    mutable last_leaf : entry option array;
   }
 
-  let create () = { dirs = Hashtbl.create 64; nleaves = 0 }
+  let create () =
+    { dirs = Hashtbl.create 64; nleaves = 0;
+      last_idx = no_page_idx; last_leaf = no_page }
 
   let leaf t idx =
     match Hashtbl.find_opt t.dirs idx with
@@ -87,17 +134,47 @@ module T = struct
       t.nleaves <- t.nleaves + 1;
       l
 
-  let set t addr e = (leaf t (addr lsr leaf_bits)).(addr land (leaf_words - 1)) <- Some e
+  let set t addr e =
+    let idx = addr lsr leaf_bits in
+    let l =
+      if idx = t.last_idx then t.last_leaf
+      else begin
+        let l = leaf t idx in
+        t.last_idx <- idx;
+        t.last_leaf <- l;
+        l
+      end
+    in
+    Array.unsafe_set l (addr land (leaf_words - 1)) (Some e)
 
   let get t addr =
-    match Hashtbl.find_opt t.dirs (addr lsr leaf_bits) with
-    | Some l -> l.(addr land (leaf_words - 1))
-    | None -> None
+    let idx = addr lsr leaf_bits in
+    (* [addr land (leaf_words - 1)] < leaf_words by construction. *)
+    if idx = t.last_idx then Array.unsafe_get t.last_leaf (addr land (leaf_words - 1))
+    else
+      match Hashtbl.find_opt t.dirs idx with
+      | Some l ->
+        t.last_idx <- idx;
+        t.last_leaf <- l;
+        Array.unsafe_get l (addr land (leaf_words - 1))
+      | None -> None
 
   let clear_at t addr =
-    match Hashtbl.find_opt t.dirs (addr lsr leaf_bits) with
-    | Some l -> l.(addr land (leaf_words - 1)) <- None
-    | None -> ()
+    let idx = addr lsr leaf_bits in
+    if idx = t.last_idx then t.last_leaf.(addr land (leaf_words - 1)) <- None
+    else
+      match Hashtbl.find_opt t.dirs idx with
+      | Some l ->
+        t.last_idx <- idx;
+        t.last_leaf <- l;
+        l.(addr land (leaf_words - 1)) <- None
+      | None -> ()
+
+  let reset t =
+    Hashtbl.reset t.dirs;
+    t.nleaves <- 0;
+    t.last_idx <- no_page_idx;
+    t.last_leaf <- no_page
 end
 
 type mpx_tag = T_two | T_mpx
@@ -158,6 +235,15 @@ let clear_at t addr =
   | Arr a -> A.clear_at a addr
   | Two (a, _) -> T.clear_at a addr
   | Hsh h -> Hashtbl.remove h addr
+
+(** Drop every entry and return the store to its freshly-created state
+    (including the access counter and the backend page caches). *)
+let reset t =
+  t.accesses <- 0;
+  match t.backend with
+  | Arr a -> A.reset a
+  | Two (a, _) -> T.reset a
+  | Hsh h -> Hashtbl.reset h
 
 (** Lookup cost in model cycles; the differences reproduce the paper's
     finding that the superpage-backed array is fastest, the hashtable

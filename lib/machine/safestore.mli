@@ -45,6 +45,11 @@ val set : t -> int -> entry -> unit
 val get : t -> int -> entry option
 val clear_at : t -> int -> unit
 
+(** Drop every entry and return the store to its freshly-created state,
+    resetting the access counter and invalidating the backends' internal
+    last-page caches. *)
+val reset : t -> unit
+
 (** Lookup cost in model cycles; the array organisation is cheapest and the
     hashtable most expensive, per the paper's measurements. *)
 val lookup_cost : impl -> int

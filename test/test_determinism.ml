@@ -61,9 +61,232 @@ let test_journal_disk_roundtrip () =
   Alcotest.(check bool) "parse (to_json j) = j" true
     (Journal.equal ~ignore_wall:false j j')
 
+(* ---------- Golden values ----------
+
+   The tables below were captured from the seed interpreter (the
+   pre-decode-once tree) and pin the simulation down to absolute values:
+   cycles, instructions, memory operations, safe-store accesses, the
+   output checksum, an MD5 of the program output, and the outcome string.
+   The decode-once interpreter, the page-cached memory, and any future
+   perf work must reproduce every row bit-for-bit — only host wall-clock
+   is allowed to change. Row format:
+
+     (workload, protection, store,
+      cycles, instrs, mem_ops, store_accesses, checksum, output_md5, outcome)
+*)
+
+module P = Levee_core.Pipeline
+module W = Levee_workloads
+module M = Levee_machine
+
+type golden_row =
+  string * string * string * int * int * int * int * int * string * string
+
+(* W.Spec.all x (vanilla, safestack, cps, cpi), fuel clamped to 150_000. *)
+let golden_fuel_capped : golden_row list =
+  [
+    ("400.perlbench", "vanilla", "array", 251601, 150000, 71930, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("400.perlbench", "safestack", "array", 251601, 150000, 71930, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("400.perlbench", "cps", "array", 258065, 150000, 71930, 3242, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("400.perlbench", "cpi", "array", 261297, 150000, 71930, 3242, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("401.bzip2", "vanilla", "array", 235375, 150000, 67447, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("401.bzip2", "safestack", "array", 235375, 150000, 67447, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("401.bzip2", "cps", "array", 235375, 150000, 67447, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("401.bzip2", "cpi", "array", 235375, 150000, 67447, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("403.gcc", "vanilla", "array", 232968, 150000, 67847, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("403.gcc", "safestack", "array", 232968, 150000, 67847, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("403.gcc", "cps", "array", 234798, 150000, 67847, 915, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("403.gcc", "cpi", "array", 242828, 150000, 67847, 3076, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("429.mcf", "vanilla", "array", 252835, 150000, 72343, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("429.mcf", "safestack", "array", 252835, 150000, 72343, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("429.mcf", "cps", "array", 252835, 150000, 72343, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("429.mcf", "cpi", "array", 252835, 150000, 72343, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("433.milc", "vanilla", "array", 252002, 150000, 59999, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("433.milc", "safestack", "array", 252006, 150000, 59999, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("433.milc", "cps", "array", 252006, 150000, 59999, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("433.milc", "cpi", "array", 252006, 150000, 59999, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("444.namd", "vanilla", "array", 243450, 150000, 77731, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("444.namd", "safestack", "array", 233691, 150000, 77731, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("444.namd", "cps", "array", 233691, 150000, 77731, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("444.namd", "cpi", "array", 233691, 150000, 77731, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("445.gobmk", "vanilla", "array", 223008, 150000, 70473, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("445.gobmk", "safestack", "array", 223008, 150000, 70473, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("445.gobmk", "cps", "array", 223008, 150000, 70473, 3, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("445.gobmk", "cpi", "array", 223008, 150000, 70473, 3, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("447.dealII", "vanilla", "array", 257021, 150000, 70604, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("447.dealII", "safestack", "array", 257021, 150000, 70604, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("447.dealII", "cps", "array", 263181, 150000, 70604, 3084, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("447.dealII", "cpi", "array", 267173, 150000, 70604, 3388, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("450.soplex", "vanilla", "array", 238142, 150000, 65837, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("450.soplex", "safestack", "array", 238142, 150000, 65837, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("450.soplex", "cps", "array", 238270, 150000, 65837, 64, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("450.soplex", "cpi", "array", 238334, 150000, 65837, 64, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("453.povray", "vanilla", "array", 232318, 150000, 76861, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("453.povray", "safestack", "array", 232318, 150000, 76861, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("453.povray", "cps", "array", 233200, 150000, 76861, 445, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("453.povray", "cpi", "array", 236380, 150000, 76861, 1358, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("456.hmmer", "vanilla", "array", 255314, 150000, 66742, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("456.hmmer", "safestack", "array", 255314, 150000, 66742, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("456.hmmer", "cps", "array", 255314, 150000, 66742, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("456.hmmer", "cpi", "array", 255314, 150000, 66742, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("458.sjeng", "vanilla", "array", 214547, 150000, 61971, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("458.sjeng", "safestack", "array", 215119, 150000, 61971, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("458.sjeng", "cps", "array", 215119, 150000, 61971, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("458.sjeng", "cpi", "array", 215119, 150000, 61971, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("462.libquantum", "vanilla", "array", 223384, 150000, 73343, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("462.libquantum", "safestack", "array", 223384, 150000, 73343, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("462.libquantum", "cps", "array", 223384, 150000, 73343, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("462.libquantum", "cpi", "array", 223384, 150000, 73343, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("464.h264ref", "vanilla", "array", 260003, 150000, 63332, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("464.h264ref", "safestack", "array", 260003, 150000, 63332, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("464.h264ref", "cps", "array", 260003, 150000, 63332, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("464.h264ref", "cpi", "array", 260003, 150000, 63332, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("470.lbm", "vanilla", "array", 217690, 150000, 67685, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("470.lbm", "safestack", "array", 217690, 150000, 67685, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("470.lbm", "cps", "array", 217690, 150000, 67685, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("470.lbm", "cpi", "array", 217690, 150000, 67685, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("471.omnetpp", "vanilla", "array", 247965, 150000, 77070, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("471.omnetpp", "safestack", "array", 247965, 150000, 77070, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("471.omnetpp", "cps", "array", 253275, 150000, 77070, 2176, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("471.omnetpp", "cpi", "array", 290394, 150000, 77070, 14150, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("473.astar", "vanilla", "array", 235393, 150000, 67895, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("473.astar", "safestack", "array", 235393, 150000, 67895, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("473.astar", "cps", "array", 235393, 150000, 67895, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("473.astar", "cpi", "array", 235393, 150000, 67895, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("482.sphinx3", "vanilla", "array", 256743, 150000, 61882, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("482.sphinx3", "safestack", "array", 256743, 150000, 61882, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("482.sphinx3", "cps", "array", 256743, 150000, 61882, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("482.sphinx3", "cpi", "array", 256743, 150000, 61882, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("483.xalancbmk", "vanilla", "array", 266266, 150000, 72222, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("483.xalancbmk", "safestack", "array", 266266, 150000, 72222, 0, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("483.xalancbmk", "cps", "array", 270832, 150000, 72222, 2287, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+    ("483.xalancbmk", "cpi", "array", 303538, 150000, 72222, 10424, 0, "d41d8cd98f00b204e9800998ecf8427e", "fuel exhausted");
+  ]
+
+(* Full default fuel: every run exits cleanly, so these rows also pin the
+   complete program output (via MD5) and final checksum. *)
+let golden_full_fuel : golden_row list =
+  [
+    ("483.xalancbmk", "vanilla", "array", 1024860, 576665, 278311, 0, 314730, "44b9758e76739563fe116a0188ea5a53", "exit(0)");
+    ("483.xalancbmk", "safestack", "array", 1024860, 576665, 278311, 0, 314730, "44b9758e76739563fe116a0188ea5a53", "exit(0)");
+    ("483.xalancbmk", "cps", "array", 1042914, 576665, 278311, 9031, 314730, "44b9758e76739563fe116a0188ea5a53", "exit(0)");
+    ("483.xalancbmk", "cpi", "array", 1169278, 576665, 278311, 40472, 314730, "44b9758e76739563fe116a0188ea5a53", "exit(0)");
+    ("git", "vanilla", "array", 3155190, 2195895, 929173, 0, 194268, "61adda0deb7e25d738f927696135f478", "exit(0)");
+    ("git", "safestack", "array", 3155190, 2195895, 929173, 0, 194268, "61adda0deb7e25d738f927696135f478", "exit(0)");
+    ("git", "cps", "array", 3155190, 2195895, 929173, 0, 194268, "61adda0deb7e25d738f927696135f478", "exit(0)");
+    ("git", "cpi", "array", 3155190, 2195895, 929173, 0, 194268, "61adda0deb7e25d738f927696135f478", "exit(0)");
+    ("sqlite", "vanilla", "array", 4988272, 2955436, 1398163, 0, 12159354, "4b58051e4711eafaeb74563a4adea5fa", "exit(0)");
+    ("sqlite", "safestack", "array", 4988272, 2955436, 1398163, 0, 12159354, "4b58051e4711eafaeb74563a4adea5fa", "exit(0)");
+    ("sqlite", "cps", "array", 4988272, 2955436, 1398163, 0, 12159354, "4b58051e4711eafaeb74563a4adea5fa", "exit(0)");
+    ("sqlite", "cpi", "array", 4988272, 2955436, 1398163, 0, 12159354, "4b58051e4711eafaeb74563a4adea5fa", "exit(0)");
+    ("403.gcc", "vanilla", "array", 5126956, 3281377, 1478496, 0, 14539704, "ebaf418a550bb837df92b7b04fa8af6d", "exit(0)");
+    ("403.gcc", "safestack", "array", 5126956, 3281377, 1478496, 0, 14539704, "ebaf418a550bb837df92b7b04fa8af6d", "exit(0)");
+    ("403.gcc", "cps", "array", 5177056, 3281377, 1478496, 25050, 14539704, "ebaf418a550bb837df92b7b04fa8af6d", "exit(0)");
+    ("403.gcc", "cpi", "array", 5397543, 3281377, 1478496, 84489, 14539704, "ebaf418a550bb837df92b7b04fa8af6d", "exit(0)");
+    ("web-static", "vanilla", "array", 3027758, 1430468, 607950, 0, 16685065, "21bd0b686c57d1db88153adf99818d4a", "exit(0)");
+    ("web-static", "safestack", "array", 3027758, 1430468, 607950, 0, 16685065, "21bd0b686c57d1db88153adf99818d4a", "exit(0)");
+    ("web-static", "cps", "array", 3059758, 1430468, 607950, 16004, 16685065, "21bd0b686c57d1db88153adf99818d4a", "exit(0)");
+    ("web-static", "cpi", "array", 3456072, 1430468, 607950, 396318, 16685065, "21bd0b686c57d1db88153adf99818d4a", "exit(0)");
+    ("400.perlbench", "vanilla", "array", 6455080, 3719740, 1936935, 0, 79151099, "46b7aad30305a5d0fe02bc87b8b27ad1", "exit(0)");
+    ("400.perlbench", "safestack", "array", 6455080, 3719740, 1936935, 0, 79151099, "46b7aad30305a5d0fe02bc87b8b27ad1", "exit(0)");
+    ("400.perlbench", "cps", "array", 6680680, 3719740, 1936935, 112810, 79151099, "46b7aad30305a5d0fe02bc87b8b27ad1", "exit(0)");
+    ("400.perlbench", "cpi", "array", 6793480, 3719740, 1936935, 112810, 79151099, "46b7aad30305a5d0fe02bc87b8b27ad1", "exit(0)");
+  ]
+
+(* Other protections and safe-store organisations over two workloads. *)
+let golden_extended : golden_row list =
+  [
+    ("483.xalancbmk", "softbound", "array", 2054882, 576665, 278311, 157804, 314730, "44b9758e76739563fe116a0188ea5a53", "exit(0)");
+    ("483.xalancbmk", "cfi", "array", 1051941, 576665, 278311, 0, 314730, "44b9758e76739563fe116a0188ea5a53", "exit(0)");
+    ("483.xalancbmk", "cookies", "array", 1024860, 576665, 278311, 0, 314730, "44b9758e76739563fe116a0188ea5a53", "exit(0)");
+    ("483.xalancbmk", "dep+aslr+cookies", "array", 1024860, 576665, 278311, 0, 314730, "44b9758e76739563fe116a0188ea5a53", "exit(0)");
+    ("483.xalancbmk", "cpi-debug", "array", 1173170, 576665, 278311, 40472, 314730, "44b9758e76739563fe116a0188ea5a53", "exit(0)");
+    ("483.xalancbmk", "cpi", "two-level", 1250214, 576665, 278311, 40472, 314730, "44b9758e76739563fe116a0188ea5a53", "exit(0)");
+    ("483.xalancbmk", "cpi", "hashtable", 1412086, 576665, 278311, 40472, 314730, "44b9758e76739563fe116a0188ea5a53", "exit(0)");
+    ("483.xalancbmk", "cpi", "mpx", 1128810, 576665, 278311, 40472, 314730, "44b9758e76739563fe116a0188ea5a53", "exit(0)");
+    ("400.perlbench", "softbound", "array", 10667350, 3719740, 1936935, 112810, 79151099, "46b7aad30305a5d0fe02bc87b8b27ad1", "exit(0)");
+    ("400.perlbench", "cpi-debug", "array", 6793480, 3719740, 1936935, 112810, 79151099, "46b7aad30305a5d0fe02bc87b8b27ad1", "exit(0)");
+  ]
+
+let run_row ?fuel name prot impl : golden_row =
+  let w =
+    match
+      List.find_opt
+        (fun (w : W.Workload.t) -> w.W.Workload.name = name)
+        (W.Spec.all @ W.Phoronix.all @ W.Webstack.all)
+    with
+    | Some w -> w
+    | None -> Alcotest.failf "unknown workload %s" name
+  in
+  let b = P.build ~store_impl:impl prot (W.Workload.compile w) in
+  let fuel = match fuel with Some f -> f | None -> w.W.Workload.fuel in
+  let r =
+    M.Interp.run_program ~input:w.W.Workload.input ~fuel b.P.prog b.P.config
+  in
+  ( name, P.protection_name prot, M.Safestore.impl_name impl,
+    r.M.Interp.cycles, r.M.Interp.instrs, r.M.Interp.mem_ops,
+    r.M.Interp.store_accesses, r.M.Interp.checksum,
+    Digest.to_hex (Digest.string r.M.Interp.output),
+    M.Trap.outcome_to_string r.M.Interp.outcome )
+
+let row_to_string
+    (name, prot, store, cycles, instrs, mem_ops, accesses, ck, md5, outcome) =
+  Printf.sprintf "%s/%s/%s cycles=%d instrs=%d mem=%d store=%d ck=%d md5=%s %s"
+    name prot store cycles instrs mem_ops accesses ck md5 outcome
+
+let check_rows what expected actual =
+  Alcotest.(check (list string)) what
+    (List.map row_to_string expected)
+    (List.map row_to_string actual)
+
+let t1_protections = [ P.Vanilla; P.Safe_stack; P.Cps; P.Cpi ]
+
+let test_golden_fuel_capped () =
+  let actual =
+    List.concat_map
+      (fun (w : W.Workload.t) ->
+        List.map
+          (fun p ->
+            run_row ~fuel:150_000 w.W.Workload.name p M.Safestore.Simple_array)
+          t1_protections)
+      W.Spec.all
+  in
+  check_rows "fuel-capped golden rows" golden_fuel_capped actual
+
+let test_golden_full_fuel () =
+  let actual =
+    List.concat_map
+      (fun name ->
+        List.map (fun p -> run_row name p M.Safestore.Simple_array)
+          t1_protections)
+      [ "483.xalancbmk"; "git"; "sqlite"; "403.gcc"; "web-static";
+        "400.perlbench" ]
+  in
+  check_rows "full-fuel golden rows" golden_full_fuel actual
+
+let test_golden_extended () =
+  let actual =
+    List.map
+      (fun prot -> run_row "483.xalancbmk" prot M.Safestore.Simple_array)
+      [ P.Softbound; P.Cfi; P.Cookies; P.Hardened; P.Cpi_debug ]
+    @ List.map
+        (fun impl -> run_row "483.xalancbmk" P.Cpi impl)
+        [ M.Safestore.Two_level; M.Safestore.Hashtable; M.Safestore.Mpx ]
+    @ List.map
+        (fun prot -> run_row "400.perlbench" prot M.Safestore.Simple_array)
+        [ P.Softbound; P.Cpi_debug ]
+  in
+  check_rows "extended golden rows" golden_extended actual
+
 let () =
   Alcotest.run "determinism"
     [ ( "table1",
         [ Alcotest.test_case "jobs 1 vs 4, run twice" `Quick test_determinism;
           Alcotest.test_case "journal disk round trip" `Quick
-            test_journal_disk_roundtrip ] ) ]
+            test_journal_disk_roundtrip ] );
+      ( "golden",
+        [ Alcotest.test_case "fuel-capped SPEC matrix" `Quick
+            test_golden_fuel_capped;
+          Alcotest.test_case "full-fuel exits" `Quick test_golden_full_fuel;
+          Alcotest.test_case "extended protections and stores" `Quick
+            test_golden_extended ] ) ]

@@ -1,0 +1,165 @@
+(* Unit tests for the one-entry direct-mapped page caches that front the
+   paged memory and the array/two-level safe-store backends.
+
+   The caches are pure host-side accelerators: they must never change what
+   a read returns, never make an unmapped read allocate a page, and must
+   be invalidated by [clear] / [reset]. The tests drive exactly the access
+   patterns the cache could get wrong: hit-after-miss, interleaving across
+   page boundaries (each access evicts the other page's cache line), and
+   reuse of a cleared store. *)
+
+module M = Levee_machine
+
+(* Mem.page_words is private to mem.ml; 1 lsl 12 mirrors its page size.
+   Two addresses this far apart are guaranteed to live on distinct
+   pages whatever the (power-of-two) page size below 1 lsl 12. *)
+let page_words = 1 lsl 12
+
+(* ---------- Mem ---------- *)
+
+let test_mem_hit_after_miss () =
+  let m = M.Mem.create () in
+  let a = 0x0100_0000 in
+  M.Mem.write m a 42;
+  Alcotest.(check int) "read back (cached)" 42 (M.Mem.read m a);
+  Alcotest.(check int) "neighbour on same page" 0 (M.Mem.read m (a + 1));
+  M.Mem.write m (a + 1) 7;
+  Alcotest.(check int) "second write same page" 7 (M.Mem.read m (a + 1));
+  Alcotest.(check int) "first value survives" 42 (M.Mem.read m a)
+
+let test_mem_unmapped_reads_free () =
+  let m = M.Mem.create () in
+  Alcotest.(check int) "unmapped reads as 0" 0 (M.Mem.read m 0x0200_0000);
+  Alcotest.(check int) "no page allocated by a read" 0
+    (M.Mem.footprint_words m);
+  (* A read miss must not populate the cache with a phantom page either:
+     the next write to the same page has to allocate for real. *)
+  M.Mem.write m 0x0200_0000 1;
+  Alcotest.(check int) "write after read-miss allocates one page" page_words
+    (M.Mem.footprint_words m);
+  Alcotest.(check int) "and the value sticks" 1 (M.Mem.read m 0x0200_0000)
+
+let test_mem_cross_page_interleaving () =
+  let m = M.Mem.create () in
+  let a = 0x0100_0000 and b = 0x0100_0000 + (4 * page_words) in
+  (* Alternate between two pages so every access evicts the other page
+     from the one-entry cache; values must never leak across. *)
+  for i = 0 to 63 do
+    M.Mem.write m (a + i) (1000 + i);
+    M.Mem.write m (b + i) (2000 + i)
+  done;
+  for i = 0 to 63 do
+    Alcotest.(check int) "page A value" (1000 + i) (M.Mem.read m (a + i));
+    Alcotest.(check int) "page B value" (2000 + i) (M.Mem.read m (b + i))
+  done
+
+let test_mem_clear_invalidates () =
+  let m = M.Mem.create () in
+  let a = 0x0100_0000 in
+  M.Mem.write m a 42;
+  Alcotest.(check int) "cached read" 42 (M.Mem.read m a);
+  M.Mem.clear m;
+  (* A stale cache line here would return 42 from the dropped page. *)
+  Alcotest.(check int) "cleared memory reads 0" 0 (M.Mem.read m a);
+  Alcotest.(check int) "clear drops the footprint" 0 (M.Mem.footprint_words m);
+  M.Mem.write m a 9;
+  Alcotest.(check int) "memory is reusable after clear" 9 (M.Mem.read m a)
+
+(* ---------- Safestore ---------- *)
+
+let impls =
+  [ M.Safestore.Simple_array; M.Safestore.Two_level; M.Safestore.Hashtable;
+    M.Safestore.Mpx ]
+
+let entry v =
+  { M.Safestore.value = v; lower = v; upper = v + 8; tid = 0;
+    kind = M.Safestore.Data }
+
+let check_entry what expected actual =
+  match (expected, actual) with
+  | None, None -> ()
+  | Some v, Some e -> Alcotest.(check int) what v e.M.Safestore.value
+  | Some _, None -> Alcotest.failf "%s: expected an entry, got None" what
+  | None, Some e ->
+    Alcotest.failf "%s: expected None, got value %d" what e.M.Safestore.value
+
+let each_impl f =
+  List.iter (fun impl -> f (M.Safestore.impl_name impl) impl) impls
+
+let test_store_set_get_clear () =
+  each_impl (fun name impl ->
+      let s = M.Safestore.create impl in
+      let a = 0x0100_0000 in
+      M.Safestore.set s a (entry 11);
+      check_entry (name ^ ": get after set") (Some 11) (M.Safestore.get s a);
+      check_entry (name ^ ": cached re-get") (Some 11) (M.Safestore.get s a);
+      M.Safestore.clear_at s a;
+      check_entry (name ^ ": get after clear_at") None (M.Safestore.get s a);
+      check_entry (name ^ ": empty neighbour") None
+        (M.Safestore.get s (a + 1)))
+
+let test_store_cross_page_interleaving () =
+  each_impl (fun name impl ->
+      let s = M.Safestore.create impl in
+      let a = 0x0100_0000 and b = 0x0100_0000 + (4 * page_words) in
+      for i = 0 to 31 do
+        M.Safestore.set s (a + i) (entry (1000 + i));
+        M.Safestore.set s (b + i) (entry (2000 + i))
+      done;
+      for i = 0 to 31 do
+        check_entry (name ^ ": page A entry") (Some (1000 + i))
+          (M.Safestore.get s (a + i));
+        check_entry (name ^ ": page B entry") (Some (2000 + i))
+          (M.Safestore.get s (b + i))
+      done)
+
+let test_store_reset_invalidates () =
+  each_impl (fun name impl ->
+      let s = M.Safestore.create impl in
+      let a = 0x0100_0000 in
+      M.Safestore.set s a (entry 11);
+      check_entry (name ^ ": populated") (Some 11) (M.Safestore.get s a);
+      M.Safestore.reset s;
+      Alcotest.(check int)
+        (name ^ ": reset zeroes the access counter")
+        0 (M.Safestore.access_count s);
+      check_entry (name ^ ": reset drops entries") None (M.Safestore.get s a);
+      Alcotest.(check int)
+        (name ^ ": reset drops live entries")
+        0 (M.Safestore.entry_count s);
+      (* A stale backend page cache after reset would resurrect the old
+         entry or write through to a dropped leaf. *)
+      M.Safestore.set s a (entry 21);
+      check_entry (name ^ ": store is reusable after reset") (Some 21)
+        (M.Safestore.get s a))
+
+let test_store_get_miss_allocates_nothing () =
+  each_impl (fun name impl ->
+      let s = M.Safestore.create impl in
+      let base = M.Safestore.footprint_words s in
+      check_entry (name ^ ": miss on empty store") None
+        (M.Safestore.get s 0x0300_0000);
+      Alcotest.(check int)
+        (name ^ ": read miss does not grow the footprint")
+        base
+        (M.Safestore.footprint_words s))
+
+let () =
+  Alcotest.run "pagecache"
+    [ ( "mem",
+        [ Alcotest.test_case "hit after miss" `Quick test_mem_hit_after_miss;
+          Alcotest.test_case "unmapped reads allocate nothing" `Quick
+            test_mem_unmapped_reads_free;
+          Alcotest.test_case "cross-page interleaving" `Quick
+            test_mem_cross_page_interleaving;
+          Alcotest.test_case "clear invalidates the cache" `Quick
+            test_mem_clear_invalidates ] );
+      ( "safestore",
+        [ Alcotest.test_case "set/get/clear_at" `Quick
+            test_store_set_get_clear;
+          Alcotest.test_case "cross-page interleaving" `Quick
+            test_store_cross_page_interleaving;
+          Alcotest.test_case "reset invalidates the cache" `Quick
+            test_store_reset_invalidates;
+          Alcotest.test_case "get miss allocates nothing" `Quick
+            test_store_get_miss_allocates_nothing ] ) ]
