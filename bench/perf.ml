@@ -7,7 +7,7 @@
    matrix) sequentially (--jobs 1, so the numbers are not confounded by
    domain scheduling) and writes BENCH_perf.json:
 
-     { "schema": "levee-bench-perf/1",
+     { "schema": "levee-bench-perf/2",
        "jobs": 1, "fuel_cap": <int or 0 for full fuel>,
        "cells": <number of table1 cells>,
        "wall_us_total": <microseconds for cells + ripe>,
@@ -16,8 +16,10 @@
        "cells_per_sec": <cells / (cells_wall_us * 1e-6)>,
        "sim_cycles": <total simulated cycles over the cells>,
        "sim_instrs": <total simulated instructions over the cells>,
+       "checks_elided": <static checks removed by elision, all cells>,
+       "mem_ops_demoted": <accesses demoted by the refinement, all cells>,
        "entries": [ {workload, protection, store, cycles, instrs,
-                     wall_us}, ... ] }
+                     checks_elided, mem_ops_demoted, wall_us}, ... ] }
 
    Simulated totals are included so a perf regression can be told apart
    from a workload change: across commits, identical sim_cycles/sim_instrs
@@ -91,6 +93,16 @@ let () =
   let sim_instrs =
     List.fold_left (fun a (e : Journal.entry) -> a + e.Journal.instrs) 0 entries
   in
+  let elided =
+    List.fold_left
+      (fun a (e : Journal.entry) -> a + e.Journal.checks_elided)
+      0 entries
+  in
+  let demoted =
+    List.fold_left
+      (fun a (e : Journal.entry) -> a + e.Journal.mem_ops_demoted)
+      0 entries
+  in
   let cells_us = int_of_float ((t1 -. t0) *. 1e6) in
   let ripe_us = int_of_float ((t2 -. t1) *. 1e6) in
   let total_us = cells_us + ripe_us in
@@ -109,23 +121,27 @@ let () =
     let b = Buffer.create 4096 in
     Buffer.add_string b
       (Printf.sprintf
-         "{\n\"schema\":\"levee-bench-perf/1\",\n\"jobs\":1,\n\
+         "{\n\"schema\":\"levee-bench-perf/2\",\n\"jobs\":1,\n\
           \"fuel_cap\":%d,\n\"cells\":%d,\n\"wall_us_total\":%d,\n\
           \"cells_wall_us\":%d,\n\"ripe_wall_us\":%d,\n\
           \"cells_per_sec\":%.1f,\n\"sim_cycles\":%d,\n\"sim_instrs\":%d,\n\
+          \"checks_elided\":%d,\n\"mem_ops_demoted\":%d,\n\
           \"entries\":[\n"
          (match !fuel_cap with Some f -> f | None -> 0)
-         ncells total_us cells_us ripe_us cells_per_sec sim_cycles sim_instrs);
+         ncells total_us cells_us ripe_us cells_per_sec sim_cycles sim_instrs
+         elided demoted);
     List.iteri
       (fun i (e : Journal.entry) ->
         if i > 0 then Buffer.add_string b ",\n";
         Buffer.add_string b
           (Printf.sprintf
              "{\"workload\":\"%s\",\"protection\":\"%s\",\"store\":\"%s\",\
-              \"cycles\":%d,\"instrs\":%d,\"wall_us\":%d}"
+              \"cycles\":%d,\"instrs\":%d,\"checks_elided\":%d,\
+              \"mem_ops_demoted\":%d,\"wall_us\":%d}"
              (escape e.Journal.workload)
              (escape e.Journal.protection)
              (escape e.Journal.store) e.Journal.cycles e.Journal.instrs
+             e.Journal.checks_elided e.Journal.mem_ops_demoted
              e.Journal.wall_us))
       entries;
     Buffer.add_string b "\n]}\n";

@@ -19,7 +19,16 @@
        -matrix                  run under ALL protections via the worker
                                 pool and print a comparison table
        -jobs N                  pool width for -matrix (default 1)
-       -json FILE               write a BENCH-style JSON run journal *)
+       -json FILE               write a BENCH-style JSON run journal
+
+     levee analyze [--json] file.c...
+       Static lint over each file: unsafe casts, Castflow-forced loads,
+       dead instrumentation (provably data-only sensitive accesses),
+       unreachable blocks, never-code indirect calls, and per-function
+       Table-2-style statistics, plus the CPI pipeline's authoritative
+       check-elision/demotion counts. --json emits the levee-analyze/1
+       document instead of the human table. Output is deterministic;
+       exits 1 on error-severity findings (internal inconsistencies). *)
 
 module P = Levee_core.Pipeline
 module M = Levee_machine
@@ -33,8 +42,56 @@ let usage () =
     \             [-emit-ir] [-stats] [-time] [-sfi] [-matrix] [-jobs N]\n\
     \             [-json FILE]\n\
     \             [-input w1,w2,...] [-fuel N] [-store array|two-level|hash]\n\
-    \             file.c";
+    \             file.c\n\
+    \       levee analyze [--json] file.c...";
   exit 2
+
+let read_file file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let compile_or_die file =
+  try Levee_minic.Lower.compile_checked ~name:file (read_file file) with
+  | Failure msg ->
+    prerr_endline msg;
+    exit 1
+
+(* levee analyze [--json] file.c... *)
+let run_analyze args =
+  let json = ref false in
+  let files = ref [] in
+  List.iter
+    (fun a ->
+      match a with
+      | "--json" | "-json" -> json := true
+      | f when String.length f > 0 && f.[0] <> '-' -> files := f :: !files
+      | _ -> usage ())
+    args;
+  let files = List.rev !files in
+  if files = [] then usage ();
+  let any_errors = ref false in
+  List.iter
+    (fun file ->
+      let checked, prog = compile_or_die file in
+      let annotated = checked.Levee_minic.Typecheck.sensitive_structs in
+      let report =
+        Levee_analysis.Diag.analyze ~annotated
+          ~name:(Filename.basename file) prog
+      in
+      (* The instrumented build supplies the authoritative pipeline
+         counts: what elision and demotion actually did under CPI. *)
+      let built = P.build ~annotated P.Cpi prog in
+      let elided = built.P.stats.Levee_core.Stats.checks_elided in
+      let demoted = built.P.stats.Levee_core.Stats.mem_ops_demoted in
+      print_string
+        (if !json then Levee_analysis.Diag.to_json ~elided ~demoted report
+         else Levee_analysis.Diag.to_human ~elided ~demoted report);
+      if Levee_analysis.Diag.has_errors report then any_errors := true)
+    files;
+  exit (if !any_errors then 1 else 0)
 
 let () =
   let protection = ref P.Cpi in
@@ -49,6 +106,9 @@ let () =
   let matrix = ref false in
   let jobs = ref 1 in
   let json_out = ref None in
+  (match Array.to_list Sys.argv with
+   | _ :: "analyze" :: rest -> run_analyze rest
+   | _ -> ());
   let rec parse = function
     | [] -> ()
     | "-matrix" :: rest -> matrix := true; parse rest
@@ -93,21 +153,10 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let file = match !file with Some f -> f | None -> usage () in
-  let src =
-    let ic = open_in_bin file in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
-  in
-  let checked, prog =
-    try Levee_minic.Lower.compile_checked ~name:file src with
-    | Failure msg ->
-      prerr_endline msg;
-      exit 1
-  in
+  let checked, prog = compile_or_die file in
   let annotated = checked.Levee_minic.Typecheck.sensitive_structs in
-  let journal_entry prot (r : M.Interp.result) wall_us : Journal.entry =
+  let journal_entry prot (st : Levee_core.Stats.t) (r : M.Interp.result)
+      wall_us : Journal.entry =
     { Journal.workload = Filename.basename file;
       protection = P.protection_name prot;
       store = M.Safestore.impl_name !store_impl;
@@ -119,6 +168,8 @@ let () =
       store_accesses = r.M.Interp.store_accesses;
       store_footprint = r.M.Interp.store_footprint;
       heap_peak = r.M.Interp.heap_peak; checksum = r.M.Interp.checksum;
+      checks_elided = st.Levee_core.Stats.checks_elided;
+      mem_ops_demoted = st.Levee_core.Stats.mem_ops_demoted;
       wall_us }
   in
   let write_journal entries =
@@ -153,7 +204,7 @@ let () =
           let r =
             M.Interp.run_program ~input:!input ~fuel:!fuel b.P.prog b.P.config
           in
-          (r, int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)))
+          (b.P.stats, r, int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)))
         prots
     in
     Pool.shutdown pool;
@@ -161,20 +212,20 @@ let () =
       List.map2
         (fun prot outcome ->
           match outcome with
-          | Ok (r, wall) -> (prot, r, wall)
+          | Ok (st, r, wall) -> (prot, st, r, wall)
           | Error e -> raise e)
         prots outcomes
     in
     let base =
-      match List.find_opt (fun (p, _, _) -> p = P.Vanilla) runs with
-      | Some (_, r, _) -> r
+      match List.find_opt (fun (p, _, _, _) -> p = P.Vanilla) runs with
+      | Some (_, _, r, _) -> r
       | None -> assert false
     in
     Printf.printf "%-18s %-14s %10s %9s %8s  %s\n" "protection" "outcome"
       "cycles" "overhead" "memops" "agrees";
     let divergent = ref 0 in
     List.iter
-      (fun (prot, (r : M.Interp.result), _) ->
+      (fun (prot, _, (r : M.Interp.result), _) ->
         let agrees =
           r.M.Interp.checksum = base.M.Interp.checksum
           && r.M.Interp.output = base.M.Interp.output
@@ -191,7 +242,7 @@ let () =
           (if agrees then "yes" else "NO"))
       runs;
     write_journal
-      (List.map (fun (p, r, wall) -> journal_entry p r wall) runs);
+      (List.map (fun (p, st, r, wall) -> journal_entry p st r wall) runs);
     (match base.M.Interp.outcome with
      | M.Trap.Exit 0 -> ()
      | o ->
@@ -214,6 +265,8 @@ let () =
       s.Levee_core.Stats.mem_ops_instrumented
       (100. *. Levee_core.Stats.mo_instrumented s);
     Printf.printf "checked mem ops:       %d\n" s.Levee_core.Stats.mem_ops_checked;
+    Printf.printf "checks elided:         %d\n" s.Levee_core.Stats.checks_elided;
+    Printf.printf "demoted mem ops:       %d\n" s.Levee_core.Stats.mem_ops_demoted;
     Printf.printf "indirect calls:        %d\n" s.Levee_core.Stats.indirect_calls
   end;
   if !emit_ir then begin
@@ -225,7 +278,7 @@ let () =
     M.Interp.run_program ~input:!input ~fuel:!fuel built.P.prog built.P.config
   in
   write_journal
-    [ journal_entry !protection r
+    [ journal_entry !protection built.P.stats r
         (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)) ];
   print_string r.M.Interp.output;
   if !time then begin

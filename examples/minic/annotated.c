@@ -1,0 +1,17 @@
+// Section 4's struct-ucred story: the annotated struct's fields live in
+// the safe region (SafeData) even though they are plain ints, and the
+// refinement must never demote accesses through annotated paths.
+sensitive struct cred { int uid; int jailed; };
+
+struct cred c;
+
+int is_root() {
+  return c.uid == 0;
+}
+
+int main() {
+  c.uid = 0;
+  c.jailed = 1;
+  print_int(is_root() + c.jailed);
+  return 0;
+}

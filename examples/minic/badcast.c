@@ -1,0 +1,22 @@
+// An integer smuggled into a function pointer: the cast produces a
+// sensitive type, so Castflow forces the load that produced the value
+// through the safe store. levee analyze flags both the unsafe cast and
+// the forced load.
+int inc(int x) { return x + 1; }
+
+int slots[4];
+
+int call_slot(int i) {
+  int v;
+  int (*f)(int);
+  v = slots[i];
+  f = (int (*)(int)) v;
+  if (v == 0) { return 0; }
+  return f(7);
+}
+
+int main() {
+  slots[0] = 0;
+  print_int(call_slot(0));
+  return 0;
+}

@@ -1,0 +1,32 @@
+// A linked list whose next pointers travel as void*: type-rule sensitive
+// (universal pointers), but the points-to analysis proves they can only
+// ever hold list nodes — never a code pointer — so the refinement demotes
+// the accesses back to plain loads/stores (dead instrumentation).
+struct node { int v; void *next; };
+
+struct node *mk(int v, struct node *next) {
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->v = v;
+  n->next = (void *) next;
+  return n;
+}
+
+int sum(struct node *head) {
+  int acc = 0;
+  struct node *p = head;
+  while (p != 0) {
+    acc = acc + p->v;
+    p = (struct node *) p->next;
+  }
+  return acc;
+}
+
+int main() {
+  struct node *head = 0;
+  int i;
+  for (i = 1; i <= 10; i = i + 1) {
+    head = mk(i, head);
+  }
+  print_int(sum(head));
+  return 0;
+}

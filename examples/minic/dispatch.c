@@ -1,0 +1,36 @@
+// Function-pointer dispatch: the CPI bread-and-butter case. The handler
+// pointers are type-rule sensitive and reach code, so the points-to
+// refinement must NOT demote them; the repeated e->cb access in fire()
+// demonstrates redundant-check elision instead (the second load's check
+// is dominated by the first with no intervening clobber).
+struct ev { int (*cb)(int); int armed; };
+
+int inc(int x) { return x + 1; }
+int dbl(int x) { return x * 2; }
+
+struct ev *events[4];
+
+int fire(struct ev *e, int x) {
+  if (e->cb != 0) {
+    return e->cb(x);
+  }
+  return 0;
+}
+
+int main() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 4; i = i + 1) {
+    events[i] = (struct ev *) malloc(sizeof(struct ev));
+    events[i]->armed = i;
+    events[i]->cb = 0;
+  }
+  events[0]->cb = inc;
+  events[1]->cb = dbl;
+  events[2]->cb = inc;
+  for (i = 0; i < 4; i = i + 1) {
+    acc = acc + fire(events[i], i);
+  }
+  print_int(acc);
+  return 0;
+}

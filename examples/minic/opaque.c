@@ -1,0 +1,24 @@
+// An opaque cache of void* handles that are only ever stored, compared
+// and freed — never dereferenced, called, or cast back to a typed
+// pointer. The type rule makes every cache access sensitive (universal
+// pointers), but the points-to refinement proves the handles never hold
+// code and every use is metadata-blind, so CPI demotes all of them:
+// levee analyze reports the accesses as dead instrumentation.
+void *cache[4];
+
+int main() {
+  int i;
+  int hits;
+  hits = 0;
+  for (i = 0; i < 4; i = i + 1) {
+    cache[i] = malloc(8);
+  }
+  for (i = 0; i < 4; i = i + 1) {
+    if (cache[i] != 0) { hits = hits + 1; }
+  }
+  for (i = 0; i < 4; i = i + 1) {
+    free(cache[i]);
+  }
+  print_int(hits);
+  return 0;
+}

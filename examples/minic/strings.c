@@ -1,0 +1,28 @@
+// char* string handling: the Strheur heuristic recognises these pointers
+// as strings and demotes their accesses, keeping MOCPI low without any
+// points-to reasoning.
+char buf[32];
+char msg[16];
+
+int copy_msg() {
+  char *s;
+  char *d;
+  int n;
+  s = msg;
+  d = buf;
+  n = 0;
+  while (s[n] != 0) {
+    d[n] = s[n];
+    n = n + 1;
+  }
+  return n;
+}
+
+int main() {
+  msg[0] = 104;
+  msg[1] = 105;
+  msg[2] = 0;
+  print_int(copy_msg());
+  print_str(buf);
+  return 0;
+}

@@ -9,3 +9,8 @@
 (** Positions (block, index) of loads to force-instrument in [fn]. *)
 val forced_load_positions :
   Sensitivity.ctx -> Levee_ir.Prog.func -> (int * int, unit) Hashtbl.t
+
+(** Positions (block, index) of casts producing a sensitive pointer type:
+    the unsafe casts whose source provenance the dataflow recovers. *)
+val unsafe_cast_positions :
+  Sensitivity.ctx -> Levee_ir.Prog.func -> (int * int, unit) Hashtbl.t

@@ -1,0 +1,302 @@
+(** Structured lint findings over MiniC programs: the back end of the
+    [levee analyze] subcommand.
+
+    The report combines the repo's static analyses into one deterministic
+    document: unsafe casts and the loads the Castflow dataflow forces into
+    the safe store, instrumentation the points-to refinement proves dead
+    (provably data-only sensitive accesses), unreachable blocks, indirect
+    calls whose callee can never be code, and per-function Table-2-style
+    instrumentation percentages.
+
+    Severity [Error] is reserved for internal inconsistencies — the IR
+    failing structural verification, or the refinement demoting a position
+    the other analyses say must stay instrumented. A clean program lints
+    with warnings and infos only; an error means a compiler bug. *)
+
+module I = Levee_ir.Instr
+module Ty = Levee_ir.Ty
+module Prog = Levee_ir.Prog
+
+type severity = Info | Warning | Error
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+type finding = {
+  severity : severity;
+  kind : string;   (* stable identifier, e.g. "unsafe-cast" *)
+  func : string;   (* "" for whole-program findings *)
+  block : int;     (* -1 when not tied to a position *)
+  idx : int;
+  msg : string;
+}
+
+(* Table-2-style per-function statistics, computed on the uninstrumented
+   program: what the CPI pass *would* do, before safe-stack rewriting. *)
+type func_stats = {
+  fs_name : string;
+  fs_mem_ops : int;
+  fs_sensitive : int;     (* type-rule sensitive accesses (Fig. 7) *)
+  fs_forced : int;        (* loads forced by the unsafe-cast dataflow *)
+  fs_char_demoted : int;  (* accesses demoted by the char* heuristic *)
+  fs_demotable : int;     (* proven data-only by the points-to refinement *)
+  fs_indirect_calls : int;
+}
+
+type report = {
+  source : string;
+  findings : finding list;     (* sorted: func, block, idx, kind *)
+  funcs : func_stats list;     (* program order *)
+}
+
+let count sev r =
+  List.length (List.filter (fun f -> f.severity = sev) r.findings)
+
+let has_errors r = List.exists (fun f -> f.severity = Error) r.findings
+
+(* Registers locally addressing into a programmer-annotated struct
+   (mirrors the CPI pass: those accesses must stay instrumented). *)
+let annotated_regs annotated (fn : Prog.func) =
+  let marked = Hashtbl.create 8 in
+  let is_annot s = List.mem s annotated in
+  Prog.iter_instrs fn (fun i ->
+      match i with
+      | I.Alloca { dst; ty = Ty.Struct s; _ } when is_annot s ->
+        Hashtbl.replace marked dst ()
+      | I.Gep { dst; base_ty = Ty.Struct s; _ } when is_annot s ->
+        Hashtbl.replace marked dst ()
+      | I.Gep { dst; base = I.Reg r; _ } | I.Cast { dst; v = I.Reg r; _ }
+        when Hashtbl.mem marked r ->
+        Hashtbl.replace marked dst ()
+      | I.Alloca _ | I.Gep _ | I.Cast _ | I.Bin _ | I.Cmp _ | I.Load _
+      | I.Store _ | I.Call _ | I.Intrin _ -> ());
+  marked
+
+let analyze ?(annotated = []) ?(name = "<program>") (prog : Prog.t) : report =
+  let findings = ref [] in
+  let emit severity kind func block idx msg =
+    findings := { severity; kind; func; block; idx; msg } :: !findings
+  in
+  (match Levee_ir.Verify.program_result prog with
+   | Ok () -> ()
+   | Error e -> emit Error "invalid-ir" "" (-1) (-1) e);
+  let ctx = Sensitivity.create prog.Prog.tenv ~annotated in
+  let pt = Pointsto.analyze prog in
+  let demoted_map = Strheur.demoted prog in
+  (* Per-function analysis tables, shared by the findings below and by the
+     keep/skip predicates handed to the refinement. *)
+  let tables = Hashtbl.create 16 in
+  Prog.iter_funcs prog (fun fn ->
+      Hashtbl.replace tables fn.Prog.fname
+        ( fn,
+          Castflow.forced_load_positions ctx fn,
+          Castflow.unsafe_cast_positions ctx fn,
+          Strheur.demoted_positions_in demoted_map fn,
+          annotated_regs annotated fn ));
+  let access_addr (fn : Prog.func) (blk, idx) =
+    if blk < 0 || blk >= Array.length fn.Prog.blocks then None
+    else
+      let b = fn.Prog.blocks.(blk) in
+      if idx < 0 || idx >= Array.length b.Prog.instrs then None
+      else
+        match b.Prog.instrs.(idx) with
+        | I.Load { addr; _ } | I.Store { addr; _ } -> Some addr
+        | _ -> None
+  in
+  let keep fname pos =
+    match Hashtbl.find_opt tables fname with
+    | None -> true
+    | Some (fn, forced, _, _, annot) ->
+      Hashtbl.mem forced pos
+      || (match access_addr fn pos with
+          | Some (I.Reg r) -> Hashtbl.mem annot r
+          | Some _ -> false
+          | None -> true)
+  in
+  let skip fname pos =
+    match Hashtbl.find_opt tables fname with
+    | None -> false
+    | Some (_, _, _, demoted, _) -> Hashtbl.mem demoted pos
+  in
+  let demotable = Pointsto.refine_cpi pt ~ctx ~keep ~skip in
+  let funcs = ref [] in
+  Prog.iter_funcs prog (fun fn ->
+      let fname = fn.Prog.fname in
+      let _, forced, casts, demoted, _ = Hashtbl.find tables fname in
+      let mem_ops = ref 0 and sensitive = ref 0 and indirect = ref 0 in
+      let g = Dataflow.build fn in
+      Array.iteri
+        (fun bi (b : Prog.block) ->
+          (* Empty unreachable blocks are lowering plumbing (join points
+             after returns); only flag dead blocks holding real code. *)
+          if g.Dataflow.rpo_index.(bi) < 0 && Array.length b.Prog.instrs > 0
+          then
+            emit Warning "dead-block" fname b.Prog.bid (-1)
+              "unreachable basic block (never analysed or instrumented)";
+          Array.iteri
+            (fun idx (i : I.instr) ->
+              match i with
+              | I.Load { ty; _ } | I.Store { ty; _ } ->
+                incr mem_ops;
+                if Sensitivity.is_sensitive ctx ty then incr sensitive;
+                if Hashtbl.mem demotable (fname, b.Prog.bid, idx) then
+                  emit Info "dead-instrumentation" fname b.Prog.bid idx
+                    "sensitive access is provably data-only; CPI demotes it \
+                     to a plain access"
+              | I.Call { callee = I.Indirect op; _ } ->
+                incr indirect;
+                let objs = Pointsto.points_to pt ~fname op in
+                if objs <> [] && not (Pointsto.value_may_be_code pt ~fname op)
+                then
+                  emit Warning "never-code-callee" fname b.Prog.bid idx
+                    "indirect call through a value that can never hold a \
+                     code pointer; this call can only trap"
+              | I.Alloca _ | I.Bin _ | I.Cmp _ | I.Gep _ | I.Cast _
+              | I.Call _ | I.Intrin _ -> ())
+            b.Prog.instrs)
+        fn.Prog.blocks;
+      Hashtbl.iter
+        (fun (blk, idx) () ->
+          emit Warning "unsafe-cast" fname blk idx
+            "cast produces a sensitive pointer type; the source value's \
+             provenance must be recovered")
+        casts;
+      Hashtbl.iter
+        (fun (blk, idx) () ->
+          emit Warning "castflow-forced-load" fname blk idx
+            "load forced through the safe store: its value flows into a \
+             cast to a sensitive pointer type")
+        forced;
+      (* Internal consistency: the refinement must never demote a position
+         the other analyses exclude. *)
+      Hashtbl.iter
+        (fun (f, blk, idx) () ->
+          if f = fname
+             && (Hashtbl.mem forced (blk, idx) || Hashtbl.mem demoted (blk, idx))
+          then
+            emit Error "inconsistent-demotion" fname blk idx
+              "points-to refinement demoted a position that must stay \
+               instrumented (analysis bug)")
+        demotable;
+      let demotable_here = ref 0 in
+      Hashtbl.iter
+        (fun (f, _, _) () -> if f = fname then incr demotable_here)
+        demotable;
+      funcs :=
+        { fs_name = fname;
+          fs_mem_ops = !mem_ops;
+          fs_sensitive = !sensitive;
+          fs_forced = Hashtbl.length forced;
+          fs_char_demoted = Hashtbl.length demoted;
+          fs_demotable = !demotable_here;
+          fs_indirect_calls = !indirect }
+        :: !funcs);
+  let order f = (f.func, f.block, f.idx, f.kind, f.msg) in
+  { source = name;
+    findings = List.sort (fun a b -> compare (order a) (order b)) !findings;
+    funcs = List.rev !funcs }
+
+(* ---------- rendering ---------- *)
+
+let pct num den =
+  if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+let finding_to_string f =
+  let where =
+    if f.block < 0 then f.func
+    else if f.idx < 0 then Printf.sprintf "%s@b%d" f.func f.block
+    else Printf.sprintf "%s@b%d.%d" f.func f.block f.idx
+  in
+  Printf.sprintf "%-7s %-22s %-16s %s" (severity_name f.severity) f.kind
+    where f.msg
+
+let to_human ?elided ?demoted r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "== levee analyze: %s ==\n" r.source);
+  Buffer.add_string b
+    (Printf.sprintf "%-16s %7s %9s %6s %6s %9s %8s\n" "function" "mem-ops"
+       "sensitive" "forced" "char-" "demotable" "icalls");
+  List.iter
+    (fun fs ->
+      Buffer.add_string b
+        (Printf.sprintf "%-16s %7d %4d(%4.1f%%) %6d %6d %9d %8d\n" fs.fs_name
+           fs.fs_mem_ops fs.fs_sensitive
+           (pct fs.fs_sensitive fs.fs_mem_ops)
+           fs.fs_forced fs.fs_char_demoted fs.fs_demotable
+           fs.fs_indirect_calls))
+    r.funcs;
+  if r.findings <> [] then begin
+    Buffer.add_string b "\n";
+    List.iter
+      (fun f -> Buffer.add_string b (finding_to_string f ^ "\n"))
+      r.findings
+  end;
+  (match (elided, demoted) with
+   | Some e, Some d ->
+     Buffer.add_string b
+       (Printf.sprintf "\ncpi pipeline: %d checks elided, %d accesses demoted\n"
+          e d)
+   | Some e, None ->
+     Buffer.add_string b (Printf.sprintf "\ncpi pipeline: %d checks elided\n" e)
+   | None, Some d ->
+     Buffer.add_string b
+       (Printf.sprintf "\ncpi pipeline: %d accesses demoted\n" d)
+   | None, None -> ());
+  Buffer.add_string b
+    (Printf.sprintf "%d error(s), %d warning(s), %d info(s)\n" (count Error r)
+       (count Warning r) (count Info r));
+  Buffer.contents b
+
+let schema_id = "levee-analyze/1"
+
+(* Reuse the journal's string escaping so the two JSON dialects agree. *)
+let escape = Levee_support.Journal.escape
+
+let to_json ?elided ?demoted r =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\n\"schema\":\"%s\",\n\"source\":\"%s\",\n" schema_id
+       (escape r.source));
+  Buffer.add_string b "\"findings\":[\n";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"severity\":\"%s\",\"kind\":\"%s\",\"func\":\"%s\",\
+            \"block\":%d,\"idx\":%d,\"msg\":\"%s\"}"
+           (severity_name f.severity) (escape f.kind) (escape f.func) f.block
+           f.idx (escape f.msg)))
+    r.findings;
+  Buffer.add_string b "\n],\n\"functions\":[\n";
+  List.iteri
+    (fun i fs ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"mem_ops\":%d,\"sensitive\":%d,\
+            \"sensitive_pct\":%.1f,\"forced\":%d,\"char_demoted\":%d,\
+            \"demotable\":%d,\"indirect_calls\":%d}"
+           (escape fs.fs_name) fs.fs_mem_ops fs.fs_sensitive
+           (pct fs.fs_sensitive fs.fs_mem_ops)
+           fs.fs_forced fs.fs_char_demoted fs.fs_demotable
+           fs.fs_indirect_calls))
+    r.funcs;
+  Buffer.add_string b "\n],\n";
+  (match (elided, demoted) with
+   | Some e, Some d ->
+     Buffer.add_string b
+       (Printf.sprintf "\"cpi\":{\"checks_elided\":%d,\"mem_ops_demoted\":%d},\n"
+          e d)
+   | Some e, None ->
+     Buffer.add_string b (Printf.sprintf "\"cpi\":{\"checks_elided\":%d},\n" e)
+   | None, Some d ->
+     Buffer.add_string b
+       (Printf.sprintf "\"cpi\":{\"mem_ops_demoted\":%d},\n" d)
+   | None, None -> ());
+  Buffer.add_string b
+    (Printf.sprintf "\"totals\":{\"errors\":%d,\"warnings\":%d,\"info\":%d}\n}\n"
+       (count Error r) (count Warning r) (count Info r));
+  Buffer.contents b

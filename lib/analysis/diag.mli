@@ -1,0 +1,58 @@
+(** Structured lint findings over MiniC programs: the back end of the
+    [levee analyze] subcommand. Combines the static analyses into one
+    deterministic report — unsafe casts, Castflow-forced loads, dead
+    instrumentation (accesses the points-to refinement proves data-only),
+    unreachable blocks, never-code indirect calls, and per-function
+    Table-2-style instrumentation statistics. *)
+
+type severity = Info | Warning | Error
+
+val severity_name : severity -> string
+
+type finding = {
+  severity : severity;
+  kind : string;  (** stable identifier, e.g. ["unsafe-cast"] *)
+  func : string;  (** [""] for whole-program findings *)
+  block : int;    (** [-1] when not tied to a position *)
+  idx : int;
+  msg : string;
+}
+
+type func_stats = {
+  fs_name : string;
+  fs_mem_ops : int;
+  fs_sensitive : int;     (** type-rule sensitive accesses (Fig. 7) *)
+  fs_forced : int;        (** loads forced by the unsafe-cast dataflow *)
+  fs_char_demoted : int;  (** accesses demoted by the char* heuristic *)
+  fs_demotable : int;     (** proven data-only by the points-to refinement *)
+  fs_indirect_calls : int;
+}
+
+type report = {
+  source : string;
+  findings : finding list;  (** sorted by function, block, index, kind *)
+  funcs : func_stats list;  (** program order *)
+}
+
+val count : severity -> report -> int
+
+(** [Error]-severity findings indicate internal inconsistencies (compiler
+    bugs), never user errors; [levee analyze] exits non-zero on them. *)
+val has_errors : report -> bool
+
+(** Lint the (uninstrumented) program. [annotated] lists programmer-marked
+    sensitive structs; [name] labels the report. Deterministic: equal
+    inputs produce byte-equal reports. *)
+val analyze :
+  ?annotated:string list -> ?name:string -> Levee_ir.Prog.t -> report
+
+(** Human-readable rendering. [elided]/[demoted] append the CPI pipeline's
+    authoritative elision/demotion counts when the caller has built the
+    instrumented program. *)
+val to_human : ?elided:int -> ?demoted:int -> report -> string
+
+(** The ["levee-analyze/1"] JSON document (see README). Same optional
+    pipeline counts as [to_human]. *)
+val to_json : ?elided:int -> ?demoted:int -> report -> string
+
+val schema_id : string

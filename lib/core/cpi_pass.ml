@@ -8,7 +8,12 @@
     data-flow analysis; programmer-annotated structs are protected
     field-by-field (the struct-ucred use case). libc memory-manipulation
     calls whose arguments cannot be proven non-sensitive are replaced with
-    their safe-store-aware variants. *)
+    their safe-store-aware variants.
+
+    When [refine] is set (the default) the interprocedural points-to
+    analysis additionally demotes sensitive accesses that provably never
+    reach a code pointer ([Pointsto.refine_cpi]); [run] returns the
+    number of accesses demoted this way. *)
 
 module I = Levee_ir.Instr
 module Ty = Levee_ir.Ty
@@ -119,25 +124,90 @@ let safe_slot_regs (fn : Prog.func) =
       | _ -> ());
   t
 
-let run ?(debug = false) ~annotated (prog : Prog.t) =
+(* Per-function analysis tables, computed up front so the points-to
+   refinement can consult them when deciding which positions must be kept
+   instrumented and which are already outside the instrumented set. *)
+type fninfo = {
+  fi_fn : Prog.func;
+  fi_ud : An.Usedef.t;
+  fi_demoted : (int * int, unit) Hashtbl.t; (* char* heuristic demotions *)
+  fi_forced : (int * int, unit) Hashtbl.t;  (* Castflow-forced loads *)
+  fi_annot : (int, unit) Hashtbl.t;         (* annotated-struct addr regs *)
+  fi_safe : (int, unit) Hashtbl.t;          (* safe-slot addr regs *)
+}
+
+let reg_in tbl = function
+  | I.Reg r -> Hashtbl.mem tbl r
+  | I.Imm _ | I.Glob _ | I.Fun _ | I.Nullp -> false
+
+(* Address operand of the access at [pos], if [pos] is an access. *)
+let access_addr (fi : fninfo) (blk, idx) =
+  if blk < 0 || blk >= Array.length fi.fi_fn.Prog.blocks then None
+  else
+    let b = fi.fi_fn.Prog.blocks.(blk) in
+    if idx < 0 || idx >= Array.length b.Prog.instrs then None
+    else
+      match b.Prog.instrs.(idx) with
+      | I.Load { addr; _ } | I.Store { addr; _ } -> Some addr
+      | _ -> None
+
+let run ?(debug = false) ?(refine = true) ~annotated (prog : Prog.t) : int =
   let ctx = An.Sensitivity.create prog.Prog.tenv ~annotated in
   let safe_where = if debug then I.SafeDebug else I.SafeFull in
   let demoted_map = An.Strheur.demoted prog in
   let summaries = param_summaries ctx prog in
+  let infos : (string, fninfo) Hashtbl.t = Hashtbl.create 16 in
   Prog.iter_funcs prog (fun fn ->
-      let demoted = An.Strheur.demoted_positions_in demoted_map fn in
-      let forced = An.Castflow.forced_load_positions ctx fn in
-      let annot_regs = annotated_addr_regs annotated fn in
-      let addr_annotated = function
-        | I.Reg r -> Hashtbl.mem annot_regs r
-        | I.Imm _ | I.Glob _ | I.Fun _ | I.Nullp -> false
+      Hashtbl.replace infos fn.Prog.fname
+        { fi_fn = fn;
+          fi_ud = An.Usedef.build fn;
+          fi_demoted = An.Strheur.demoted_positions_in demoted_map fn;
+          fi_forced = An.Castflow.forced_load_positions ctx fn;
+          fi_annot = annotated_addr_regs annotated fn;
+          fi_safe = safe_slot_regs fn });
+  (* Points-to refinement: demote type-rule-sensitive accesses whose
+     points-to sets provably never reach a code pointer. Merged into the
+     per-function demoted tables so the main loop below treats them
+     exactly like char*-heuristic demotions. *)
+  let refined_count =
+    if not refine then 0
+    else begin
+      let pt = An.Pointsto.analyze prog in
+      let keep fname pos =
+        match Hashtbl.find_opt infos fname with
+        | None -> true
+        | Some fi ->
+          Hashtbl.mem fi.fi_forced pos
+          || (match access_addr fi pos with
+              | Some a -> reg_in fi.fi_annot a
+              | None -> true)
       in
-      let ud = An.Usedef.build fn in
-      let safe_slots = safe_slot_regs fn in
-      let on_safe_slot = function
-        | I.Reg r -> Hashtbl.mem safe_slots r
-        | I.Imm _ | I.Glob _ | I.Fun _ | I.Nullp -> false
+      let skip fname pos =
+        match Hashtbl.find_opt infos fname with
+        | None -> false
+        | Some fi ->
+          Hashtbl.mem fi.fi_demoted pos
+          || (match access_addr fi pos with
+              | Some a -> reg_in fi.fi_safe a
+              | None -> false)
       in
+      let refined = An.Pointsto.refine_cpi pt ~ctx ~keep ~skip in
+      Hashtbl.iter
+        (fun (fname, blk, idx) () ->
+          match Hashtbl.find_opt infos fname with
+          | Some fi -> Hashtbl.replace fi.fi_demoted (blk, idx) ()
+          | None -> ())
+        refined;
+      Hashtbl.length refined
+    end
+  in
+  Prog.iter_funcs prog (fun fn ->
+      let fi = Hashtbl.find infos fn.Prog.fname in
+      let demoted = fi.fi_demoted in
+      let forced = fi.fi_forced in
+      let addr_annotated o = reg_in fi.fi_annot o in
+      let ud = fi.fi_ud in
+      let on_safe_slot o = reg_in fi.fi_safe o in
       Array.iter
         (fun (b : Prog.block) ->
           Array.iteri
@@ -181,4 +251,5 @@ let run ?(debug = false) ~annotated (prog : Prog.t) =
                     I.Intrin { dst; op = I.I_cpi_memset; args = [ d; x; n ] }
               | _ -> ())
             b.Prog.instrs)
-        fn.Prog.blocks)
+        fn.Prog.blocks);
+  refined_count

@@ -31,11 +31,52 @@ let safe_slot_regs (fn : Prog.func) =
       | _ -> ());
   t
 
-let run (prog : Prog.t) =
+(* Address operand of the access at [pos] of [fn], if it is an access. *)
+let access_addr (fn : Prog.func) (blk, idx) =
+  if blk < 0 || blk >= Array.length fn.Prog.blocks then None
+  else
+    let b = fn.Prog.blocks.(blk) in
+    if idx < 0 || idx >= Array.length b.Prog.instrs then None
+    else
+      match b.Prog.instrs.(idx) with
+      | I.Load { addr; _ } | I.Store { addr; _ } -> Some addr
+      | _ -> None
+
+(** Returns the number of accesses demoted by the points-to refinement
+    ([Pointsto.refine_cps]): instrumented-type accesses whose values
+    provably never hold a code pointer stay on the regular path. *)
+let run ?(refine = true) (prog : Prog.t) : int =
   let demoted_map = An.Strheur.demoted prog in
+  let tables : (string, Prog.func * (int * int, unit) Hashtbl.t * (int, unit) Hashtbl.t)
+      Hashtbl.t = Hashtbl.create 16 in
   Prog.iter_funcs prog (fun fn ->
-      let demoted = An.Strheur.demoted_positions_in demoted_map fn in
-      let safe_slots = safe_slot_regs fn in
+      Hashtbl.replace tables fn.Prog.fname
+        (fn, An.Strheur.demoted_positions_in demoted_map fn, safe_slot_regs fn));
+  let refined_count =
+    if not refine then 0
+    else begin
+      let pt = An.Pointsto.analyze prog in
+      let skip fname pos =
+        match Hashtbl.find_opt tables fname with
+        | None -> false
+        | Some (fn, demoted, safe_slots) ->
+          Hashtbl.mem demoted pos
+          || (match access_addr fn pos with
+              | Some (I.Reg r) -> Hashtbl.mem safe_slots r
+              | Some _ | None -> false)
+      in
+      let refined = An.Pointsto.refine_cps pt ~instrumented:cps_instrumented ~skip in
+      Hashtbl.iter
+        (fun (fname, blk, idx) () ->
+          match Hashtbl.find_opt tables fname with
+          | Some (_, demoted, _) -> Hashtbl.replace demoted (blk, idx) ()
+          | None -> ())
+        refined;
+      Hashtbl.length refined
+    end
+  in
+  Prog.iter_funcs prog (fun fn ->
+      let _, demoted, safe_slots = Hashtbl.find tables fn.Prog.fname in
       let on_safe_slot = function
         | I.Reg r -> Hashtbl.mem safe_slots r
         | I.Imm _ | I.Glob _ | I.Fun _ | I.Nullp -> false
@@ -54,4 +95,5 @@ let run (prog : Prog.t) =
                 s.where <- I.SafeValue
               | _ -> ())
             b.Prog.instrs)
-        fn.Prog.blocks)
+        fn.Prog.blocks);
+  refined_count

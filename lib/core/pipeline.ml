@@ -41,13 +41,19 @@ type built = {
   stats : Stats.t;
 }
 
-(** [build ?annotated ?store_impl ?isolation protection prog] instruments a
-    copy of [prog]. [annotated] lists programmer-marked sensitive structs
-    (Section 3.2.1); [store_impl] selects the safe-pointer-store
-    organisation; [isolation] the safe-region isolation mechanism. *)
+(** [build ?annotated ?store_impl ?isolation ?refine ?elide protection prog]
+    instruments a copy of [prog]. [annotated] lists programmer-marked
+    sensitive structs (Section 3.2.1); [store_impl] selects the
+    safe-pointer-store organisation; [isolation] the safe-region isolation
+    mechanism. [refine] (default on) enables the points-to sensitivity
+    refinement inside the CPS/CPI passes; [elide] (default on) runs the
+    redundant-check elision pass over CPI programs, with every elision
+    independently re-justified by [Verify.check_elision]. *)
 let build ?(annotated = []) ?(store_impl = Safestore.Simple_array)
-    ?(isolation = Config.Info_hiding) protection (src : Prog.t) : built =
+    ?(isolation = Config.Info_hiding) ?(refine = true) ?(elide = true)
+    protection (src : Prog.t) : built =
   let prog = Prog.clone src in
+  let demoted = ref 0 in
   let config =
     match protection with
     | Vanilla -> Config.vanilla
@@ -65,15 +71,15 @@ let build ?(annotated = []) ?(store_impl = Safestore.Simple_array)
       Config.cfi
     | Cps ->
       Safestack_pass.run prog;
-      Cps_pass.run prog;
+      demoted := Cps_pass.run ~refine prog;
       Config.cps ~store_impl ()
     | Cpi ->
       Safestack_pass.run prog;
-      Cpi_pass.run ~annotated prog;
+      demoted := Cpi_pass.run ~refine ~annotated prog;
       Config.cpi ~store_impl ()
     | Cpi_debug ->
       Safestack_pass.run prog;
-      Cpi_pass.run ~debug:true ~annotated prog;
+      demoted := Cpi_pass.run ~debug:true ~refine ~annotated prog;
       { (Config.cpi ~store_impl ()) with Config.name = "cpi-debug" }
     | Softbound ->
       Softbound_pass.run prog;
@@ -85,4 +91,27 @@ let build ?(annotated = []) ?(store_impl = Safestore.Simple_array)
    | Error e ->
      failwith (Printf.sprintf "pipeline(%s): invalid IR after instrumentation: %s"
                  (protection_name protection) e));
-  { protection; prog; config; stats = Stats.collect prog }
+  let certs =
+    match protection with
+    | (Cpi | Cpi_debug) when elide -> Checkelim_pass.run prog
+    | _ -> []
+  in
+  if certs <> [] then begin
+    (match Levee_ir.Verify.check_elision prog certs with
+     | Ok () -> ()
+     | Error e ->
+       failwith (Printf.sprintf "pipeline(%s): unjustified check elision: %s"
+                   (protection_name protection) e));
+    (* Elision only clears [checked] flags, but re-verify anyway: the
+       structural invariants must survive every pass. *)
+    match Levee_ir.Verify.program_result prog with
+    | Ok () -> ()
+    | Error e ->
+      failwith (Printf.sprintf "pipeline(%s): invalid IR after check elision: %s"
+                  (protection_name protection) e)
+  end;
+  { protection; prog; config;
+    stats =
+      { (Stats.collect prog) with
+        Stats.checks_elided = List.length certs;
+        mem_ops_demoted = !demoted } }

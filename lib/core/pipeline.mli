@@ -34,9 +34,17 @@ type built = {
            (Section 3.2.1's struct-ucred case)
     @param store_impl safe-pointer-store organisation (default array)
     @param isolation safe-region isolation mechanism (default info hiding)
+    @param refine enable the points-to sensitivity refinement inside the
+           CPS/CPI passes (default [true]); the demotion count is reported
+           in [stats.mem_ops_demoted]
+    @param elide run redundant-check elision over CPI programs (default
+           [true]); every elision is independently re-justified by
+           [Verify.check_elision] and counted in [stats.checks_elided]
     @raise Failure if the instrumented IR fails verification (a pass bug) *)
 val build :
   ?annotated:string list ->
   ?store_impl:Safestore.impl ->
   ?isolation:Config.isolation ->
+  ?refine:bool ->
+  ?elide:bool ->
   protection -> Prog.t -> built

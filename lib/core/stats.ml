@@ -13,6 +13,8 @@ type t = {
   mem_ops_instrumented : int;
   mem_ops_checked : int;
   indirect_calls : int;
+  checks_elided : int;
+  mem_ops_demoted : int;
 }
 
 let collect (prog : Prog.t) : t =
@@ -37,7 +39,10 @@ let collect (prog : Prog.t) : t =
     mem_ops_total = !mem_total;
     mem_ops_instrumented = !mem_instr;
     mem_ops_checked = !mem_checked;
-    indirect_calls = !icalls }
+    indirect_calls = !icalls;
+    (* filled in by the pipeline, which knows what the passes did *)
+    checks_elided = 0;
+    mem_ops_demoted = 0 }
 
 let fraction num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
 

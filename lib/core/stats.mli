@@ -7,6 +7,8 @@ type t = {
   mem_ops_instrumented : int; (** loads/stores routed off the regular path *)
   mem_ops_checked : int;      (** loads/stores with a runtime bounds check *)
   indirect_calls : int;
+  checks_elided : int;        (** checks removed by redundant-check elision *)
+  mem_ops_demoted : int;      (** accesses demoted by the points-to refinement *)
 }
 
 val collect : Levee_ir.Prog.t -> t

@@ -22,6 +22,8 @@ let cell ?(store_impl = M.Safestore.Simple_array) workload protection =
 
 type exec = {
   result : M.Interp.result;
+  elided : int;   (* static checks removed by elision (Stats.checks_elided) *)
+  demoted : int;  (* accesses demoted by the points-to refinement *)
   wall_us : int;
 }
 
@@ -61,7 +63,10 @@ let exec_cell t c =
     M.Interp.run_program ~input:w.W.Workload.input ~fuel b.P.prog b.P.config
   in
   let wall_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
-  { result; wall_us }
+  { result;
+    elided = b.P.stats.Levee_core.Stats.checks_elided;
+    demoted = b.P.stats.Levee_core.Stats.mem_ops_demoted;
+    wall_us }
 
 let entry_of c (e : exec) : Journal.entry =
   let r = e.result in
@@ -78,6 +83,8 @@ let entry_of c (e : exec) : Journal.entry =
     store_footprint = r.M.Interp.store_footprint;
     heap_peak = r.M.Interp.heap_peak;
     checksum = r.M.Interp.checksum;
+    checks_elided = e.elided;
+    mem_ops_demoted = e.demoted;
     wall_us = e.wall_us }
 
 (* Integrate one freshly executed cell: memoize, journal, track vanilla
@@ -137,7 +144,8 @@ let prefetch t cells =
             outcome = "harness-exception(" ^ Printexc.to_string exn ^ ")";
             status = 1; cycles = 0; instrs = 0; mem_ops = 0;
             instrumented_mem_ops = 0; store_accesses = 0;
-            store_footprint = 0; heap_peak = 0; checksum = 0; wall_us = 0 }
+            store_footprint = 0; heap_peak = 0; checksum = 0;
+            checks_elided = 0; mem_ops_demoted = 0; wall_us = 0 }
         in
         (match t.journal with Some j -> Journal.record j r | None -> ()))
     fresh outcomes

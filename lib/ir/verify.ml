@@ -101,3 +101,365 @@ let program_result p =
   | () -> Ok ()
   | exception Invalid_ir e ->
     Error (Printf.sprintf "%s (in %s, block b%d)" e.msg e.func e.block)
+
+(* ---------- elision certificates ---------- *)
+
+(* An elided dereference check, to be re-justified independently of the
+   pass that removed it. The argument replayed here: a check is a pure
+   function of the address register's value, metadata and the temporal
+   liveness of its allocation — so if an equivalent check (equal symbolic
+   address, with the memory cells it reads through unchanged) has passed
+   on every path into this position, re-checking must pass again.
+
+   This checker is deliberately self-contained: it rebuilds symbolic
+   addresses and the must-availability argument from scratch rather than
+   importing the pass's machinery, so a bug in the pass cannot vouch for
+   itself. *)
+
+type elision_cert = { ce_func : string; ce_block : int; ce_idx : int }
+
+module Elim = struct
+  type sym =
+    | S_imm of int
+    | S_null
+    | S_glob of string
+    | S_fun of string
+    | S_alloca of int
+    | S_param of int
+    | S_mem of sym
+    | S_bin of Instr.binop * sym * sym
+    | S_cmp of Instr.cmpop * sym * sym
+    | S_gep of sym * step list
+
+  and step = St_field of int * int | St_index of Ty.t * sym
+
+  type syminfo = {
+    s_sym : sym;
+    s_mem : bool;
+    s_allocas : int list;
+    s_support : (int * int) list; (* (block, idx) of contributing loads *)
+  }
+
+  let benign_intrin (op : Instr.intrin) =
+    match op with
+    | Instr.I_strlen | Instr.I_strcmp | Instr.I_print_int | Instr.I_print_str
+    | Instr.I_checksum | Instr.I_read_int | Instr.I_malloc | Instr.I_exit
+    | Instr.I_abort -> true
+    | Instr.I_free | Instr.I_memcpy | Instr.I_memset | Instr.I_strcpy
+    | Instr.I_cpi_memcpy | Instr.I_cpi_memset | Instr.I_read_input
+    | Instr.I_setjmp | Instr.I_longjmp | Instr.I_system -> false
+
+  type effect = Eff_none | Eff_kill_mem | Eff_kill_all
+
+  let effect_of (i : Instr.instr) =
+    match i with
+    | Instr.Store _ -> Eff_kill_mem
+    | Instr.Call _ -> Eff_kill_all
+    | Instr.Intrin { op; _ } ->
+      if benign_intrin op then Eff_none else Eff_kill_all
+    | Instr.Alloca _ | Instr.Bin _ | Instr.Cmp _ | Instr.Load _ | Instr.Gep _
+    | Instr.Cast _ -> Eff_none
+
+  let build_syms (fn : Prog.func) =
+    let ndefs = Array.make fn.Prog.nregs 0 in
+    let defs = Hashtbl.create 64 in
+    Array.iter
+      (fun (b : Prog.block) ->
+        Array.iteri
+          (fun idx (i : Instr.instr) ->
+            let def r =
+              if r >= 0 && r < fn.Prog.nregs then begin
+                ndefs.(r) <- ndefs.(r) + 1;
+                Hashtbl.replace defs r ((b.Prog.bid, idx), i)
+              end
+            in
+            match i with
+            | Instr.Alloca { dst; _ }
+            | Instr.Bin { dst; _ }
+            | Instr.Cmp { dst; _ }
+            | Instr.Load { dst; _ }
+            | Instr.Gep { dst; _ }
+            | Instr.Cast { dst; _ } -> def dst
+            | Instr.Call { dst; _ } | Instr.Intrin { dst; _ } ->
+              (match dst with Some d -> def d | None -> ())
+            | Instr.Store _ -> ())
+          b.Prog.instrs)
+      fn.Prog.blocks;
+    let nparams = List.length fn.Prog.params in
+    let memo : (int, syminfo option) Hashtbl.t = Hashtbl.create 64 in
+    let pure si = Some { s_sym = si; s_mem = false; s_allocas = []; s_support = [] } in
+    let rec of_reg ~depth r =
+      if depth = 0 then None
+      else
+        match Hashtbl.find_opt memo r with
+        | Some cached -> cached
+        | None ->
+          Hashtbl.replace memo r None;
+          let result =
+            if ndefs.(r) > 1 then None
+            else
+              match Hashtbl.find_opt defs r with
+              | None -> if r < nparams then pure (S_param r) else None
+              | Some (pos, i) ->
+                (match i with
+                 | Instr.Alloca _ ->
+                   Some { s_sym = S_alloca r; s_mem = false; s_allocas = [ r ];
+                          s_support = [] }
+                 | Instr.Cast { v; _ } -> of_op ~depth:(depth - 1) v
+                 | Instr.Bin { op; l; r = rr; _ } ->
+                   combine2 ~depth (fun a b -> S_bin (op, a, b)) l rr
+                 | Instr.Cmp { op; l; r = rr; _ } ->
+                   combine2 ~depth (fun a b -> S_cmp (op, a, b)) l rr
+                 | Instr.Load { addr; _ } ->
+                   (match of_op ~depth:(depth - 1) addr with
+                    | Some a ->
+                      Some { s_sym = S_mem a.s_sym; s_mem = true;
+                             s_allocas = a.s_allocas;
+                             s_support = pos :: a.s_support }
+                    | None -> None)
+                 | Instr.Gep { base; path; _ } ->
+                   (match of_op ~depth:(depth - 1) base with
+                    | Some b ->
+                      let rec steps acc = function
+                        | [] -> Some (List.rev acc)
+                        | Instr.Field (_, off, sz) :: tl ->
+                          steps (St_field (off, sz) :: acc) tl
+                        | Instr.Index (ty, o) :: tl ->
+                          (match of_op ~depth:(depth - 1) o with
+                           | Some s -> steps (St_index (ty, s.s_sym) :: acc) tl
+                           | None -> None)
+                      in
+                      (match steps [] path with
+                       | Some ss
+                         when List.for_all
+                                (function
+                                  | St_index (_, S_mem _) -> false
+                                  | St_index _ | St_field _ -> true)
+                                ss ->
+                         Some { b with s_sym = S_gep (b.s_sym, ss) }
+                       | Some _ | None -> None)
+                    | None -> None)
+                 | Instr.Call _ | Instr.Intrin _ | Instr.Store _ -> None)
+          in
+          Hashtbl.replace memo r result;
+          result
+    and combine2 ~depth mk l rr =
+      match of_op ~depth:(depth - 1) l, of_op ~depth:(depth - 1) rr with
+      | Some a, Some b ->
+        Some
+          { s_sym = mk a.s_sym b.s_sym;
+            s_mem = a.s_mem || b.s_mem;
+            s_allocas = a.s_allocas @ b.s_allocas;
+            s_support = a.s_support @ b.s_support }
+      | _, _ -> None
+    and of_op ~depth (o : Instr.operand) =
+      match o with
+      | Instr.Imm n -> pure (S_imm n)
+      | Instr.Nullp -> pure S_null
+      | Instr.Glob g -> pure (S_glob g)
+      | Instr.Fun f -> pure (S_fun f)
+      | Instr.Reg r -> of_reg ~depth r
+    in
+    fun (o : Instr.operand) -> of_op ~depth:24 o
+
+  let fresh_at (fn : Prog.func) (si : syminfo) ~block ~idx =
+    (not si.s_mem)
+    || (List.for_all (fun (b, i) -> b = block && i < idx) si.s_support
+        &&
+        let first =
+          List.fold_left (fun acc (_, i) -> min acc i) idx si.s_support
+        in
+        let instrs = fn.Prog.blocks.(block).Prog.instrs in
+        let ok = ref true in
+        for k = first + 1 to idx - 1 do
+          match effect_of instrs.(k) with
+          | Eff_none -> ()
+          | Eff_kill_mem | Eff_kill_all -> ok := false
+        done;
+        !ok)
+
+  let successors (t : Instr.term) =
+    match t with
+    | Instr.Ret _ | Instr.Unreachable -> []
+    | Instr.Jmp b -> [ b ]
+    | Instr.Br (_, b1, b2) -> [ b1; b2 ]
+    | Instr.Switch (_, cases, dflt) -> List.map snd cases @ [ dflt ]
+
+  let has_setjmp (fn : Prog.func) =
+    let found = ref false in
+    Prog.iter_instrs fn (fun i ->
+        match i with
+        | Instr.Intrin { op = Instr.I_setjmp; _ } -> found := true
+        | _ -> ());
+    !found
+end
+
+let check_elision (p : Prog.t) (certs : elision_cert list) :
+    (unit, string) result =
+  let open Elim in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let by_fn : (string, elision_cert list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      match Hashtbl.find_opt by_fn c.ce_func with
+      | Some l -> l := c :: !l
+      | None -> Hashtbl.replace by_fn c.ce_func (ref [ c ]))
+    certs;
+  let check_one (fn : Prog.func) sym_of (c : elision_cert) =
+    if c.ce_block < 0 || c.ce_block >= Array.length fn.Prog.blocks then
+      err "%s: certificate for unknown block b%d" c.ce_func c.ce_block
+    else begin
+      let b = fn.Prog.blocks.(c.ce_block) in
+      if c.ce_idx < 0 || c.ce_idx >= Array.length b.Prog.instrs then
+        err "%s: certificate for unknown instr b%d.%d" c.ce_func c.ce_block
+          c.ce_idx
+      else if has_setjmp fn then
+        err "%s: elision inside a setjmp-calling function" c.ce_func
+      else begin
+        (* the certificate's access and its symbolic address *)
+        let addr_of =
+          match b.Prog.instrs.(c.ce_idx) with
+          | Instr.Load { addr; checked = false; _ }
+          | Instr.Store { addr; checked = false; _ } -> Some addr
+          | Instr.Load _ | Instr.Store _ | Instr.Alloca _ | Instr.Bin _
+          | Instr.Cmp _ | Instr.Gep _ | Instr.Cast _ | Instr.Call _
+          | Instr.Intrin _ -> None
+        in
+        match addr_of with
+        | None ->
+          err "%s: certificate b%d.%d is not an unchecked memory access"
+            c.ce_func c.ce_block c.ce_idx
+        | Some addr ->
+          (match sym_of addr with
+           | None ->
+             err "%s: b%d.%d address has no symbolic value" c.ce_func
+               c.ce_block c.ce_idx
+           | Some si ->
+             if not (fresh_at fn si ~block:c.ce_block ~idx:c.ce_idx) then
+               err "%s: b%d.%d supporting loads are not locally fresh"
+                 c.ce_func c.ce_block c.ce_idx
+             else begin
+               (* Boolean must-availability of this cert's fact, generated
+                  only at *surviving* (still-checked) equivalent checks. *)
+               let n = Array.length fn.Prog.blocks in
+               let reachable = Array.make n false in
+               let rec dfs bid =
+                 if not reachable.(bid) then begin
+                   reachable.(bid) <- true;
+                   List.iter dfs (successors fn.Prog.blocks.(bid).Prog.term)
+                 end
+               in
+               if n > 0 then dfs 0;
+               if not reachable.(c.ce_block) then
+                 err "%s: b%d is unreachable from the entry" c.ce_func
+                   c.ce_block
+               else begin
+                 let gen_here (blk : Prog.block) idx (i : Instr.instr) =
+                   match i with
+                   | Instr.Load { addr = a; checked = true; _ }
+                   | Instr.Store { addr = a; checked = true; _ } ->
+                     (match sym_of a with
+                      | Some si2 ->
+                        si2.s_sym = si.s_sym
+                        && fresh_at fn si2 ~block:blk.Prog.bid ~idx
+                        && (match i with
+                            | Instr.Store _ -> not si2.s_mem
+                            | _ -> true)
+                      | None -> false)
+                   | Instr.Load _ | Instr.Store _ | Instr.Alloca _
+                   | Instr.Bin _ | Instr.Cmp _ | Instr.Gep _ | Instr.Cast _
+                   | Instr.Call _ | Instr.Intrin _ -> false
+                 in
+                 let step blk idx avail =
+                   let i = blk.Prog.instrs.(idx) in
+                   let avail =
+                     match effect_of i with
+                     | Eff_kill_all -> false
+                     | Eff_kill_mem -> avail && not si.s_mem
+                     | Eff_none ->
+                       (match i with
+                        | Instr.Alloca { dst; _ }
+                          when List.mem dst si.s_allocas -> false
+                        | Instr.Alloca _ | Instr.Bin _ | Instr.Cmp _
+                        | Instr.Load _ | Instr.Store _ | Instr.Gep _
+                        | Instr.Cast _ | Instr.Call _ | Instr.Intrin _ ->
+                          avail)
+                   in
+                   avail || gen_here blk idx i
+                 in
+                 let transfer bid avail =
+                   let blk = fn.Prog.blocks.(bid) in
+                   let a = ref avail in
+                   Array.iteri (fun idx _ -> a := step blk idx !a) blk.Prog.instrs;
+                   !a
+                 in
+                 let preds = Array.make n [] in
+                 Array.iter
+                   (fun (blk : Prog.block) ->
+                     List.iter
+                       (fun s ->
+                         if s >= 0 && s < n then
+                           preds.(s) <- blk.Prog.bid :: preds.(s))
+                       (successors blk.Prog.term))
+                   fn.Prog.blocks;
+                 let avail_out = Array.make n true in
+                 (* optimistic init for the must-analysis; iterate down *)
+                 let changed = ref true in
+                 while !changed do
+                   changed := false;
+                   for bid = 0 to n - 1 do
+                     if reachable.(bid) then begin
+                       let inp =
+                         if bid = 0 then false
+                         else
+                           List.fold_left
+                             (fun acc pb ->
+                               acc && (not reachable.(pb) || avail_out.(pb)))
+                             true preds.(bid)
+                       in
+                       let out = transfer bid inp in
+                       if out <> avail_out.(bid) then begin
+                         avail_out.(bid) <- out;
+                         changed := true
+                       end
+                     end
+                   done
+                 done;
+                 let inp =
+                   if c.ce_block = 0 then false
+                   else
+                     List.fold_left
+                       (fun acc pb ->
+                         acc && (not reachable.(pb) || avail_out.(pb)))
+                       true preds.(c.ce_block)
+                 in
+                 let a = ref inp in
+                 for k = 0 to c.ce_idx - 1 do
+                   a := step b k !a
+                 done;
+                 if !a then Ok ()
+                 else
+                   err
+                     "%s: b%d.%d check is not available on every path"
+                     c.ce_func c.ce_block c.ce_idx
+               end
+             end)
+      end
+    end
+  in
+  Hashtbl.fold
+    (fun fname certs acc ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+        if not (Prog.has_func p fname) then
+          err "certificate for unknown function %s" fname
+        else begin
+          let fn = Prog.find_func p fname in
+          let sym_of = Elim.build_syms fn in
+          List.fold_left
+            (fun acc c ->
+              match acc with Error _ -> acc | Ok () -> check_one fn sym_of c)
+            (Ok ()) !certs
+        end)
+    by_fn (Ok ())

@@ -14,3 +14,16 @@ val program : Prog.t -> unit
 
 (** [program_result p] is [Ok ()] or [Error message]. *)
 val program_result : Prog.t -> (unit, string) result
+
+(** One elided dereference check: the access at [ce_block.ce_idx] of
+    [ce_func] had its [checked] flag cleared by the redundant-check
+    elision pass. *)
+type elision_cert = { ce_func : string; ce_block : int; ce_idx : int }
+
+(** Independently re-justify every elision: rebuild the symbolic address
+    of each elided access and replay the must-availability argument — an
+    equivalent, still-present check passes on every path into the elided
+    position, with no intervening store, call, free or re-allocation that
+    could change the checked value, metadata or temporal liveness. Errors
+    indicate a bug in the elision pass. *)
+val check_elision : Prog.t -> elision_cert list -> (unit, string) result

@@ -16,6 +16,8 @@ type entry = {
   store_footprint : int;
   heap_peak : int;
   checksum : int;
+  checks_elided : int;
+  mem_ops_demoted : int;
   wall_us : int;
 }
 
@@ -26,7 +28,7 @@ type t = {
   mutable rev_entries : entry list;
 }
 
-let schema_id = "levee-bench-journal/1"
+let schema_id = "levee-bench-journal/2"
 
 let create ?(jobs = 1) ~target () =
   { target_name = target; jobs_used = jobs; m = Mutex.create ();
@@ -70,11 +72,12 @@ let entry_to_json e =
     "{\"workload\":\"%s\",\"protection\":\"%s\",\"store\":\"%s\",\
      \"outcome\":\"%s\",\"status\":%d,\"cycles\":%d,\"instrs\":%d,\
      \"mem_ops\":%d,\"instrumented_mem_ops\":%d,\"store_accesses\":%d,\
-     \"store_footprint\":%d,\"heap_peak\":%d,\"checksum\":%d,\"wall_us\":%d}"
+     \"store_footprint\":%d,\"heap_peak\":%d,\"checksum\":%d,\
+     \"checks_elided\":%d,\"mem_ops_demoted\":%d,\"wall_us\":%d}"
     (escape e.workload) (escape e.protection) (escape e.store)
     (escape e.outcome) e.status e.cycles e.instrs e.mem_ops
     e.instrumented_mem_ops e.store_accesses e.store_footprint e.heap_peak
-    e.checksum e.wall_us
+    e.checksum e.checks_elided e.mem_ops_demoted e.wall_us
 
 let to_json t =
   let b = Buffer.create 4096 in
@@ -223,7 +226,8 @@ let entry_of_json j =
     instrumented_mem_ops = int "instrumented_mem_ops";
     store_accesses = int "store_accesses";
     store_footprint = int "store_footprint"; heap_peak = int "heap_peak";
-    checksum = int "checksum"; wall_us = int "wall_us" }
+    checksum = int "checksum"; checks_elided = int "checks_elided";
+    mem_ops_demoted = int "mem_ops_demoted"; wall_us = int "wall_us" }
 
 let of_json s =
   try

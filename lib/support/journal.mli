@@ -20,6 +20,8 @@ type entry = {
   store_footprint : int;
   heap_peak : int;
   checksum : int;
+  checks_elided : int;         (** checks removed by static elision *)
+  mem_ops_demoted : int;       (** accesses demoted by points-to refinement *)
   wall_us : int;               (** wall-clock microseconds for this cell *)
 }
 
@@ -40,6 +42,10 @@ val failures : t -> entry list
 
 (** Serialize to the [BENCH_*.json] schema (see EXPERIMENTS.md). *)
 val to_json : t -> string
+
+(** JSON string escaping, shared with the other emitters in the repo so
+    every schema agrees on one dialect. *)
+val escape : string -> string
 
 (** Parse [to_json] output back. @raise Failure on malformed input. *)
 val of_json : string -> t

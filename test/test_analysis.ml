@@ -126,6 +126,73 @@ let test_castflow () =
   Alcotest.(check bool) "load feeding sensitive cast is forced" true
     (Hashtbl.length forced > 0)
 
+(* regression: the forced-value walk must follow EVERY dataflow route to
+   the sensitive cast, not just the syntactic origin chain. Routing the
+   loaded value through [w = 0 + v] (interesting operand on the right of
+   the Bin) or through a Gep base used to hide the load from the old
+   origin-based walker. *)
+let forced_count src fname =
+  let checked, prog = Levee_minic.Lower.compile_checked src in
+  let ctx =
+    An.Sensitivity.create prog.Prog.tenv
+      ~annotated:checked.Levee_minic.Typecheck.sensitive_structs
+  in
+  let fn = Prog.find_func prog fname in
+  Hashtbl.length (An.Castflow.forced_load_positions ctx fn)
+
+let test_castflow_multipath () =
+  let n =
+    forced_count
+      {|int f(int x) { return x; }
+        int slot;
+        int main() {
+          slot = (int) f;
+          int v = slot;
+          int w = 0 + v;
+          int (*g)(int) = (int (*)(int)) w;
+          return g(1);
+        }|}
+      "main"
+  in
+  Alcotest.(check bool) "load routed through Imm-left Bin still forced" true
+    (n > 0)
+
+let test_castflow_no_false_force () =
+  (* a load whose value never reaches a sensitive cast must not be forced *)
+  let n =
+    forced_count
+      {|int slot;
+        int main() {
+          slot = 7;
+          int v = slot;
+          int w = 0 + v;
+          return w;
+        }|}
+      "main"
+  in
+  Alcotest.(check int) "pure data flow not forced" 0 n
+
+let test_unsafe_cast_positions () =
+  let checked, prog =
+    Levee_minic.Lower.compile_checked
+      {|int f(int x) { return x; }
+        int main() {
+          int v = 12345;
+          int (*g)(int) = (int (*)(int)) v;
+          int h = (int) f;
+          return h + (g == 0);
+        }|}
+  in
+  let ctx =
+    An.Sensitivity.create prog.Prog.tenv
+      ~annotated:checked.Levee_minic.Typecheck.sensitive_structs
+  in
+  let fn = Prog.find_func prog "main" in
+  let pos = An.Castflow.unsafe_cast_positions ctx fn in
+  (* exactly the int->fnptr direction produces a sensitive value; the
+     fnptr->int cast is not a code-pointer forgery site *)
+  Alcotest.(check int) "one unsafe-cast site" 1 (Hashtbl.length pos)
+
 (* safe stack analysis *)
 let verdicts_of src fname =
   let prog = Levee_minic.Lower.compile src in
@@ -218,7 +285,11 @@ let () =
        [ t "demotes string pointers" test_strheur_demotes_strings;
          t "keeps laundered code pointers" test_strheur_keeps_laundered;
          t "site-level consistency" test_strheur_consistency ]);
-      ("cast dataflow", [ t "forces loads feeding sensitive casts" test_castflow ]);
+      ("cast dataflow",
+       [ t "forces loads feeding sensitive casts" test_castflow;
+         t "multi-path value routing" test_castflow_multipath;
+         t "no false forcing on pure data" test_castflow_no_false_force;
+         t "unsafe-cast positions" test_unsafe_cast_positions ]);
       ("safe stack",
        [ t "scalars safe" test_stack_scalars_safe;
          t "buffers unsafe" test_stack_buffers_unsafe;

@@ -167,6 +167,37 @@ let test_cpi_silent_prevention () =
            || Helpers.contains r.R.instance.R.victim.V.vid "uaf"))
     s.R.runs
 
+let test_elision_attack_outcomes_identical () =
+  (* the elision and refinement machinery must not weaken the defense:
+     every RIPE cell under CPI (and CPS) has the same outcome whether or
+     not the static optimisations ran *)
+  let victims = R.compile_victims () in
+  let insts = R.instances ~include_beyond_ripe:true () in
+  List.iter
+    (fun prot ->
+      List.iter
+        (fun ((v : V.victim), prog, reference) ->
+          let mine =
+            List.filter (fun i -> i.R.victim.V.vid = v.V.vid) insts
+          in
+          let on = P.build ~refine:true ~elide:true prot prog in
+          let off = P.build ~refine:false ~elide:false prot prog in
+          Alcotest.(check bool)
+            (v.V.vid ^ " benign agrees")
+            (R.benign_ok off) (R.benign_ok on);
+          List.iter
+            (fun inst ->
+              let ron = R.run_instance ~reference on inst in
+              let roff = R.run_instance ~reference off inst in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s under %s: optimised = unoptimised"
+                   v.V.vid (P.protection_name prot))
+                true
+                (ron.R.outcome = roff.R.outcome))
+            mine)
+        victims)
+    [ P.Cpi; P.Cps ]
+
 let test_matrix_coverage () =
   (* the matrix must cover all four RIPE dimensions *)
   let insts = R.instances ~include_beyond_ripe:true () in
@@ -197,4 +228,5 @@ let () =
          t "coarse CFI bypassed" test_cfi_bypassed;
          t "softbound traps all" test_softbound_traps_all;
          t "info leak defeats ASLR" test_aslr_leak;
-         t "shellcode vs DEP" test_shellcode_needs_dep_off ]) ]
+         t "shellcode vs DEP" test_shellcode_needs_dep_off;
+         t "elision preserves every verdict" test_elision_attack_outcomes_identical ]) ]

@@ -203,6 +203,77 @@ let test_stats_fields () =
   Alcotest.(check bool) "mo fraction in range" true
     (Stats.mo_instrumented s > 0.0 && Stats.mo_instrumented s < 1.0)
 
+(* ---------- redundant-check elision ---------- *)
+
+module Checkelim = Levee_core.Checkelim_pass
+module V = Levee_ir.Verify
+
+(* compare e->cb against null, then call through it: the second load of
+   e->cb re-checks an address whose check already executed on every path,
+   with no store/call in between — the textbook elidable check *)
+let elidable_prog = {|
+struct ev { int (*cb)(int); int armed; };
+int inc(int x) { return x + 1; }
+struct ev g;
+int fire(struct ev *e, int x) {
+  if (e->cb != 0) { return e->cb(x); }
+  return 0;
+}
+int main() { g.cb = inc; print_int(fire(&g, 5)); return 0; }
+|}
+
+let test_elision_fires_and_counts () =
+  let prog = Levee_minic.Lower.compile elidable_prog in
+  let on = P.build ~elide:true P.Cpi prog in
+  let off = P.build ~elide:false P.Cpi prog in
+  Alcotest.(check bool) "at least one check elided" true
+    (on.P.stats.Stats.checks_elided > 0);
+  Alcotest.(check int) "elide:false reports zero" 0
+    off.P.stats.Stats.checks_elided;
+  let checked prog =
+    count_instr prog (fun i ->
+        match i with
+        | I.Load { checked = true; _ } | I.Store { checked = true; _ } -> true
+        | _ -> false)
+  in
+  Alcotest.(check int) "each cert removes exactly one runtime check"
+    (checked off.P.prog - on.P.stats.Stats.checks_elided)
+    (checked on.P.prog)
+
+let test_elision_certs_validate () =
+  (* replay the pass by hand on an un-elided build: every certificate it
+     emits must survive the independent checker *)
+  let b = P.build ~elide:false P.Cpi (Levee_minic.Lower.compile elidable_prog) in
+  let certs = Checkelim.run b.P.prog in
+  Alcotest.(check bool) "pass emits certificates" true (certs <> []);
+  (match V.check_elision b.P.prog certs with
+   | Ok () -> ()
+   | Error m -> Alcotest.failf "checker rejected the pass's own certs: %s" m)
+
+let test_elision_bogus_cert_rejected () =
+  let b = P.build ~elide:false P.Cpi (Levee_minic.Lower.compile elidable_prog) in
+  let rejected c =
+    match V.check_elision b.P.prog [ c ] with
+    | Ok () -> false
+    | Error _ -> true
+  in
+  Alcotest.(check bool) "out-of-range block" true
+    (rejected { V.ce_func = "main"; ce_block = 999; ce_idx = 0 });
+  (* b0.0 of main is an alloca/plain instr, not an unchecked access *)
+  Alcotest.(check bool) "non-access position" true
+    (rejected { V.ce_func = "main"; ce_block = 0; ce_idx = 0 })
+
+let test_elision_behaviour_identical () =
+  let prog = Levee_minic.Lower.compile elidable_prog in
+  let run b = M.Interp.run_program ~fuel:1_000_000 b.P.prog b.P.config in
+  let on = run (P.build ~elide:true P.Cpi prog) in
+  let off = run (P.build ~elide:false P.Cpi prog) in
+  Alcotest.(check bool) "same outcome" true
+    (on.M.Interp.outcome = off.M.Interp.outcome);
+  Alcotest.(check string) "same output" off.M.Interp.output on.M.Interp.output;
+  Alcotest.(check bool) "elision saves cycles" true
+    (on.M.Interp.cycles < off.M.Interp.cycles)
+
 let () =
   Alcotest.run "passes"
     [ ("cpi",
@@ -219,4 +290,9 @@ let () =
       ("pipeline",
        [ t "verifier passes for all protections" test_pipeline_verifies_all;
          t "behaviour preserved" test_behaviour_preserved;
-         t "statistics" test_stats_fields ]) ]
+         t "statistics" test_stats_fields ]);
+      ("elision",
+       [ t "fires and is counted" test_elision_fires_and_counts;
+         t "certificates validate" test_elision_certs_validate;
+         t "bogus certificates rejected" test_elision_bogus_cert_rejected;
+         t "behaviour identical, cycles saved" test_elision_behaviour_identical ]) ]

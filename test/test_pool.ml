@@ -73,7 +73,7 @@ let entry i : Journal.entry =
     status = i mod 2; cycles = 1000 + i; instrs = 900 + i;
     mem_ops = 40 * i; instrumented_mem_ops = 7 * i; store_accesses = 3 * i;
     store_footprint = 4096 + i; heap_peak = 2 * i; checksum = -i;
-    wall_us = 31337 * i }
+    checks_elided = 5 * i; mem_ops_demoted = i; wall_us = 31337 * i }
 
 let test_journal_roundtrip () =
   let j = Journal.create ~jobs:4 ~target:"table1" () in
@@ -108,7 +108,11 @@ let test_journal_rejects_garbage () =
   Alcotest.(check bool) "wrong schema" true
     (bad "{\"schema\":\"other/9\",\"target\":\"t\",\"jobs\":1,\"entries\":[]}");
   Alcotest.(check bool) "truncated" true
-    (bad "{\"schema\":\"levee-bench-journal/1\",\"target\":\"t\"")
+    (bad "{\"schema\":\"levee-bench-journal/2\",\"target\":\"t\"");
+  Alcotest.(check bool) "old schema version" true
+    (bad
+       "{\"schema\":\"levee-bench-journal/1\",\"target\":\"t\",\"jobs\":1,\
+        \"entries\":[]}")
 
 let () =
   Alcotest.run "pool"

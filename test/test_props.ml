@@ -178,9 +178,28 @@ let prop_overhead_ordering =
       let sb = cycles P.Softbound in
       cycles P.Cps <= sb && cycles P.Cpi <= sb)
 
+let prop_elision_invisible =
+  (* redundant-check elision is a justified optimisation: on benign
+     programs it may only remove cycles, never change behaviour *)
+  QCheck.Test.make ~name:"check elision never changes observable behaviour"
+    ~count:40
+    (QCheck.make ~print:(fun s -> s) gen_program)
+    (fun src ->
+      let prog = Levee_minic.Lower.compile src in
+      let run elide =
+        let b = P.build ~elide P.Cpi prog in
+        M.Interp.run_program ~fuel:3_000_000 b.P.prog b.P.config
+      in
+      let on = run true and off = run false in
+      on.M.Interp.outcome = off.M.Interp.outcome
+      && on.M.Interp.checksum = off.M.Interp.checksum
+      && on.M.Interp.output = off.M.Interp.output
+      && on.M.Interp.cycles <= off.M.Interp.cycles)
+
 let () =
   Alcotest.run "props"
     [ ("differential",
        [ QCheck_alcotest.to_alcotest prop_differential;
          QCheck_alcotest.to_alcotest prop_store_isolation_cross;
-         QCheck_alcotest.to_alcotest prop_overhead_ordering ]) ]
+         QCheck_alcotest.to_alcotest prop_overhead_ordering;
+         QCheck_alcotest.to_alcotest prop_elision_invisible ]) ]
