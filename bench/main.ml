@@ -100,7 +100,7 @@ let ripe_journal_entry (s : R.summary) : Journal.entry =
     status = (if must_stop_all && s.R.hijacked > 0 then 1 else 0);
     cycles = 0; instrs = 0; mem_ops = 0; instrumented_mem_ops = 0;
     store_accesses = 0; store_footprint = 0; heap_peak = 0; checksum = 0;
-    checks_elided = 0; mem_ops_demoted = 0; wall_us = 0 }
+    checks_elided = 0; mem_ops_demoted = 0; attempts = 1; wall_us = 0 }
 
 let bench_ripe () =
   header "RIPE-style attack matrix (paper Section 5.1)";
@@ -511,6 +511,11 @@ let all_targets =
     ("ablation", bench_ablation); ("distro", bench_distro);
     ("bechamel", bench_bechamel) ]
 
+(* Targets whose printing code raised (a harness bug, not a simulated
+   trap): the run continues to the next target and the process reports
+   every failure — and exits non-zero — only after the full matrix. *)
+let target_failures : (string * string) list ref = ref []
+
 (* Run one target under its own journal: fan its independent cells out
    through the pool first (a no-op at --jobs 1 beyond ordering the
    journal), then let the unchanged printing code hit the memo. *)
@@ -522,16 +527,21 @@ let run_target name f =
     else None
   in
   Engine.set_journal e j;
-  (match List.assoc_opt name Targets.by_name with
-   | Some cells -> Engine.prefetch e (cells ())
-   | None -> ());
-  f ();
-  (match j with
-   | Some j when name = "ripe" ->
-     List.iter
-       (fun s -> Journal.record j (ripe_journal_entry s))
-       (Lazy.force ripe_summaries)
-   | _ -> ());
+  (try
+     (match List.assoc_opt name Targets.by_name with
+      | Some cells -> Engine.prefetch e (cells ())
+      | None -> ());
+     f ();
+     match j with
+     | Some j when name = "ripe" ->
+       List.iter
+         (fun s -> Journal.record j (ripe_journal_entry s))
+         (Lazy.force ripe_summaries)
+     | _ -> ()
+   with exn ->
+     let msg = Printexc.to_string exn in
+     target_failures := (name, msg) :: !target_failures;
+     Printf.eprintf "[bench] target %s failed: %s\n" name msg);
   Engine.set_journal e None;
   match j with
   | Some j ->
@@ -582,14 +592,31 @@ let () =
      List.iter
        (fun name -> run_target name (List.assoc name all_targets))
        names);
-  let failures = Engine.vanilla_failures (Lazy.force eng) in
+  (* Full matrix reported; now aggregate every failure class and only
+     then decide the exit code. *)
+  let vanilla = Engine.vanilla_failures (Lazy.force eng) in
+  let harness = Engine.harness_failures (Lazy.force eng) in
+  let targets = List.rev !target_failures in
   Engine.shutdown (Lazy.force eng);
-  if failures <> [] then begin
+  if vanilla <> [] then begin
     Printf.eprintf "[bench] %d vanilla run(s) did not exit cleanly:\n"
-      (List.length failures);
+      (List.length vanilla);
     List.iter
       (fun (name, o) ->
         Printf.eprintf "  %s: %s\n" name (M.Trap.outcome_to_string o))
-      failures;
-    exit 1
-  end
+      vanilla
+  end;
+  if harness <> [] then begin
+    Printf.eprintf "[bench] %d cell(s) failed in the harness:\n"
+      (List.length harness);
+    List.iter
+      (fun (cell, reason) -> Printf.eprintf "  %s: %s\n" cell reason)
+      harness
+  end;
+  if targets <> [] then begin
+    Printf.eprintf "[bench] %d target(s) failed:\n" (List.length targets);
+    List.iter
+      (fun (name, msg) -> Printf.eprintf "  %s: %s\n" name msg)
+      targets
+  end;
+  if vanilla <> [] || harness <> [] || targets <> [] then exit 1

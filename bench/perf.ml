@@ -54,18 +54,7 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv))
 
-let escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let escape = Levee_support.Jsonenc.escape
 
 let () =
   let eng = Engine.create ?fuel_cap:!fuel_cap ~jobs:1 () in

@@ -28,12 +28,20 @@
        Table-2-style statistics, plus the CPI pipeline's authoritative
        check-elision/demotion counts. --json emits the levee-analyze/1
        document instead of the human table. Output is deterministic;
-       exits 1 on error-severity findings (internal inconsistencies). *)
+       exits 1 on error-severity findings (internal inconsistencies).
+
+     levee faults [--json] [--jobs N] [--seed S]
+       Run the deterministic fault-injection smoke campaign: seeded
+       corruption plans swept over defense configs x store organisations,
+       every run classified against its un-faulted baseline. --json emits
+       the levee-faults/1 document (byte-identical for any --jobs).
+       Exits 1 iff a campaign invariant is violated. *)
 
 module P = Levee_core.Pipeline
 module M = Levee_machine
 module Pool = Levee_support.Pool
 module Journal = Levee_support.Journal
+module Faults = Levee_harness.Faults
 
 let usage () =
   prerr_endline
@@ -43,7 +51,8 @@ let usage () =
     \             [-json FILE]\n\
     \             [-input w1,w2,...] [-fuel N] [-store array|two-level|hash]\n\
     \             file.c\n\
-    \       levee analyze [--json] file.c...";
+    \       levee analyze [--json] file.c...\n\
+    \       levee faults [--json] [--jobs N] [--seed S]";
   exit 2
 
 let read_file file =
@@ -93,6 +102,31 @@ let run_analyze args =
     files;
   exit (if !any_errors then 1 else 0)
 
+(* levee faults [--json] [--jobs N] [--seed S] *)
+let run_faults args =
+  let json = ref false in
+  let jobs = ref 1 in
+  let seed = ref 42 in
+  let rec parse = function
+    | [] -> ()
+    | ("--json" | "-json") :: rest -> json := true; parse rest
+    | ("--jobs" | "-jobs") :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 -> jobs := n
+       | _ -> usage ());
+      parse rest
+    | ("--seed" | "-seed") :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n -> seed := n
+       | None -> usage ());
+      parse rest
+    | _ -> usage ()
+  in
+  parse args;
+  let rep = Faults.run ~jobs:!jobs (Faults.smoke ~seed:!seed ()) in
+  print_string (if !json then Faults.to_json rep else Faults.to_human rep);
+  exit (if Faults.invariants_ok rep then 0 else 1)
+
 let () =
   let protection = ref P.Cpi in
   let emit_ir = ref false in
@@ -108,6 +142,7 @@ let () =
   let json_out = ref None in
   (match Array.to_list Sys.argv with
    | _ :: "analyze" :: rest -> run_analyze rest
+   | _ :: "faults" :: rest -> run_faults rest
    | _ -> ());
   let rec parse = function
     | [] -> ()
@@ -170,6 +205,7 @@ let () =
       heap_peak = r.M.Interp.heap_peak; checksum = r.M.Interp.checksum;
       checks_elided = st.Levee_core.Stats.checks_elided;
       mem_ops_demoted = st.Levee_core.Stats.mem_ops_demoted;
+      attempts = 1;
       wall_us }
   in
   let write_journal entries =

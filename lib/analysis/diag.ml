@@ -252,7 +252,7 @@ let to_human ?elided ?demoted r =
 let schema_id = "levee-analyze/1"
 
 (* Reuse the journal's string escaping so the two JSON dialects agree. *)
-let escape = Levee_support.Journal.escape
+let escape = Levee_support.Jsonenc.escape
 
 let to_json ?elided ?demoted r =
   let b = Buffer.create 4096 in

@@ -1,0 +1,116 @@
+(* Deterministic fault-injection plans: symbolic corruption schedules
+   compiled down to Interp faults against one deployed image (see
+   faultplan.mli for the model). *)
+
+module M = Levee_machine
+module Rng = Levee_support.Rng
+
+type site =
+  | Stack of int
+  | Heap of int
+  | Global of string * int
+  | Safe_site of int
+  | Ret_slot of string list
+  | Var_slot of { chain : string list; index : int }
+
+type value_spec =
+  | Value of int
+  | Code_entry of string
+
+type action =
+  | Flip of { site : site; bit : int }
+  | Write of { site : site; value : value_spec }
+  | Desync of { site : site; delta : int }
+  | Drop_meta of site
+
+type event = { step : int; action : action }
+
+type t = { name : string; seed : int; events : event list }
+
+let make ~name ?(seed = 0) events = { name; seed; events }
+
+let random ~name ~seed ~events ~max_step =
+  let rng = Rng.create seed in
+  let site () =
+    (* Blind probing favours the regular region; occasionally aim at the
+       safe region to exercise the isolation boundary. *)
+    match Rng.int rng 10 with
+    | 0 | 1 -> Safe_site (Rng.int rng 256)
+    | 2 | 3 | 4 -> Heap (Rng.int rng 1024)
+    | _ -> Stack (Rng.int rng 512)
+  in
+  let action () =
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 -> Flip { site = site (); bit = Rng.int rng 31 }
+    | 4 | 5 | 6 | 7 ->
+      Write { site = site (); value = Value (Rng.int rng 0x40000000) }
+    | 8 -> Desync { site = site (); delta = Rng.range rng 1 8 }
+    | _ -> Drop_meta (site ())
+  in
+  let ev _ = { step = Rng.int rng (max 1 max_step); action = action () } in
+  { name; seed; events = List.init (max 0 events) ev }
+
+let site_of = function
+  | Flip { site; _ } | Write { site; _ } | Desync { site; _ }
+  | Drop_meta site -> site
+
+let within_attacker_model p =
+  List.for_all
+    (fun e -> match e.action with Desync _ | Drop_meta _ -> false | _ -> true)
+    p.events
+
+let pure_safe_tamper p =
+  p.events <> []
+  && List.for_all
+       (fun e ->
+         match e.action, site_of e.action with
+         | (Flip _ | Write _), Safe_site _ -> true
+         | _ -> false)
+       p.events
+
+(* ---------- resolution ---------- *)
+
+let last = function
+  | [] -> invalid_arg "Faultplan: empty call chain"
+  | l -> List.nth l (List.length l - 1)
+
+let resolve ~(reference : M.Loader.image) ~(deployed : M.Loader.image) p =
+  let rebase = deployed.M.Loader.slide - reference.M.Loader.slide in
+  let layout fname =
+    match Hashtbl.find_opt reference.M.Loader.layouts fname with
+    | Some l -> l
+    | None -> invalid_arg ("Faultplan: unknown function " ^ fname)
+  in
+  let addr_of = function
+    | Stack off -> M.Layout.stack_top + deployed.M.Loader.slide - off
+    | Heap off -> M.Layout.heap_base + deployed.M.Loader.slide + off
+    | Global (g, off) ->
+      (match Hashtbl.find_opt deployed.M.Loader.global_addr g with
+       | Some a -> a + off
+       | None -> invalid_arg ("Faultplan: unknown global " ^ g))
+    | Safe_site off -> M.Layout.safe_stack_top + deployed.M.Loader.slide - off
+    | Ret_slot chain ->
+      Attack.frame_base reference chain
+      - (layout (last chain)).M.Loader.fl_ret_offset
+      + rebase
+    | Var_slot { chain; index } ->
+      let slot = Attack.nth_slot reference (last chain) index in
+      Attack.frame_base reference chain - slot.M.Loader.sl_offset + rebase
+  in
+  let value_of = function
+    | Value v -> v
+    | Code_entry fn -> M.Loader.entry_addr deployed fn
+  in
+  List.map
+    (fun e ->
+      let f =
+        match e.action with
+        | Flip { site; bit } -> M.Interp.Flip_bit { addr = addr_of site; bit }
+        | Write { site; value } ->
+          M.Interp.Arb_write { addr = addr_of site; value = value_of value }
+        | Desync { site; delta } ->
+          M.Interp.Store_desync { addr = addr_of site; delta }
+        | Drop_meta site -> M.Interp.Meta_drop { addr = addr_of site }
+      in
+      (e.step, f))
+    p.events

@@ -1,0 +1,76 @@
+(** Deterministic fault-injection plans (the campaign vocabulary).
+
+    A plan is a named, seeded schedule of memory corruptions expressed
+    against *symbolic* sites — stack/heap/global offsets, the return
+    address or an alloca slot of a call chain, the safe region — rather
+    than raw addresses. [resolve] compiles a plan down to the machine's
+    [(step, Interp.fault)] pairs for one deployed image, using the
+    unprotected reference build for layout knowledge the way the RIPE
+    attacker does: a protection that moves a slot out of the regular
+    region silently invalidates the attacker's offsets, which is exactly
+    the effect the campaign measures.
+
+    Everything is deterministic: [random] draws from the seeded SplitMix
+    generator, so the same [(name, seed)] replays byte-identically. *)
+
+module M = Levee_machine
+
+(** Where a fault lands, symbolically. *)
+type site =
+  | Stack of int
+      (** words below the regular stack top (attacker-style blind offset) *)
+  | Heap of int   (** words above the heap base *)
+  | Global of string * int  (** a global variable plus a word offset *)
+  | Safe_site of int
+      (** words below the safe-stack top: attempted safe-region tamper *)
+  | Ret_slot of string list
+      (** return-address slot of a direct call chain rooted at [main],
+          located via the unprotected reference layout *)
+  | Var_slot of { chain : string list; index : int }
+      (** the [index]-th alloca of the chain's innermost function,
+          located via the unprotected reference layout *)
+
+(** What gets written. *)
+type value_spec =
+  | Value of int
+  | Code_entry of string  (** entry address of a function, deployed image *)
+
+type action =
+  | Flip of { site : site; bit : int }   (** single bit flip *)
+  | Write of { site : site; value : value_spec }
+      (** arbitrary-write primitive through the plain access path *)
+  | Desync of { site : site; delta : int }
+      (** skew an existing safe-store entry's value: metadata desync,
+          models an attacker already past isolation *)
+  | Drop_meta of site
+      (** erase a safe-store entry: ditto *)
+
+type event = { step : int; action : action }
+
+type t = { name : string; seed : int; events : event list }
+
+val make : name:string -> ?seed:int -> event list -> t
+
+(** [random ~name ~seed ~events ~max_step] draws [events] corruptions at
+    steps uniform in [0, max_step), over stack/heap/safe sites, mixing
+    flips, arbitrary writes and (rarely) store desyncs. *)
+val random : name:string -> seed:int -> events:int -> max_step:int -> t
+
+(** No [Desync]/[Drop_meta] events: the plan stays inside the software
+    attacker model the paper defends against (arbitrary reads/writes of
+    the regular region, no isolation bypass). The campaign's "CPI never
+    hijacked" invariant quantifies over exactly these plans. *)
+val within_attacker_model : t -> bool
+
+(** Every event lands on a [Safe_site] through the plain access path:
+    the run must end in [Isolation_violation] once the first one fires
+    (in every configuration — the safe region is always enforced). *)
+val pure_safe_tamper : t -> bool
+
+(** Compile to machine faults for one build. [reference] is the
+    unprotected (vanilla, no-ASLR) build supplying frame layouts;
+    [deployed] supplies the slide, global addresses and code entry
+    points. @raise Invalid_argument on unknown globals/functions. *)
+val resolve :
+  reference:M.Loader.image -> deployed:M.Loader.image ->
+  t -> (int * M.Interp.fault) list

@@ -24,21 +24,30 @@ type exec = {
   result : M.Interp.result;
   elided : int;   (* static checks removed by elision (Stats.checks_elided) *)
   demoted : int;  (* accesses demoted by the points-to refinement *)
+  attempts : int; (* executions before this result (retry accounting) *)
   wall_us : int;
 }
 
 type t = {
   pool : Pool.t;
   fuel_cap : int option;
+  task_timeout : float option;               (* per-cell watchdog budget *)
+  retries : int;                             (* extra attempts on exception *)
+  quarantine_after : int;                    (* failures before quarantine *)
   m : Mutex.t;                               (* guards memo + failures *)
   memo : (string * string, exec) Hashtbl.t;
+  fail_counts : (string, int) Hashtbl.t;     (* workload -> harness failures *)
   mutable journal : Journal.t option;
   mutable rev_vanilla_failures : (string * M.Trap.outcome) list;
+  mutable rev_harness_failures : (string * string) list;
 }
 
-let create ?fuel_cap ~jobs () =
-  { pool = Pool.create ~jobs; fuel_cap; m = Mutex.create ();
-    memo = Hashtbl.create 64; journal = None; rev_vanilla_failures = [] }
+let create ?fuel_cap ?task_timeout ?(retries = 0) ?(quarantine_after = 3)
+    ~jobs () =
+  { pool = Pool.create ~jobs; fuel_cap; task_timeout; retries;
+    quarantine_after = max 1 quarantine_after; m = Mutex.create ();
+    memo = Hashtbl.create 64; fail_counts = Hashtbl.create 8; journal = None;
+    rev_vanilla_failures = []; rev_harness_failures = [] }
 
 let jobs t = Pool.jobs t.pool
 let pool t = t.pool
@@ -66,6 +75,7 @@ let exec_cell t c =
   { result;
     elided = b.P.stats.Levee_core.Stats.checks_elided;
     demoted = b.P.stats.Levee_core.Stats.mem_ops_demoted;
+    attempts = 1;
     wall_us }
 
 let entry_of c (e : exec) : Journal.entry =
@@ -85,6 +95,7 @@ let entry_of c (e : exec) : Journal.entry =
     checksum = r.M.Interp.checksum;
     checks_elided = e.elided;
     mem_ops_demoted = e.demoted;
+    attempts = e.attempts;
     wall_us = e.wall_us }
 
 (* Integrate one freshly executed cell: memoize, journal, track vanilla
@@ -116,6 +127,36 @@ let find_memo t k =
   Mutex.unlock t.m;
   r
 
+let fail_count t w =
+  Mutex.lock t.m;
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.fail_counts w) in
+  Mutex.unlock t.m;
+  n
+
+(* Record a cell the harness could not execute: journal a synthetic failed
+   entry, count it against the workload (quarantine accounting), remember
+   it for the end-of-run report. Runs on the submitting domain. *)
+let note_failure t c ~reason ~attempts =
+  let w = c.workload.W.Workload.name in
+  Mutex.lock t.m;
+  Hashtbl.replace t.fail_counts w
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.fail_counts w));
+  t.rev_harness_failures <-
+    (w ^ "/" ^ P.protection_name c.protection, reason)
+    :: t.rev_harness_failures;
+  Mutex.unlock t.m;
+  let r : Journal.entry =
+    { Journal.workload = w;
+      protection = P.protection_name c.protection;
+      store = M.Safestore.impl_name c.store_impl;
+      outcome = reason;
+      status = 1; cycles = 0; instrs = 0; mem_ops = 0;
+      instrumented_mem_ops = 0; store_accesses = 0;
+      store_footprint = 0; heap_peak = 0; checksum = 0;
+      checks_elided = 0; mem_ops_demoted = 0; attempts; wall_us = 0 }
+  in
+  match t.journal with Some j -> Journal.record j r | None -> ()
+
 let prefetch t cells =
   (* Dedupe while preserving first-occurrence order, and drop cells that
      are already memoized (their executions were journalled earlier). *)
@@ -128,27 +169,39 @@ let prefetch t cells =
         else (Hashtbl.add seen k (); true))
       cells
   in
-  let outcomes = Pool.map t.pool (fun c -> exec_cell t c) fresh in
+  (* Quarantine: a workload whose harness failures (exceptions/timeouts,
+     not simulated traps) reached the threshold in *earlier* batches is
+     not executed again — its cells are reported as quarantined. The
+     check reads counts updated in submission order, so the decision is
+     deterministic and identical for every [jobs]. *)
+  let quarantined, runnable =
+    List.partition
+      (fun c -> fail_count t c.workload.W.Workload.name >= t.quarantine_after)
+      fresh
+  in
+  List.iter
+    (fun c -> note_failure t c ~reason:"quarantined" ~attempts:0)
+    quarantined;
+  let outcomes =
+    Pool.run_guarded ?timeout:t.task_timeout ~retries:t.retries t.pool
+      (List.map (fun c () -> exec_cell t c) runnable)
+  in
   List.iter2
-    (fun c outcome ->
-      match outcome with
-      | Ok e -> note t c e
-      | Error exn ->
+    (fun c (o : _ Pool.outcome) ->
+      match o.Pool.result with
+      | Ok e -> note t c { e with attempts = o.Pool.attempts }
+      | Error (Pool.Exn exn) ->
         (* A crashed harness task (compile/build bug) must not take the
            whole run down: journal it as a failed cell and move on. The
            cell stays unmemoized, so a later direct lookup re-raises. *)
-        let r : Journal.entry =
-          { Journal.workload = c.workload.W.Workload.name;
-            protection = P.protection_name c.protection;
-            store = M.Safestore.impl_name c.store_impl;
-            outcome = "harness-exception(" ^ Printexc.to_string exn ^ ")";
-            status = 1; cycles = 0; instrs = 0; mem_ops = 0;
-            instrumented_mem_ops = 0; store_accesses = 0;
-            store_footprint = 0; heap_peak = 0; checksum = 0;
-            checks_elided = 0; mem_ops_demoted = 0; wall_us = 0 }
-        in
-        (match t.journal with Some j -> Journal.record j r | None -> ()))
-    fresh outcomes
+        note_failure t c
+          ~reason:("harness-exception(" ^ Printexc.to_string exn ^ ")")
+          ~attempts:o.Pool.attempts
+      | Error (Pool.Timed_out s) ->
+        note_failure t c
+          ~reason:(Printf.sprintf "timed-out(%.1fs)" s)
+          ~attempts:o.Pool.attempts)
+    runnable outcomes
 
 let run_workload t ?(store_impl = M.Safestore.Simple_array) w protection =
   let c = { workload = w; protection; store_impl } in
@@ -168,5 +221,11 @@ let overhead t w prot =
 let vanilla_failures t =
   Mutex.lock t.m;
   let l = List.rev t.rev_vanilla_failures in
+  Mutex.unlock t.m;
+  l
+
+let harness_failures t =
+  Mutex.lock t.m;
+  let l = List.rev t.rev_harness_failures in
   Mutex.unlock t.m;
   l

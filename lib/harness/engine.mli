@@ -24,8 +24,16 @@ type t
 
 (** [create ~jobs ()] builds an engine around a [jobs]-wide pool.
     [fuel_cap], if given, clamps every workload's instruction budget (the
-    tiny-fuel CI smoke path). *)
-val create : ?fuel_cap:int -> jobs:int -> unit -> t
+    tiny-fuel CI smoke path). [task_timeout] arms the pool's per-cell
+    watchdog (seconds; needs [jobs > 1]): a stuck cell is journalled as
+    [timed-out(..)] instead of hanging the batch. [retries] re-runs a
+    cell whose harness task raised, with deterministic backoff.
+    [quarantine_after] (default 3) stops executing a workload once that
+    many of its cells failed in the harness (exceptions or timeouts, not
+    simulated traps); further cells are journalled as [quarantined]. *)
+val create :
+  ?fuel_cap:int -> ?task_timeout:float -> ?retries:int ->
+  ?quarantine_after:int -> jobs:int -> unit -> t
 
 val jobs : t -> int
 val pool : t -> Levee_support.Pool.t
@@ -51,6 +59,12 @@ val overhead : t -> W.Workload.t -> P.protection -> float
     they were discovered. A non-empty list means the harness itself is
     broken and the process should exit non-zero. *)
 val vanilla_failures : t -> (string * M.Trap.outcome) list
+
+(** Cells the harness itself failed to execute (exception, timeout or
+    quarantine), as [("workload/protection", reason)] pairs in discovery
+    order. These are also journalled with status 1, so the journal still
+    covers the full matrix. *)
+val harness_failures : t -> (string * string) list
 
 (** Shut the pool down (joins the worker domains). *)
 val shutdown : t -> unit

@@ -1,0 +1,343 @@
+(* Fault-injection campaign driver (see faults.mli).
+
+   Parallel structure mirrors Engine: each (subject, config) pair is one
+   pool task that builds the images once, runs the un-faulted baseline
+   and then every plan; the submitting domain integrates results in
+   submission order, so the report is independent of [jobs]. *)
+
+module P = Levee_core.Pipeline
+module M = Levee_machine
+module A = Levee_attacks
+module Pool = Levee_support.Pool
+module J = Levee_support.Jsonenc
+
+type subject = {
+  sname : string;
+  source : string;
+  input : int array;
+  fuel : int;
+  splans : A.Faultplan.t list;
+}
+
+type campaign = {
+  cname : string;
+  seed : int;
+  subjects : subject list;
+  configs : (P.protection * M.Safestore.impl) list;
+}
+
+(* ---------- the smoke campaign ---------- *)
+
+(* Both subjects dispatch through a code pointer inside a long loop, so a
+   mid-loop corruption lands while the pointer is both live and about to
+   be used; [backdoor] is the hijack witness ([system] => [Hijacked]). *)
+
+let dispatch_src = {|
+int helper(int x) { return x + 1; }
+int backdoor() { system("pwn"); return 1; }
+int work(int n) {
+  int (*fp)(int);
+  int acc;
+  int i;
+  fp = helper;
+  acc = 0;
+  i = 0;
+  while (i < n) {
+    acc = acc + fp(i);
+    i = i + 1;
+  }
+  checksum(acc);
+  return acc;
+}
+int main() { work(40); print_str("done"); return 0; }
+|}
+
+let gdispatch_src = {|
+int helper(int x) { return x + 2; }
+int backdoor() { system("pwn"); return 1; }
+int (*gfp)(int) = helper;
+int main() {
+  int acc;
+  int i;
+  acc = 0;
+  i = 0;
+  while (i < 30) {
+    acc = acc + gfp(i);
+    i = i + 1;
+  }
+  checksum(acc);
+  print_str("done");
+  return 0;
+}
+|}
+
+let smoke ?(seed = 42) () =
+  let open A.Faultplan in
+  let ev step action = { step; action } in
+  let backdoor = Code_entry "backdoor" in
+  let chain = [ "main"; "work" ] in
+  let dispatch =
+    { sname = "dispatch"; source = dispatch_src; input = [||]; fuel = 200_000;
+      splans =
+        [ make ~name:"ret-to-backdoor"
+            [ ev 100 (Write { site = Ret_slot chain; value = backdoor }) ];
+          (* [work]'s allocas in order: the [n] parameter spill, then
+             [fp], [acc], [i]. *)
+          make ~name:"fptr-hijack"
+            [ ev 100
+                (Write
+                   { site = Var_slot { chain; index = 1 }; value = backdoor })
+            ];
+          make ~name:"fptr-bitflip"
+            [ ev 100 (Flip { site = Var_slot { chain; index = 1 }; bit = 3 }) ];
+          make ~name:"acc-bitflip"
+            [ ev 120 (Flip { site = Var_slot { chain; index = 2 }; bit = 0 }) ];
+          make ~name:"safe-tamper"
+            [ ev 80 (Write { site = Safe_site 4; value = Value 0xDEAD }) ];
+        ] }
+  in
+  let g = Global ("gfp", 0) in
+  let gdispatch =
+    { sname = "gdispatch"; source = gdispatch_src; input = [||]; fuel = 200_000;
+      splans =
+        [ make ~name:"gfp-hijack" [ ev 60 (Write { site = g; value = backdoor }) ];
+          make ~name:"gfp-bitflip" [ ev 60 (Flip { site = g; bit = 0 }) ];
+          make ~name:"gfp-desync" [ ev 60 (Desync { site = g; delta = 3 }) ];
+          make ~name:"gfp-dropmeta" [ ev 60 (Drop_meta g) ];
+          make ~name:"safe-tamper"
+            [ ev 80 (Write { site = Safe_site 4; value = Value 0xDEAD }) ];
+        ] }
+  in
+  let shared =
+    List.init 4 (fun k ->
+        random
+          ~name:(Printf.sprintf "rand-%d" (k + 1))
+          ~seed:((seed * 1000) + k + 1)
+          ~events:3 ~max_step:400)
+  in
+  let with_shared s = { s with splans = s.splans @ shared } in
+  { cname = "smoke"; seed;
+    subjects = [ with_shared dispatch; with_shared gdispatch ];
+    configs =
+      [ (P.Vanilla, M.Safestore.Simple_array);
+        (P.Safe_stack, M.Safestore.Simple_array);
+        (P.Cps, M.Safestore.Simple_array);
+        (P.Cps, M.Safestore.Two_level);
+        (P.Cps, M.Safestore.Hashtable);
+        (P.Cpi, M.Safestore.Simple_array);
+        (P.Cpi, M.Safestore.Two_level);
+        (P.Cpi, M.Safestore.Hashtable);
+      ] }
+
+(* ---------- execution ---------- *)
+
+type run = {
+  r_subject : string;
+  r_plan : string;
+  r_protection : P.protection;
+  r_store : M.Safestore.impl;
+  r_class : string;
+  r_outcome : string;
+  r_instrs : int;
+  r_cycles : int;
+  r_checksum : int;
+  r_model : bool;
+  r_tamper : bool;
+}
+
+type report = {
+  rep_campaign : campaign;
+  rep_runs : run list;
+}
+
+let runs rep = rep.rep_runs
+
+let classify ~(baseline : M.Interp.result) (r : M.Interp.result) =
+  match r.M.Interp.outcome with
+  | M.Trap.Hijacked _ -> "hijacked"
+  | M.Trap.Trapped _ -> "trapped"
+  | M.Trap.Crash _ -> "crash"
+  | M.Trap.Fuel_exhausted -> "fuel-exhausted"
+  | M.Trap.Exit _ ->
+    if r.M.Interp.outcome = baseline.M.Interp.outcome
+       && r.M.Interp.output = baseline.M.Interp.output
+       && r.M.Interp.checksum = baseline.M.Interp.checksum
+    then "masked"
+    else "benign"
+
+(* One pool task: everything for one (subject, protection, store). *)
+let exec_config (s, (prot, store)) =
+  let prog = Levee_minic.Lower.compile ~name:s.sname s.source in
+  let vb = P.build ~store_impl:store P.Vanilla prog in
+  let reference = M.Loader.load vb.P.prog vb.P.config in
+  let deployed =
+    if prot = P.Vanilla then reference
+    else
+      let b = P.build ~store_impl:store prot prog in
+      M.Loader.load b.P.prog b.P.config
+  in
+  let baseline = M.Interp.run ~input:s.input ~fuel:s.fuel deployed in
+  (match baseline.M.Interp.outcome with
+   | M.Trap.Exit 0 -> ()
+   | o ->
+     failwith
+       (Printf.sprintf "faults: baseline %s under %s is %s" s.sname
+          (P.protection_name prot) (M.Trap.outcome_to_string o)));
+  List.map
+    (fun plan ->
+      let faults = A.Faultplan.resolve ~reference ~deployed plan in
+      let r = M.Interp.run ~input:s.input ~fuel:s.fuel ~faults deployed in
+      { r_subject = s.sname;
+        r_plan = plan.A.Faultplan.name;
+        r_protection = prot;
+        r_store = store;
+        r_class = classify ~baseline r;
+        r_outcome = M.Trap.outcome_to_string r.M.Interp.outcome;
+        r_instrs = r.M.Interp.instrs;
+        r_cycles = r.M.Interp.cycles;
+        r_checksum = r.M.Interp.checksum;
+        r_model = A.Faultplan.within_attacker_model plan;
+        r_tamper = A.Faultplan.pure_safe_tamper plan })
+    s.splans
+
+let run ?(jobs = 1) campaign =
+  let cells =
+    List.concat_map
+      (fun s -> List.map (fun cfg -> (s, cfg)) campaign.configs)
+      campaign.subjects
+  in
+  let pool = Pool.create ~jobs in
+  let results =
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () -> Pool.map pool exec_config cells)
+  in
+  let rep_runs =
+    List.concat_map
+      (function Ok rs -> rs | Error exn -> raise exn)
+      results
+  in
+  { rep_campaign = campaign; rep_runs }
+
+(* ---------- invariants ---------- *)
+
+let isolation_str = M.Trap.outcome_to_string (M.Trap.Trapped M.Trap.Isolation_violation)
+
+let invariants rep =
+  let rs = rep.rep_runs in
+  [ ( "cpi implies no hijack (attacker-model plans)",
+      not
+        (List.exists
+           (fun r ->
+             r.r_protection = P.Cpi && r.r_model && r.r_class = "hijacked")
+           rs) );
+    ( "vanilla hijack witnessed",
+      List.exists
+        (fun r -> r.r_protection = P.Vanilla && r.r_class = "hijacked")
+        rs );
+    ( "safe-region tamper traps as isolation violation",
+      List.for_all
+        (fun r -> (not r.r_tamper) || r.r_outcome = isolation_str)
+        rs );
+  ]
+
+let invariants_ok rep = List.for_all snd (invariants rep)
+
+(* ---------- reporting ---------- *)
+
+let classes = [ "hijacked"; "trapped"; "crash"; "masked"; "benign"; "fuel-exhausted" ]
+
+let plan_descrs campaign =
+  List.concat_map
+    (fun s ->
+      List.map (fun (p : A.Faultplan.t) -> (s.sname, p)) s.splans)
+    campaign.subjects
+
+let to_json rep =
+  let c = rep.rep_campaign in
+  let plan_json (sname, (p : A.Faultplan.t)) =
+    J.obj
+      [ J.str "subject" sname;
+        J.str "name" p.A.Faultplan.name;
+        J.int "seed" p.A.Faultplan.seed;
+        J.int "events" (List.length p.A.Faultplan.events);
+        J.bool "attacker_model" (A.Faultplan.within_attacker_model p);
+        J.bool "safe_tamper" (A.Faultplan.pure_safe_tamper p) ]
+  in
+  let run_json r =
+    J.obj
+      [ J.str "subject" r.r_subject;
+        J.str "plan" r.r_plan;
+        J.str "protection" (P.protection_name r.r_protection);
+        J.str "store" (M.Safestore.impl_name r.r_store);
+        J.str "class" r.r_class;
+        J.str "outcome" r.r_outcome;
+        J.int "instrs" r.r_instrs;
+        J.int "cycles" r.r_cycles;
+        J.int "checksum" r.r_checksum ]
+  in
+  let count cls = List.length (List.filter (fun r -> r.r_class = cls) rep.rep_runs) in
+  let by_prot =
+    List.filter_map
+      (fun prot ->
+        if List.exists (fun (p, _) -> p = prot) c.configs then
+          Some
+            (J.int (P.protection_name prot)
+               (List.length
+                  (List.filter
+                     (fun r -> r.r_protection = prot && r.r_class = "hijacked")
+                     rep.rep_runs)))
+        else None)
+      P.all_protections
+  in
+  let inv_json =
+    [ J.bool "cpi_no_hijack" (List.nth (invariants rep) 0 |> snd);
+      J.bool "vanilla_hijack_witnessed" (List.nth (invariants rep) 1 |> snd);
+      J.bool "safe_tamper_isolation" (List.nth (invariants rep) 2 |> snd) ]
+  in
+  String.concat ""
+    [ "{\n\"schema\":\"levee-faults/1\",\n";
+      Printf.sprintf "\"campaign\":\"%s\",\n" (J.escape c.cname);
+      Printf.sprintf "\"seed\":%d,\n" c.seed;
+      "\"plans\":";
+      J.arr (List.map plan_json (plan_descrs c));
+      ",\n\"runs\":";
+      J.arr (List.map run_json rep.rep_runs);
+      ",\n\"summary\":";
+      J.obj
+        ([ J.int "runs" (List.length rep.rep_runs) ]
+        @ List.map (fun cls -> J.int cls (count cls)) classes
+        @ [ "\"hijacked_by_protection\":" ^ J.obj by_prot;
+            "\"invariants\":" ^ J.obj inv_json ]);
+      "\n}\n" ]
+
+let to_human rep =
+  let b = Buffer.create 1024 in
+  let c = rep.rep_campaign in
+  Buffer.add_string b
+    (Printf.sprintf "fault campaign '%s' (seed %d): %d runs\n" c.cname c.seed
+       (List.length rep.rep_runs));
+  Buffer.add_string b
+    (Printf.sprintf "  %-22s %9s %8s %6s %7s %7s %5s\n" "config" "hijacked"
+       "trapped" "crash" "masked" "benign" "fuel");
+  List.iter
+    (fun (prot, store) ->
+      let mine =
+        List.filter
+          (fun r -> r.r_protection = prot && r.r_store = store)
+          rep.rep_runs
+      in
+      let n cls = List.length (List.filter (fun r -> r.r_class = cls) mine) in
+      Buffer.add_string b
+        (Printf.sprintf "  %-22s %9d %8d %6d %7d %7d %5d\n"
+           (P.protection_name prot ^ "/" ^ M.Safestore.impl_name store)
+           (n "hijacked") (n "trapped") (n "crash") (n "masked") (n "benign")
+           (n "fuel-exhausted")))
+    c.configs;
+  List.iter
+    (fun (name, ok) ->
+      Buffer.add_string b
+        (Printf.sprintf "  invariant: %-48s %s\n" name
+           (if ok then "OK" else "VIOLATED")))
+    (invariants rep);
+  Buffer.contents b

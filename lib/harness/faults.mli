@@ -1,0 +1,84 @@
+(** Deterministic fault-injection campaigns over the defense matrix.
+
+    A campaign sweeps a set of {!Levee_attacks.Faultplan} corruption
+    plans over subject programs × (protection, safe-store organisation)
+    configurations, classifies every faulted run against its un-faulted
+    baseline, and checks the paper's guarantee empirically:
+
+    - CPI ⇒ no run of an attacker-model plan (regular-region reads and
+      writes only, no isolation bypass) ends [Hijacked];
+    - vanilla is hijackable by the very same plans (the campaign is a
+      real measurement, not a vacuous pass);
+    - a plan that only tampers with the safe region through the plain
+      access path ends in [Isolation_violation] in every configuration.
+
+    Everything — plan generation, the cost model, the report — is
+    deterministic, so the [levee-faults/1] JSON report is byte-identical
+    across runs and across [jobs] settings (it carries no wall-clock or
+    parallelism fields). *)
+
+module P = Levee_core.Pipeline
+module M = Levee_machine
+module A = Levee_attacks
+
+(** A program under test: self-contained MiniC source whose benign run
+    exits 0, with per-subject targeted plans (resolved against its
+    layout) on top of the campaign's shared random plans. *)
+type subject = {
+  sname : string;
+  source : string;
+  input : int array;
+  fuel : int;
+  splans : A.Faultplan.t list;
+}
+
+type campaign = {
+  cname : string;
+  seed : int;
+  subjects : subject list;
+  configs : (P.protection * M.Safestore.impl) list;
+}
+
+(** The built-in smoke campaign: two code-pointer-dispatch subjects,
+    targeted ret/fptr/global/desync/tamper plans plus seeded random
+    plans, swept over vanilla, safe stack, CPS and CPI × all three
+    safe-store organisations. *)
+val smoke : ?seed:int -> unit -> campaign
+
+(** One faulted execution, classified. [r_class] is one of
+    ["hijacked"], ["trapped"], ["crash"], ["fuel-exhausted"],
+    ["masked"] (exit, observably identical to the un-faulted baseline)
+    or ["benign"] (exit, but output/checksum/exit code diverged). *)
+type run = {
+  r_subject : string;
+  r_plan : string;
+  r_protection : P.protection;
+  r_store : M.Safestore.impl;
+  r_class : string;
+  r_outcome : string;
+  r_instrs : int;
+  r_cycles : int;
+  r_checksum : int;
+  r_model : bool;   (** plan stays within the software attacker model *)
+  r_tamper : bool;  (** plan is a pure safe-region tamper *)
+}
+
+type report
+
+val runs : report -> run list
+
+(** Execute the campaign on a [jobs]-wide pool. Results are integrated
+    in submission order, so any [jobs] yields the same report. *)
+val run : ?jobs:int -> campaign -> report
+
+(** The three invariants, in order: CPI-never-hijacked (attacker-model
+    plans), vanilla-hijack-witnessed, safe-tamper-traps-as-isolation. *)
+val invariants : report -> (string * bool) list
+
+val invariants_ok : report -> bool
+
+(** The [levee-faults/1] JSON document (schema in EXPERIMENTS.md). *)
+val to_json : report -> string
+
+(** Human-readable summary table + invariant verdicts. *)
+val to_human : report -> string

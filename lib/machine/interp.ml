@@ -53,6 +53,15 @@ type jmp_ctx = {
   jc_resume_addr : int;        (* code address of the resume point *)
 }
 
+(* A scheduled corruption, injected between two instruction steps. The
+   addresses are absolute (post-slide) machine addresses; resolution from
+   symbolic sites happens in the attack layer (Faultplan). *)
+type fault =
+  | Flip_bit of { addr : int; bit : int }
+  | Arb_write of { addr : int; value : int }
+  | Store_desync of { addr : int; delta : int }
+  | Meta_drop of { addr : int }
+
 type t = {
   image : Loader.image;
   cfg : Config.t;
@@ -81,6 +90,12 @@ type t = {
      paper's point that compiler optimizations remove many inserted
      checks (Section 3.2.2). *)
   safe_meta : (int, meta) Hashtbl.t;
+  (* Scheduled fault injection: [faults] is sorted by step; the hot loop
+     pays one integer compare against [next_fault_fuel] (the fuel value
+     at which the next fault fires; min_int = none pending). *)
+  faults : (int * fault) array;
+  mutable fault_pos : int;
+  mutable next_fault_fuel : int;
 }
 
 type result = {
@@ -867,8 +882,42 @@ let exec_term st fr (t : Loader.pmeta Pr.term) =
     goto fr (Pr.switch_target tbl (eval_v fr o))
   | Pr.Unreachable -> stop (Crash "unreachable executed")
 
+(* ---------- Fault injection ---------- *)
+
+(* Faults go through the same plain access path the attacker-facing
+   machine enforces: null page crashes, the safe region demands in-bounds
+   provenance (so tampering attempts trap as [Isolation_violation]), the
+   code segment is unwritable. [Store_desync]/[Meta_drop] manipulate the
+   safe store directly and therefore model an attacker who already
+   bypassed isolation — campaign classification treats them separately. *)
+let apply_fault st = function
+  | Flip_bit { addr; bit } ->
+    let v = plain_read st addr None in
+    plain_write st addr None (v lxor (1 lsl (bit land 62)))
+  | Arb_write { addr; value } -> plain_write st addr None value
+  | Store_desync { addr; delta } ->
+    (match Safestore.get st.store addr with
+     | Some e -> Safestore.set st.store addr { e with Safestore.value = e.Safestore.value + delta }
+     | None -> ())
+  | Meta_drop { addr } -> Safestore.clear_at st.store addr
+
+(* Fire every fault scheduled for the current step, then re-arm the
+   sentinel. [apply_fault] may legitimately end the run (Machine_stop). *)
+let inject_faults st =
+  let n = Array.length st.faults in
+  let at_current (s, _) = st.fuel0 - s = st.fuel in
+  while st.fault_pos < n && at_current st.faults.(st.fault_pos) do
+    let (_, f) = st.faults.(st.fault_pos) in
+    st.fault_pos <- st.fault_pos + 1;
+    apply_fault st f
+  done;
+  st.next_fault_fuel <-
+    if st.fault_pos < n then st.fuel0 - fst st.faults.(st.fault_pos)
+    else min_int
+
 let step st =
   if st.fuel <= 0 then stop Fuel_exhausted;
+  if st.fuel = st.next_fault_fuel then inject_faults st;
   st.fuel <- st.fuel - 1;
   let fr = st.cur in
   let blk = fr.blk in
@@ -878,7 +927,8 @@ let step st =
 
 (* ---------- Top level ---------- *)
 
-let create ?(input = [||]) ?(fuel = 60_000_000) (image : Loader.image) =
+let create ?(input = [||]) ?(fuel = 60_000_000) ?(faults = [])
+    (image : Loader.image) =
   let mem = Mem.create () in
   let store = Safestore.create image.Loader.cfg.Config.store_impl in
   let slide = image.Loader.slide in
@@ -886,11 +936,25 @@ let create ?(input = [||]) ?(fuel = 60_000_000) (image : Loader.image) =
     Heap.create mem ~base:(Layout.heap_base + slide) ~limit:(Layout.heap_limit + slide)
   in
   Loader.init_globals image mem store;
+  let faults =
+    (* Steps past the fuel budget can never fire; drop them up front so
+       the sentinel arithmetic stays total. Stable sort keeps the plan's
+       ordering for same-step faults. *)
+    let a =
+      Array.of_list (List.filter (fun (s, _) -> s >= 0 && s < fuel) faults)
+    in
+    Array.stable_sort (fun (s1, _) (s2, _) -> compare s1 s2) a;
+    a
+  in
+  let next_fault_fuel =
+    if Array.length faults > 0 then fuel - fst faults.(0) else min_int
+  in
   { image; cfg = image.Loader.cfg; slide; mem; store; heap; cost = Cost.create ();
     frames = []; depth = 0; cur = dummy_frame ();
     sp_r = Layout.stack_top + slide; sp_s = Layout.safe_stack_top + slide;
     fuel0 = fuel; input; input_pos = 0; out = Buffer.create 256; checksum = 0; fuel;
-    jmp_ctxs = Hashtbl.create 8; next_jmp = 1; safe_meta = Hashtbl.create 64 }
+    jmp_ctxs = Hashtbl.create 8; next_jmp = 1; safe_meta = Hashtbl.create 64;
+    faults; fault_pos = 0; next_fault_fuel }
 
 let result_of st outcome =
   { outcome;
@@ -907,8 +971,8 @@ let result_of st outcome =
     heap_peak = st.heap.Heap.peak_words }
 
 (** Run [main] to completion. *)
-let run ?input ?fuel (image : Loader.image) : result =
-  let st = create ?input ?fuel image in
+let run ?input ?fuel ?faults (image : Loader.image) : result =
+  let st = create ?input ?fuel ?faults image in
   if not (Prog.has_func st.image.Loader.prog "main") then
     invalid_arg "Interp.run: program has no main";
   let main = Loader.prepared st.image "main" in
@@ -926,5 +990,5 @@ let run ?input ?fuel (image : Loader.image) : result =
    with Machine_stop outcome -> result_of st outcome)
 
 (** Compile-free convenience used everywhere in tests and benches. *)
-let run_program ?input ?fuel (prog : Prog.t) (cfg : Config.t) : result =
-  run ?input ?fuel (Loader.load prog cfg)
+let run_program ?input ?fuel ?faults (prog : Prog.t) (cfg : Config.t) : result =
+  run ?input ?fuel ?faults (Loader.load prog cfg)

@@ -7,6 +7,23 @@
     exactly where the attacker pointed it — a function, a gadget in the
     middle of one, injected shellcode in a data page, or garbage. *)
 
+(** A scheduled corruption for deterministic fault-injection campaigns.
+    Addresses are absolute machine addresses (after any ASLR slide);
+    symbolic sites are resolved by [Levee_attacks.Faultplan].
+
+    [Flip_bit]/[Arb_write] go through the plain (attacker-reachable)
+    access path, so the machine's isolation still applies: faulting the
+    safe region without provenance traps as [Isolation_violation], the
+    code segment is unwritable, the null page crashes. [Store_desync]
+    (add [delta] to an existing safe-store entry's value) and [Meta_drop]
+    (erase an entry) mutate the safe pointer store directly — they model
+    an attacker who has already bypassed isolation. *)
+type fault =
+  | Flip_bit of { addr : int; bit : int }
+  | Arb_write of { addr : int; value : int }
+  | Store_desync of { addr : int; delta : int }
+  | Meta_drop of { addr : int }
+
 type result = {
   outcome : Trap.outcome;
   cycles : int;              (** deterministic cost-model cycles *)
@@ -24,10 +41,17 @@ type result = {
 (** Run [main] of a loaded image to completion.
     @param input the attacker/workload input word stream
     @param fuel instruction budget (default 60M); exceeding it yields
-           [Trap.Fuel_exhausted] *)
-val run : ?input:int array -> ?fuel:int -> Loader.image -> result
+           [Trap.Fuel_exhausted]
+    @param faults scheduled corruptions as [(step, fault)] pairs; the
+           fault fires just before instruction number [step] (0-based)
+           executes. Same-step faults fire in list order; steps beyond
+           the fuel budget never fire. *)
+val run :
+  ?input:int array -> ?fuel:int -> ?faults:(int * fault) list ->
+  Loader.image -> result
 
 (** [run_program prog cfg] loads and runs in one step. The program must
     define [main]. *)
 val run_program :
-  ?input:int array -> ?fuel:int -> Levee_ir.Prog.t -> Config.t -> result
+  ?input:int array -> ?fuel:int -> ?faults:(int * fault) list ->
+  Levee_ir.Prog.t -> Config.t -> result

@@ -18,6 +18,7 @@ type entry = {
   checksum : int;
   checks_elided : int;
   mem_ops_demoted : int;
+  attempts : int;
   wall_us : int;
 }
 
@@ -28,7 +29,7 @@ type t = {
   mutable rev_entries : entry list;
 }
 
-let schema_id = "levee-bench-journal/2"
+let schema_id = "levee-bench-journal/3"
 
 let create ?(jobs = 1) ~target () =
   { target_name = target; jobs_used = jobs; m = Mutex.create ();
@@ -52,20 +53,7 @@ let failures t = List.filter (fun e -> e.status <> 0) (entries t)
 
 (* ---------- emitter ---------- *)
 
-let escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let escape = Jsonenc.escape
 
 let entry_to_json e =
   Printf.sprintf
@@ -73,11 +61,12 @@ let entry_to_json e =
      \"outcome\":\"%s\",\"status\":%d,\"cycles\":%d,\"instrs\":%d,\
      \"mem_ops\":%d,\"instrumented_mem_ops\":%d,\"store_accesses\":%d,\
      \"store_footprint\":%d,\"heap_peak\":%d,\"checksum\":%d,\
-     \"checks_elided\":%d,\"mem_ops_demoted\":%d,\"wall_us\":%d}"
+     \"checks_elided\":%d,\"mem_ops_demoted\":%d,\"attempts\":%d,\
+     \"wall_us\":%d}"
     (escape e.workload) (escape e.protection) (escape e.store)
     (escape e.outcome) e.status e.cycles e.instrs e.mem_ops
     e.instrumented_mem_ops e.store_accesses e.store_footprint e.heap_peak
-    e.checksum e.checks_elided e.mem_ops_demoted e.wall_us
+    e.checksum e.checks_elided e.mem_ops_demoted e.attempts e.wall_us
 
 let to_json t =
   let b = Buffer.create 4096 in
@@ -227,7 +216,8 @@ let entry_of_json j =
     store_accesses = int "store_accesses";
     store_footprint = int "store_footprint"; heap_peak = int "heap_peak";
     checksum = int "checksum"; checks_elided = int "checks_elided";
-    mem_ops_demoted = int "mem_ops_demoted"; wall_us = int "wall_us" }
+    mem_ops_demoted = int "mem_ops_demoted"; attempts = int "attempts";
+    wall_us = int "wall_us" }
 
 let of_json s =
   try

@@ -22,6 +22,7 @@ type entry = {
   checksum : int;
   checks_elided : int;         (** checks removed by static elision *)
   mem_ops_demoted : int;       (** accesses demoted by points-to refinement *)
+  attempts : int;              (** executions before this result (>= 1) *)
   wall_us : int;               (** wall-clock microseconds for this cell *)
 }
 

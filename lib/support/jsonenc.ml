@@ -1,0 +1,23 @@
+(* Shared JSON emission helpers (see jsonenc.mli). *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let str k v = Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)
+let int k v = Printf.sprintf "\"%s\":%d" (escape k) v
+let float1 k v = Printf.sprintf "\"%s\":%.1f" (escape k) v
+let bool k v = Printf.sprintf "\"%s\":%s" (escape k) (if v then "true" else "false")
+let obj fields = "{" ^ String.concat "," fields ^ "}"
+let arr elems = "[\n" ^ String.concat ",\n" elems ^ "\n]"

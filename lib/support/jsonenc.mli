@@ -1,0 +1,30 @@
+(** Shared JSON emission helpers.
+
+    The toolchain has no JSON library; every schema in the repo
+    ([levee-bench-journal/*], [levee-bench-perf/*], [levee-analyze/*],
+    [levee-faults/*]) emits objects, arrays, strings and ints by hand.
+    This module is the single definition of the string-escaping dialect
+    and the field/object combinators, so every emitter produces the same
+    bytes for the same data. *)
+
+(** Escape a string for inclusion inside JSON double quotes. *)
+val escape : string -> string
+
+(** ["key":"escaped value"] *)
+val str : string -> string -> string
+
+(** ["key":42] *)
+val int : string -> int -> string
+
+(** ["key":3.1] — printed with [%.1f], the dialect the perf schema uses. *)
+val float1 : string -> float -> string
+
+(** ["key":true] *)
+val bool : string -> bool -> string
+
+(** [obj fields] = [{f1,f2,...}] on one line. *)
+val obj : string list -> string
+
+(** [arr elems] = [[e1,\ne2,\n...]] with one element per line, matching
+    the journal emitter's layout. *)
+val arr : string list -> string

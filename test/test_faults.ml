@@ -1,0 +1,149 @@
+(* Tests for the fault-injection campaign layer: plan resolution is
+   deterministic, the levee-faults/1 report is byte-identical across runs
+   and across --jobs, the paper's invariants hold on the smoke campaign,
+   and the engine quarantines workloads that keep failing in the harness. *)
+
+module P = Levee_core.Pipeline
+module M = Levee_machine
+module A = Levee_attacks
+module W = Levee_workloads
+module Faults = Levee_harness.Faults
+module Engine = Levee_harness.Engine
+
+(* The smoke campaign is the shared fixture; run it once per jobs
+   setting and memoize (the cost model is deterministic, so reuse is
+   sound). *)
+let smoke = lazy (Faults.smoke ())
+let report1 = lazy (Faults.run ~jobs:1 (Lazy.force smoke))
+let report4 = lazy (Faults.run ~jobs:4 (Lazy.force smoke))
+
+let test_covers_all_stores () =
+  let c = Lazy.force smoke in
+  List.iter
+    (fun impl ->
+      Alcotest.(check bool)
+        (Printf.sprintf "campaign sweeps %s" (M.Safestore.impl_name impl))
+        true
+        (List.exists (fun (_, s) -> s = impl) c.Faults.configs))
+    [ M.Safestore.Simple_array; M.Safestore.Two_level; M.Safestore.Hashtable ]
+
+let test_report_deterministic () =
+  (* Double run at jobs=1: byte-identical JSON. *)
+  let j1 = Faults.to_json (Lazy.force report1) in
+  let j1' = Faults.to_json (Faults.run ~jobs:1 (Lazy.force smoke)) in
+  Alcotest.(check string) "double run byte-identical" j1 j1';
+  (* jobs=1 vs jobs=4: byte-identical JSON (no wall/jobs fields). *)
+  let j4 = Faults.to_json (Lazy.force report4) in
+  Alcotest.(check string) "jobs=1 equals jobs=4" j1 j4
+
+let test_invariants () =
+  let rep = Lazy.force report1 in
+  let rs = Faults.runs rep in
+  let hijacked prot =
+    List.length
+      (List.filter
+         (fun r ->
+           r.Faults.r_protection = prot && r.Faults.r_class = "hijacked")
+         rs)
+  in
+  Alcotest.(check int) "cpi never hijacked" 0 (hijacked P.Cpi);
+  Alcotest.(check bool) "vanilla hijacked by same plans" true
+    (hijacked P.Vanilla >= 1);
+  List.iter
+    (fun (name, ok) -> Alcotest.(check bool) name true ok)
+    (Faults.invariants rep);
+  Alcotest.(check bool) "invariants_ok" true (Faults.invariants_ok rep)
+
+let test_random_plan_deterministic () =
+  let draw () =
+    A.Faultplan.random ~name:"r" ~seed:9001 ~events:5 ~max_step:300
+  in
+  Alcotest.(check bool) "same seed, same plan" true (draw () = draw ());
+  Alcotest.(check bool) "different seed, different plan" true
+    (draw () <> A.Faultplan.random ~name:"r" ~seed:9002 ~events:5 ~max_step:300)
+
+let test_resolve_deterministic () =
+  let c = Lazy.force smoke in
+  let s = List.hd c.Faults.subjects in
+  let prog = Levee_minic.Lower.compile ~name:s.Faults.sname s.Faults.source in
+  let vb = P.build P.Vanilla prog in
+  let reference = M.Loader.load vb.P.prog vb.P.config in
+  let cb = P.build P.Cpi prog in
+  let deployed = M.Loader.load cb.P.prog cb.P.config in
+  List.iter
+    (fun plan ->
+      let f1 = A.Faultplan.resolve ~reference ~deployed plan in
+      let f2 = A.Faultplan.resolve ~reference ~deployed plan in
+      Alcotest.(check bool)
+        ("resolve deterministic: " ^ plan.A.Faultplan.name)
+        true (f1 = f2);
+      Alcotest.(check bool)
+        ("resolve nonempty: " ^ plan.A.Faultplan.name)
+        true (f1 <> []))
+    s.Faults.splans
+
+(* ---------- engine quarantine ---------- *)
+
+let broken_workload name : W.Workload.t =
+  { W.Workload.name; lang = W.Workload.C;
+    description = "deliberately unparsable";
+    source = "int main( {"; input = [||]; fuel = 1000 }
+
+let test_engine_quarantine () =
+  let e = Engine.create ~quarantine_after:2 ~jobs:1 () in
+  Fun.protect
+    ~finally:(fun () -> Engine.shutdown e)
+    (fun () ->
+      let w = broken_workload "quarantine-me" in
+      (* Two failing cells in the first batch reach the threshold... *)
+      Engine.prefetch e [ Engine.cell w P.Vanilla; Engine.cell w P.Safe_stack ];
+      (* ...so a later batch must not execute the workload again. *)
+      Engine.prefetch e [ Engine.cell w P.Cpi ];
+      match Engine.harness_failures e with
+      | [ (c1, r1); (c2, r2); (c3, r3) ] ->
+        Alcotest.(check string) "first cell" "quarantine-me/vanilla" c1;
+        Alcotest.(check string) "second cell" "quarantine-me/safestack" c2;
+        Alcotest.(check string) "third cell" "quarantine-me/cpi" c3;
+        let is_exn r =
+          String.length r >= 17
+          && String.sub r 0 17 = "harness-exception"
+        in
+        Alcotest.(check bool) "first is an exception" true (is_exn r1);
+        Alcotest.(check bool) "second is an exception" true (is_exn r2);
+        Alcotest.(check string) "third is quarantined" "quarantined" r3
+      | fs ->
+        Alcotest.failf "expected 3 harness failures, got %d" (List.length fs))
+
+let test_engine_retry_accounting () =
+  (* A failing cell under retries: the harness failure is recorded once,
+     with the attempts count visible in the journal entry. *)
+  let e = Engine.create ~retries:2 ~jobs:1 () in
+  Fun.protect
+    ~finally:(fun () -> Engine.shutdown e)
+    (fun () ->
+      let j = Levee_support.Journal.create ~jobs:1 ~target:"t" () in
+      Engine.set_journal e (Some j);
+      Engine.prefetch e [ Engine.cell (broken_workload "retry-me") P.Vanilla ];
+      match Levee_support.Journal.entries j with
+      | [ entry ] ->
+        Alcotest.(check int) "three attempts journalled" 3
+          entry.Levee_support.Journal.attempts;
+        Alcotest.(check int) "status 1" 1 entry.Levee_support.Journal.status
+      | es -> Alcotest.failf "expected 1 journal entry, got %d" (List.length es))
+
+let () =
+  Alcotest.run "faults"
+    [ ( "campaign",
+        [ Alcotest.test_case "covers all stores" `Quick test_covers_all_stores;
+          Alcotest.test_case "report deterministic" `Slow
+            test_report_deterministic;
+          Alcotest.test_case "invariants hold" `Slow test_invariants ] );
+      ( "plans",
+        [ Alcotest.test_case "random deterministic" `Quick
+            test_random_plan_deterministic;
+          Alcotest.test_case "resolve deterministic" `Quick
+            test_resolve_deterministic ] );
+      ( "engine",
+        [ Alcotest.test_case "quarantine trips" `Quick test_engine_quarantine;
+          Alcotest.test_case "retry accounting" `Quick
+            test_engine_retry_accounting ] ) ]

@@ -73,7 +73,8 @@ let entry i : Journal.entry =
     status = i mod 2; cycles = 1000 + i; instrs = 900 + i;
     mem_ops = 40 * i; instrumented_mem_ops = 7 * i; store_accesses = 3 * i;
     store_footprint = 4096 + i; heap_peak = 2 * i; checksum = -i;
-    checks_elided = 5 * i; mem_ops_demoted = i; wall_us = 31337 * i }
+    checks_elided = 5 * i; mem_ops_demoted = i; attempts = 1 + (i mod 2);
+    wall_us = 31337 * i }
 
 let test_journal_roundtrip () =
   let j = Journal.create ~jobs:4 ~target:"table1" () in
@@ -108,11 +109,113 @@ let test_journal_rejects_garbage () =
   Alcotest.(check bool) "wrong schema" true
     (bad "{\"schema\":\"other/9\",\"target\":\"t\",\"jobs\":1,\"entries\":[]}");
   Alcotest.(check bool) "truncated" true
-    (bad "{\"schema\":\"levee-bench-journal/2\",\"target\":\"t\"");
+    (bad "{\"schema\":\"levee-bench-journal/3\",\"target\":\"t\"");
   Alcotest.(check bool) "old schema version" true
     (bad
        "{\"schema\":\"levee-bench-journal/1\",\"target\":\"t\",\"jobs\":1,\
+        \"entries\":[]}");
+  (* /2 journals lack the attempts field; the parser must not guess. *)
+  Alcotest.(check bool) "previous schema version" true
+    (bad
+       "{\"schema\":\"levee-bench-journal/2\",\"target\":\"t\",\"jobs\":1,\
         \"entries\":[]}")
+
+(* ---------- resilience: timeouts, retries, re-entrancy ---------- *)
+
+let is_timed_out = function
+  | { Pool.result = Error (Pool.Timed_out _); _ } -> true
+  | _ -> false
+
+let ok_of = function
+  | { Pool.result = Ok v; _ } -> Some v
+  | _ -> None
+
+let test_timeout_keeps_siblings () =
+  with_pool 2 (fun p ->
+      let stuck () =
+        Unix.sleepf 0.5;
+        -1
+      in
+      let outs =
+        Pool.run_guarded ~timeout:0.05 p
+          [ stuck; (fun () -> 2); (fun () -> 3); (fun () -> 4) ]
+      in
+      Alcotest.(check int) "four slots" 4 (List.length outs);
+      Alcotest.(check bool) "stuck task reported Timed_out" true
+        (is_timed_out (List.nth outs 0));
+      Alcotest.(check (list (option int))) "siblings all survive"
+        [ None; Some 2; Some 3; Some 4 ]
+        (List.map ok_of outs);
+      (* capacity was replaced: the pool still runs full batches *)
+      let again = Pool.map p (fun i -> i * 10) [ 1; 2; 3; 4 ] in
+      Alcotest.check results_testable "pool usable after timeout"
+        [ Ok 10; Ok 20; Ok 30; Ok 40 ] again;
+      (* the abandoned domain drains once its sleep finishes *)
+      let deadline = Unix.gettimeofday () +. 2.0 in
+      while Pool.abandoned p > 0 && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.01
+      done;
+      Alcotest.(check int) "abandoned task drained" 0 (Pool.abandoned p))
+
+let test_retry_deterministic () =
+  (* Same failing-twice thunk under jobs=1 and jobs=2: identical outcome
+     shape, identical backoff schedule. *)
+  let run_once jobs =
+    let tries = ref 0 in
+    let slept = ref [] in
+    let backoff k =
+      slept := k :: !slept;
+      0.0
+    in
+    let outs =
+      with_pool jobs (fun p ->
+          Pool.run_guarded ~retries:3 ~backoff p
+            [ (fun () ->
+                incr tries;
+                if !tries < 3 then raise (Boom !tries) else 777) ])
+    in
+    (List.hd outs, List.rev !slept)
+  in
+  List.iter
+    (fun jobs ->
+      let o, ks = run_once jobs in
+      Alcotest.(check (option int))
+        (Printf.sprintf "jobs=%d succeeds on third attempt" jobs)
+        (Some 777) (ok_of o);
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d attempts counted" jobs)
+        3 o.Pool.attempts;
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d backoff called with 1,2" jobs)
+        [ 1; 2 ] ks)
+    [ 1; 2 ]
+
+let test_retries_exhausted () =
+  with_pool 1 (fun p ->
+      let outs =
+        Pool.run_guarded ~retries:2 ~backoff:(fun _ -> 0.0) p
+          [ (fun () -> raise (Boom 9)) ]
+      in
+      match outs with
+      | [ { Pool.result = Error (Pool.Exn (Boom 9)); attempts = 3 } ] -> ()
+      | _ -> Alcotest.fail "expected Error (Boom 9) after 3 attempts")
+
+let test_default_backoff () =
+  Alcotest.(check (list (float 1e-9))) "doubling, no jitter"
+    [ 0.01; 0.02; 0.04; 0.08 ]
+    (List.map Pool.default_backoff [ 1; 2; 3; 4 ])
+
+let test_reentrant_rejected jobs () =
+  with_pool jobs (fun p ->
+      let got = Pool.run p [ (fun () -> Pool.run p [ (fun () -> 1) ]) ] in
+      (match got with
+       | [ Error (Invalid_argument msg) ] ->
+         Alcotest.(check bool) "message names Pool.run" true
+           (String.length msg >= 8 && String.sub msg 0 8 = "Pool.run")
+       | _ -> Alcotest.fail "expected Error Invalid_argument");
+      (* the pool survives the rejected call *)
+      Alcotest.check results_testable "pool not poisoned" [ Ok 5 ]
+        (Pool.map p (fun i -> i + 4) [ 1 ]))
 
 let () =
   Alcotest.run "pool"
@@ -125,6 +228,19 @@ let () =
             test_matches_sequential;
           Alcotest.test_case "empty batch & defaults" `Quick
             test_empty_and_defaults ] );
+      ( "resilience",
+        [ Alcotest.test_case "timeout keeps siblings" `Quick
+            test_timeout_keeps_siblings;
+          Alcotest.test_case "deterministic retry/backoff" `Quick
+            test_retry_deterministic;
+          Alcotest.test_case "retries exhausted" `Quick
+            test_retries_exhausted;
+          Alcotest.test_case "default backoff schedule" `Quick
+            test_default_backoff;
+          Alcotest.test_case "re-entrant run rejected jobs=1" `Quick
+            (test_reentrant_rejected 1);
+          Alcotest.test_case "re-entrant run rejected jobs=2" `Quick
+            (test_reentrant_rejected 2) ] );
       ( "journal",
         [ Alcotest.test_case "round trip" `Quick test_journal_roundtrip;
           Alcotest.test_case "equal modulo wall" `Quick
