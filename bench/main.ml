@@ -100,7 +100,8 @@ let ripe_journal_entry (s : R.summary) : Journal.entry =
     status = (if must_stop_all && s.R.hijacked > 0 then 1 else 0);
     cycles = 0; instrs = 0; mem_ops = 0; instrumented_mem_ops = 0;
     store_accesses = 0; store_footprint = 0; heap_peak = 0; checksum = 0;
-    checks_elided = 0; mem_ops_demoted = 0; attempts = 1; wall_us = 0 }
+    checks_elided = 0; mem_ops_demoted = 0; threads = 0; ctx_switches = 0;
+    races = 0; attempts = 1; wall_us = 0 }
 
 let bench_ripe () =
   header "RIPE-style attack matrix (paper Section 5.1)";

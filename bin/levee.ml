@@ -35,7 +35,16 @@
        corruption plans swept over defense configs x store organisations,
        every run classified against its un-faulted baseline. --json emits
        the levee-faults/1 document (byte-identical for any --jobs).
-       Exits 1 iff a campaign invariant is violated. *)
+       Exits 1 iff a campaign invariant is violated.
+
+     levee conc [--threads N] [--sched-seed S] [--jobs N] [--json]
+       Run the concurrent web-serving workload with N worker threads
+       under the deterministic scheduler, across the protection matrix
+       (CPI additionally across all three store organisations). --json
+       emits a levee-bench-journal/4 document with wall_us zeroed, so
+       the output is a pure function of (--threads, --sched-seed):
+       byte-identical for any --jobs. Exits 1 if any run fails, any
+       protection diverges from vanilla, or a race is reported. *)
 
 module P = Levee_core.Pipeline
 module M = Levee_machine
@@ -50,9 +59,11 @@ let usage () =
     \             [-emit-ir] [-stats] [-time] [-sfi] [-matrix] [-jobs N]\n\
     \             [-json FILE]\n\
     \             [-input w1,w2,...] [-fuel N] [-store array|two-level|hash]\n\
+    \             [-sched-seed N]\n\
     \             file.c\n\
     \       levee analyze [--json] file.c...\n\
-    \       levee faults [--json] [--jobs N] [--seed S]";
+    \       levee faults [--json] [--jobs N] [--seed S]\n\
+    \       levee conc [--threads N] [--sched-seed S] [--jobs N] [--json]";
   exit 2
 
 let read_file file =
@@ -127,6 +138,125 @@ let run_faults args =
   print_string (if !json then Faults.to_json rep else Faults.to_human rep);
   exit (if Faults.invariants_ok rep then 0 else 1)
 
+(* levee conc [--threads N] [--sched-seed S] [--jobs N] [--json] *)
+let run_conc args =
+  let module W = Levee_workloads in
+  let json = ref false in
+  let jobs = ref 1 in
+  let threads = ref 4 in
+  let seed = ref 0 in
+  let rec parse = function
+    | [] -> ()
+    | ("--json" | "-json") :: rest -> json := true; parse rest
+    | ("--jobs" | "-jobs") :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 -> jobs := n
+       | _ -> usage ());
+      parse rest
+    | ("--threads" | "-threads") :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 && n <= 8 -> threads := n
+       | _ -> usage ());
+      parse rest
+    | ("--sched-seed" | "-sched-seed") :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n -> seed := n
+       | None -> usage ());
+      parse rest
+    | _ -> usage ()
+  in
+  parse args;
+  let w = W.Webstack.concurrent ~threads:!threads in
+  let prog = W.Workload.compile w in
+  let stores =
+    [ M.Safestore.Simple_array; M.Safestore.Two_level; M.Safestore.Hashtable ]
+  in
+  let cells =
+    List.concat_map
+      (fun prot ->
+        (* CPI is the store client: sweep its organisations; the other
+           protections only see the default array. *)
+        if prot = P.Cpi then List.map (fun s -> (prot, s)) stores
+        else [ (prot, M.Safestore.Simple_array) ])
+      [ P.Vanilla; P.Safe_stack; P.Cps; P.Cpi ]
+  in
+  let pool = Pool.create ~jobs:!jobs in
+  let outcomes =
+    Pool.map pool
+      (fun (prot, store_impl) ->
+        let b = P.build ~store_impl prot prog in
+        let r =
+          M.Interp.run_program ~sched_seed:!seed ~fuel:w.W.Workload.fuel
+            b.P.prog b.P.config
+        in
+        (b.P.stats, r))
+      cells
+  in
+  Pool.shutdown pool;
+  let runs =
+    List.map2
+      (fun (prot, store_impl) outcome ->
+        match outcome with
+        | Ok (st, r) -> (prot, store_impl, st, r)
+        | Error e -> raise e)
+      cells outcomes
+  in
+  let base =
+    match runs with (_, _, _, r) :: _ -> r | [] -> assert false
+  in
+  let bad = ref 0 in
+  let check (r : M.Interp.result) =
+    r.M.Interp.outcome = M.Trap.Exit 0
+    && r.M.Interp.checksum = base.M.Interp.checksum
+    && r.M.Interp.output = base.M.Interp.output
+    && r.M.Interp.races = 0
+  in
+  (* The journal is a pure function of (--threads, --sched-seed): results
+     are integrated in cell order whatever the pool width, and wall_us is
+     zeroed, so any --jobs emits the identical document. *)
+  let j =
+    Journal.create
+      ~target:(Printf.sprintf "%s-s%d" w.W.Workload.name !seed) ()
+  in
+  List.iter
+    (fun (prot, store_impl, (st : Levee_core.Stats.t), (r : M.Interp.result)) ->
+      if not (check r) then incr bad;
+      Journal.record j
+        { Journal.workload = w.W.Workload.name;
+          protection = P.protection_name prot;
+          store = M.Safestore.impl_name store_impl;
+          outcome = M.Trap.outcome_to_string r.M.Interp.outcome;
+          status = (if check r then 0 else 1);
+          cycles = r.M.Interp.cycles; instrs = r.M.Interp.instrs;
+          mem_ops = r.M.Interp.mem_ops;
+          instrumented_mem_ops = r.M.Interp.instrumented_mem_ops;
+          store_accesses = r.M.Interp.store_accesses;
+          store_footprint = r.M.Interp.store_footprint;
+          heap_peak = r.M.Interp.heap_peak; checksum = r.M.Interp.checksum;
+          checks_elided = st.Levee_core.Stats.checks_elided;
+          mem_ops_demoted = st.Levee_core.Stats.mem_ops_demoted;
+          threads = r.M.Interp.threads;
+          ctx_switches = r.M.Interp.ctx_switches;
+          races = r.M.Interp.races;
+          attempts = 1; wall_us = 0 })
+    runs;
+  if !json then print_string (Journal.to_json j)
+  else begin
+    Printf.printf "%-18s %-10s %-12s %10s %8s %6s %6s\n" "protection" "store"
+      "outcome" "cycles" "ctxsw" "races" "ok";
+    List.iter
+      (fun (prot, store_impl, _, (r : M.Interp.result)) ->
+        Printf.printf "%-18s %-10s %-12s %10d %8d %6d %6s\n"
+          (P.protection_name prot) (M.Safestore.impl_name store_impl)
+          (M.Trap.outcome_to_string r.M.Interp.outcome)
+          r.M.Interp.cycles r.M.Interp.ctx_switches r.M.Interp.races
+          (if check r then "yes" else "NO"))
+      runs;
+    Printf.printf "[conc] threads=%d sched-seed=%d checksum=%d\n" !threads
+      !seed base.M.Interp.checksum
+  end;
+  exit (if !bad = 0 then 0 else 1)
+
 let () =
   let protection = ref P.Cpi in
   let emit_ir = ref false in
@@ -140,9 +270,11 @@ let () =
   let matrix = ref false in
   let jobs = ref 1 in
   let json_out = ref None in
+  let sched_seed = ref 0 in
   (match Array.to_list Sys.argv with
    | _ :: "analyze" :: rest -> run_analyze rest
    | _ :: "faults" :: rest -> run_faults rest
+   | _ :: "conc" :: rest -> run_conc rest
    | _ -> ());
   let rec parse = function
     | [] -> ()
@@ -173,6 +305,11 @@ let () =
              (List.filter (fun s -> s <> "") (String.split_on_char ',' spec)));
       parse rest
     | "-fuel" :: n :: rest -> fuel := int_of_string n; parse rest
+    | ("-sched-seed" | "--sched-seed") :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n -> sched_seed := n
+       | None -> usage ());
+      parse rest
     | "-store" :: s :: rest ->
       (store_impl :=
          match s with
@@ -205,6 +342,9 @@ let () =
       heap_peak = r.M.Interp.heap_peak; checksum = r.M.Interp.checksum;
       checks_elided = st.Levee_core.Stats.checks_elided;
       mem_ops_demoted = st.Levee_core.Stats.mem_ops_demoted;
+      threads = r.M.Interp.threads;
+      ctx_switches = r.M.Interp.ctx_switches;
+      races = r.M.Interp.races;
       attempts = 1;
       wall_us }
   in
@@ -238,7 +378,8 @@ let () =
               prot prog
           in
           let r =
-            M.Interp.run_program ~input:!input ~fuel:!fuel b.P.prog b.P.config
+            M.Interp.run_program ~input:!input ~fuel:!fuel
+              ~sched_seed:!sched_seed b.P.prog b.P.config
           in
           (b.P.stats, r, int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)))
         prots
@@ -311,7 +452,8 @@ let () =
   end;
   let t0 = Unix.gettimeofday () in
   let r =
-    M.Interp.run_program ~input:!input ~fuel:!fuel built.P.prog built.P.config
+    M.Interp.run_program ~input:!input ~fuel:!fuel ~sched_seed:!sched_seed
+      built.P.prog built.P.config
   in
   write_journal
     [ journal_entry !protection built.P.stats r

@@ -1,0 +1,35 @@
+// Concurrent handler registry: a spawned worker installs and dispatches
+// function pointers in a shared table. The unlocked installs race on the
+// safe store under CPI (two threads' sp-stores to the same slot), so
+// `levee analyze` must flag them as thread-unsafe-intrinsic; the install
+// under the mutex is serialised and stays silent. main is not reachable
+// from a spawn target, so its unlocked install is silent too.
+int lk;
+int inc(int x) { return x + 1; }
+int dbl(int x) { return x * 2; }
+int (*handlers[4])(int);
+
+int install(int i) {
+  handlers[i] = inc;          // flagged: spawn-reachable via worker, no lock
+  return i;
+}
+
+int worker(int wid) {
+  int j;
+  handlers[wid] = dbl;        // flagged: no dominating lock
+  mutex_lock(&lk);
+  handlers[wid + 1] = inc;    // silent: dominated by mutex_lock
+  mutex_unlock(&lk);
+  j = install(wid);
+  return handlers[j](j);      // flagged: unlocked sensitive load
+}
+
+int main() {
+  int t;
+  int r;
+  t = thread_spawn(worker, 1);
+  r = thread_join(t);
+  handlers[0] = inc;          // silent: main is not spawned
+  print_int(r);
+  return 0;
+}

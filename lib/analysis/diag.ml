@@ -121,6 +121,32 @@ let analyze ?(annotated = []) ?(name = "<program>") (prog : Prog.t) : report =
     | Some (_, _, _, demoted, _) -> Hashtbl.mem demoted pos
   in
   let demotable = Pointsto.refine_cpi pt ~ctx ~keep ~skip in
+  (* Functions reachable from a thread_spawn target via direct calls:
+     sensitive accesses there execute concurrently with other threads,
+     so the safe-store traffic they imply (sp-load/sp-store under CPI)
+     must be serialised by a dominating mutex_lock. *)
+  let spawn_reachable = Hashtbl.create 8 in
+  Prog.iter_funcs prog (fun fn ->
+      Prog.iter_instrs fn (fun i ->
+          match i with
+          | I.Intrin { op = I.I_thread_spawn; args = I.Fun f :: _; _ }
+            when Prog.has_func prog f ->
+            Hashtbl.replace spawn_reachable f ()
+          | _ -> ()));
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Prog.iter_funcs prog (fun fn ->
+        if Hashtbl.mem spawn_reachable fn.Prog.fname then
+          Prog.iter_instrs fn (fun i ->
+              match i with
+              | I.Call { callee = I.Direct g; _ }
+                when Prog.has_func prog g
+                     && not (Hashtbl.mem spawn_reachable g) ->
+                Hashtbl.replace spawn_reachable g ();
+                changed := true
+              | _ -> ()))
+  done;
   let funcs = ref [] in
   Prog.iter_funcs prog (fun fn ->
       let fname = fn.Prog.fname in
@@ -157,6 +183,62 @@ let analyze ?(annotated = []) ?(name = "<program>") (prog : Prog.t) : report =
               | I.Call _ | I.Intrin _ -> ())
             b.Prog.instrs)
         fn.Prog.blocks;
+      if Hashtbl.mem spawn_reachable fname then begin
+        (* Minimum lock depth at each point (forward dataflow, join =
+           min): a sensitive shared access at possible depth 0 may race
+           on the safe store from a spawned thread. *)
+        let locals = Hashtbl.create 8 in
+        Prog.iter_instrs fn (fun i ->
+            match i with
+            | I.Alloca { dst; _ } -> Hashtbl.replace locals dst ()
+            | _ -> ());
+        let step d (i : I.instr) =
+          match i with
+          | I.Intrin { op = I.I_mutex_lock; _ } -> d + 1
+          | I.Intrin { op = I.I_mutex_unlock; _ } -> max 0 (d - 1)
+          | _ -> d
+        in
+        let entry_depth =
+          Dataflow.solve g ~entry:(Some 0) ~bottom:None
+            ~join:(fun a b ->
+              match (a, b) with
+              | None, x | x, None -> x
+              | Some a, Some b -> Some (min a b))
+            ~equal:( = )
+            ~transfer:(fun bi d ->
+              match d with
+              | None -> None
+              | Some d ->
+                Some
+                  (Array.fold_left step d fn.Prog.blocks.(bi).Prog.instrs))
+        in
+        Array.iteri
+          (fun bi (b : Prog.block) ->
+            match entry_depth.(bi) with
+            | None -> ()
+            | Some d0 ->
+              let d = ref d0 in
+              Array.iteri
+                (fun idx (i : I.instr) ->
+                  (match i with
+                   | I.Load { ty; addr; _ } | I.Store { ty; addr; _ }
+                     when Sensitivity.is_sensitive ctx ty ->
+                     let local =
+                       match addr with
+                       | I.Reg r -> Hashtbl.mem locals r
+                       | _ -> false
+                     in
+                     if !d = 0 && not local then
+                       emit Warning "thread-unsafe-intrinsic" fname
+                         b.Prog.bid idx
+                         "sensitive access reachable from a spawned thread \
+                          without a dominating lock; concurrent safe-store \
+                          updates can race"
+                   | _ -> ());
+                  d := step !d i)
+                b.Prog.instrs)
+          fn.Prog.blocks
+      end;
       Hashtbl.iter
         (fun (blk, idx) () ->
           emit Warning "unsafe-cast" fname blk idx

@@ -234,6 +234,21 @@ let analyze (prog : Prog.t) : t =
                    (* a jmp_buf stores a code (return) address *)
                    add_c (C_store_obj (code_id, op_node fname bufp));
                    hazard_args := (fname, bufp) :: !hazard_args
+                 | I.I_thread_spawn, fp :: arg :: _ ->
+                   (* the spawned function is an indirect-call target and
+                      receives [arg] as its first parameter *)
+                   hazard_args := (fname, fp) :: (fname, arg) :: !hazard_args;
+                   (match fp with
+                    | I.Fun f when Prog.has_func prog f ->
+                      let g = Prog.find_func prog f in
+                      if g.Prog.params <> [] then
+                        add_c
+                          (C_copy
+                             (op_node fname arg,
+                              node_id (N_reg (g.Prog.fname, 0))))
+                    | _ -> ())
+                 | I.I_atomic_add, p :: _ ->
+                   hazard_args := (fname, p) :: !hazard_args
                  | _ -> ()))
             b.Prog.instrs;
           match b.Prog.term with
@@ -412,7 +427,8 @@ let audit_ok_intrin (op : I.intrin) =
   | I.I_free | I.I_exit | I.I_abort | I.I_malloc | I.I_read_int
   | I.I_read_input | I.I_memset | I.I_cpi_memset -> true
   | I.I_memcpy | I.I_cpi_memcpy | I.I_strcpy | I.I_setjmp | I.I_longjmp
-  | I.I_system -> false
+  | I.I_system | I.I_thread_spawn | I.I_thread_join | I.I_mutex_lock
+  | I.I_mutex_unlock | I.I_atomic_add -> false
 
 let refine_cpi t ~ctx ~keep ~skip : (string * int * int, unit) Hashtbl.t =
   let prog = t.prog in

@@ -158,7 +158,7 @@ let nth_slot image fname k =
     chain rooted at main), mirroring the machine's frame arithmetic: main's
     frame base is the initial stack pointer, each callee's base is the
     caller's base minus the caller's regular frame size. *)
-let frame_base (image : M.Loader.image) chain =
+let frame_base_from (image : M.Loader.image) ~top chain =
   let size fname =
     (Hashtbl.find image.M.Loader.layouts fname).M.Loader.fl_regular_size
   in
@@ -167,7 +167,15 @@ let frame_base (image : M.Loader.image) chain =
     | [ _innermost ] -> base
     | fname :: rest -> go (base - size fname) rest
   in
-  go (M.Layout.stack_top + image.M.Loader.slide) chain
+  go (top + image.M.Loader.slide) chain
+
+let frame_base image chain = frame_base_from image ~top:M.Layout.stack_top chain
+
+(** Same arithmetic for a call chain rooted at spawned thread [tid]'s
+    entry function: the thread's frames are carved from its own stack
+    window, so the chain's base is that window's top. *)
+let thread_frame_base image ~tid chain =
+  frame_base_from image ~top:(M.Layout.thread_stack_top tid) chain
 
 (** The [k]-th alloca slot of [fname] as the attacker sees it: the deployed
     layout, falling back to the unprotected reference layout when the slot

@@ -69,6 +69,10 @@ val nth_slot : M.Loader.image -> string -> int -> M.Loader.slot
     main, mirroring the machine's frame arithmetic. *)
 val frame_base : M.Loader.image -> string list -> int
 
+(** Like {!frame_base} for a chain rooted at spawned thread [tid]'s entry
+    function (its frames live in the thread's own stack window). *)
+val thread_frame_base : M.Loader.image -> tid:int -> string list -> int
+
 (** The k-th alloca slot as the attacker sees it (deployed layout, falling
     back to the unprotected reference when the slot moved to the safe
     stack). *)

@@ -12,6 +12,9 @@ type site =
   | Safe_site of int
   | Ret_slot of string list
   | Var_slot of { chain : string list; index : int }
+  | Thread_stack of { tid : int; off : int }
+  | Thread_safe of { tid : int; off : int }
+  | Thread_ret of { tid : int; chain : string list }
 
 type value_spec =
   | Value of int
@@ -64,7 +67,7 @@ let pure_safe_tamper p =
   && List.for_all
        (fun e ->
          match e.action, site_of e.action with
-         | (Flip _ | Write _), Safe_site _ -> true
+         | (Flip _ | Write _), (Safe_site _ | Thread_safe _) -> true
          | _ -> false)
        p.events
 
@@ -96,6 +99,14 @@ let resolve ~(reference : M.Loader.image) ~(deployed : M.Loader.image) p =
     | Var_slot { chain; index } ->
       let slot = Attack.nth_slot reference (last chain) index in
       Attack.frame_base reference chain - slot.M.Loader.sl_offset + rebase
+    | Thread_stack { tid; off } ->
+      M.Layout.thread_stack_top tid + deployed.M.Loader.slide - off
+    | Thread_safe { tid; off } ->
+      M.Layout.thread_safe_stack_top tid + deployed.M.Loader.slide - off
+    | Thread_ret { tid; chain } ->
+      Attack.thread_frame_base reference ~tid chain
+      - (layout (last chain)).M.Loader.fl_ret_offset
+      + rebase
   in
   let value_of = function
     | Value v -> v

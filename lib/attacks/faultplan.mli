@@ -29,6 +29,15 @@ type site =
   | Var_slot of { chain : string list; index : int }
       (** the [index]-th alloca of the chain's innermost function,
           located via the unprotected reference layout *)
+  | Thread_stack of { tid : int; off : int }
+      (** words below spawned thread [tid]'s regular stack top:
+          cross-thread corruption of another thread's frames *)
+  | Thread_safe of { tid : int; off : int }
+      (** words below spawned thread [tid]'s safe stack top: attempted
+          cross-thread tamper with another thread's safe stack *)
+  | Thread_ret of { tid : int; chain : string list }
+      (** return-address slot of a call chain rooted at thread [tid]'s
+          entry function, located via the reference layout *)
 
 (** What gets written. *)
 type value_spec =
@@ -62,7 +71,8 @@ val random : name:string -> seed:int -> events:int -> max_step:int -> t
     hijacked" invariant quantifies over exactly these plans. *)
 val within_attacker_model : t -> bool
 
-(** Every event lands on a [Safe_site] through the plain access path:
+(** Every event lands on a safe-region site ([Safe_site] or
+    [Thread_safe]) through the plain access path:
     the run must end in [Isolation_violation] once the first one fires
     (in every configuration — the safe region is always enforced). *)
 val pure_safe_tamper : t -> bool

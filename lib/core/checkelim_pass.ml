@@ -61,7 +61,9 @@ let benign_intrin (op : I.intrin) =
   | I.I_strlen | I.I_strcmp | I.I_print_int | I.I_print_str | I.I_checksum
   | I.I_read_int | I.I_malloc | I.I_exit | I.I_abort -> true
   | I.I_free | I.I_memcpy | I.I_memset | I.I_strcpy | I.I_cpi_memcpy
-  | I.I_cpi_memset | I.I_read_input | I.I_setjmp | I.I_longjmp | I.I_system ->
+  | I.I_cpi_memset | I.I_read_input | I.I_setjmp | I.I_longjmp | I.I_system
+  | I.I_thread_spawn | I.I_thread_join | I.I_mutex_lock | I.I_mutex_unlock
+  | I.I_atomic_add ->
     false
 
 (* Does executing this instruction invalidate every fact (call / free) or

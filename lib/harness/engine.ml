@@ -95,6 +95,9 @@ let entry_of c (e : exec) : Journal.entry =
     checksum = r.M.Interp.checksum;
     checks_elided = e.elided;
     mem_ops_demoted = e.demoted;
+    threads = r.M.Interp.threads;
+    ctx_switches = r.M.Interp.ctx_switches;
+    races = r.M.Interp.races;
     attempts = e.attempts;
     wall_us = e.wall_us }
 
@@ -153,7 +156,8 @@ let note_failure t c ~reason ~attempts =
       status = 1; cycles = 0; instrs = 0; mem_ops = 0;
       instrumented_mem_ops = 0; store_accesses = 0;
       store_footprint = 0; heap_peak = 0; checksum = 0;
-      checks_elided = 0; mem_ops_demoted = 0; attempts; wall_us = 0 }
+      checks_elided = 0; mem_ops_demoted = 0; threads = 0;
+      ctx_switches = 0; races = 0; attempts; wall_us = 0 }
   in
   match t.journal with Some j -> Journal.record j r | None -> ()
 

@@ -17,6 +17,7 @@ type subject = {
   input : int array;
   fuel : int;
   splans : A.Faultplan.t list;
+  sseeds : int list;  (* scheduler seeds to sweep (single-threaded: [0]) *)
 }
 
 type campaign = {
@@ -71,6 +72,50 @@ int main() {
 }
 |}
 
+(* Concurrent subject: two workers drain a shared queue and dispatch
+   every request through a shared function-pointer table, so a
+   mid-drain corruption of the table, of a worker's return slot, or of
+   a worker's safe stack lands while another thread is running — the
+   cross-thread variants of the classic attacks. *)
+let conc_src = {|
+int queue[80]; int qhead; int qtail; int qlock;
+int acc; int acclock;
+int backdoor() { system("pwn"); return 1; }
+int step_inc(int r) { return r + 1; }
+int step_mix(int r) { return r * 2 + 1; }
+int (*wfp[2])(int) = { step_inc, step_mix };
+int worker(int wid) {
+  int mine = 0;
+  int done = 0;
+  while (done == 0) {
+    int req = -1;
+    mutex_lock(&qlock);
+    if (qhead < qtail) { req = queue[qhead]; qhead = qhead + 1; }
+    mutex_unlock(&qlock);
+    if (req < 0) { done = 1; }
+    else {
+      int r = wfp[req & 1](wfp[(req + 1) & 1](req));
+      mutex_lock(&acclock);
+      acc = (acc + r) & 16777215;
+      mutex_unlock(&acclock);
+      mine = mine + 1;
+    }
+  }
+  return mine;
+}
+int main() {
+  int i; int t1; int t2; int total;
+  for (i = 0; i < 80; i = i + 1) { queue[i] = i * 7 + 3; }
+  qtail = 80;
+  t1 = thread_spawn(worker, 1);
+  t2 = thread_spawn(worker, 2);
+  total = thread_join(t1) + thread_join(t2);
+  checksum(acc + total);
+  print_str("done");
+  return 0;
+}
+|}
+
 let smoke ?(seed = 42) () =
   let open A.Faultplan in
   let ev step action = { step; action } in
@@ -78,6 +123,7 @@ let smoke ?(seed = 42) () =
   let chain = [ "main"; "work" ] in
   let dispatch =
     { sname = "dispatch"; source = dispatch_src; input = [||]; fuel = 200_000;
+      sseeds = [ 0 ];
       splans =
         [ make ~name:"ret-to-backdoor"
             [ ev 100 (Write { site = Ret_slot chain; value = backdoor }) ];
@@ -99,6 +145,7 @@ let smoke ?(seed = 42) () =
   let g = Global ("gfp", 0) in
   let gdispatch =
     { sname = "gdispatch"; source = gdispatch_src; input = [||]; fuel = 200_000;
+      sseeds = [ 0 ];
       splans =
         [ make ~name:"gfp-hijack" [ ev 60 (Write { site = g; value = backdoor }) ];
           make ~name:"gfp-bitflip" [ ev 60 (Flip { site = g; bit = 0 }) ];
@@ -106,6 +153,29 @@ let smoke ?(seed = 42) () =
           make ~name:"gfp-dropmeta" [ ev 60 (Drop_meta g) ];
           make ~name:"safe-tamper"
             [ ev 80 (Write { site = Safe_site 4; value = Value 0xDEAD }) ];
+        ] }
+  in
+  let conc =
+    (* Steps ~1500-2500 land mid-drain: both workers are spawned within
+       the first few hundred instructions and the queue lasts thousands. *)
+    { sname = "conc"; source = conc_src; input = [||]; fuel = 200_000;
+      sseeds = [ 0; 5 ];
+      splans =
+        [ make ~name:"wfp-hijack"
+            [ ev 1500 (Write { site = Global ("wfp", 0); value = backdoor }) ];
+          make ~name:"cross-thread-ret"
+            [ ev 1500
+                (Write
+                   { site = Thread_ret { tid = 1; chain = [ "worker" ] };
+                     value = backdoor }) ];
+          make ~name:"cross-thread-safe-tamper"
+            [ ev 1500
+                (Write
+                   { site = Thread_safe { tid = 1; off = 4 };
+                     value = Value 0xDEAD }) ];
+          make ~name:"cross-thread-stack-flip"
+            [ ev 2000
+                (Flip { site = Thread_stack { tid = 2; off = 8 }; bit = 5 }) ];
         ] }
   in
   let shared =
@@ -117,7 +187,7 @@ let smoke ?(seed = 42) () =
   in
   let with_shared s = { s with splans = s.splans @ shared } in
   { cname = "smoke"; seed;
-    subjects = [ with_shared dispatch; with_shared gdispatch ];
+    subjects = [ with_shared dispatch; with_shared gdispatch; with_shared conc ];
     configs =
       [ (P.Vanilla, M.Safestore.Simple_array);
         (P.Safe_stack, M.Safestore.Simple_array);
@@ -136,6 +206,7 @@ type run = {
   r_plan : string;
   r_protection : P.protection;
   r_store : M.Safestore.impl;
+  r_sched_seed : int;
   r_class : string;
   r_outcome : string;
   r_instrs : int;
@@ -176,29 +247,39 @@ let exec_config (s, (prot, store)) =
       let b = P.build ~store_impl:store prot prog in
       M.Loader.load b.P.prog b.P.config
   in
-  let baseline = M.Interp.run ~input:s.input ~fuel:s.fuel deployed in
-  (match baseline.M.Interp.outcome with
-   | M.Trap.Exit 0 -> ()
-   | o ->
-     failwith
-       (Printf.sprintf "faults: baseline %s under %s is %s" s.sname
-          (P.protection_name prot) (M.Trap.outcome_to_string o)));
-  List.map
-    (fun plan ->
-      let faults = A.Faultplan.resolve ~reference ~deployed plan in
-      let r = M.Interp.run ~input:s.input ~fuel:s.fuel ~faults deployed in
-      { r_subject = s.sname;
-        r_plan = plan.A.Faultplan.name;
-        r_protection = prot;
-        r_store = store;
-        r_class = classify ~baseline r;
-        r_outcome = M.Trap.outcome_to_string r.M.Interp.outcome;
-        r_instrs = r.M.Interp.instrs;
-        r_cycles = r.M.Interp.cycles;
-        r_checksum = r.M.Interp.checksum;
-        r_model = A.Faultplan.within_attacker_model plan;
-        r_tamper = A.Faultplan.pure_safe_tamper plan })
-    s.splans
+  List.concat_map
+    (fun sched_seed ->
+      let baseline =
+        M.Interp.run ~input:s.input ~fuel:s.fuel ~sched_seed deployed
+      in
+      (match baseline.M.Interp.outcome with
+       | M.Trap.Exit 0 -> ()
+       | o ->
+         failwith
+           (Printf.sprintf "faults: baseline %s under %s (sched-seed %d) is %s"
+              s.sname (P.protection_name prot) sched_seed
+              (M.Trap.outcome_to_string o)));
+      List.map
+        (fun plan ->
+          let faults = A.Faultplan.resolve ~reference ~deployed plan in
+          let r =
+            M.Interp.run ~input:s.input ~fuel:s.fuel ~faults ~sched_seed
+              deployed
+          in
+          { r_subject = s.sname;
+            r_plan = plan.A.Faultplan.name;
+            r_protection = prot;
+            r_store = store;
+            r_sched_seed = sched_seed;
+            r_class = classify ~baseline r;
+            r_outcome = M.Trap.outcome_to_string r.M.Interp.outcome;
+            r_instrs = r.M.Interp.instrs;
+            r_cycles = r.M.Interp.cycles;
+            r_checksum = r.M.Interp.checksum;
+            r_model = A.Faultplan.within_attacker_model plan;
+            r_tamper = A.Faultplan.pure_safe_tamper plan })
+        s.splans)
+    s.sseeds
 
 let run ?(jobs = 1) campaign =
   let cells =
@@ -239,6 +320,15 @@ let invariants rep =
       List.for_all
         (fun r -> (not r.r_tamper) || r.r_outcome = isolation_str)
         rs );
+    ( "vanilla hijack witnessed under every sched seed",
+      List.for_all
+        (fun seed ->
+          List.exists
+            (fun r ->
+              r.r_sched_seed = seed && r.r_protection = P.Vanilla
+              && r.r_class = "hijacked")
+            rs)
+        (List.sort_uniq compare (List.map (fun r -> r.r_sched_seed) rs)) );
   ]
 
 let invariants_ok rep = List.for_all snd (invariants rep)
@@ -270,6 +360,7 @@ let to_json rep =
         J.str "plan" r.r_plan;
         J.str "protection" (P.protection_name r.r_protection);
         J.str "store" (M.Safestore.impl_name r.r_store);
+        J.int "sched_seed" r.r_sched_seed;
         J.str "class" r.r_class;
         J.str "outcome" r.r_outcome;
         J.int "instrs" r.r_instrs;
@@ -293,10 +384,11 @@ let to_json rep =
   let inv_json =
     [ J.bool "cpi_no_hijack" (List.nth (invariants rep) 0 |> snd);
       J.bool "vanilla_hijack_witnessed" (List.nth (invariants rep) 1 |> snd);
-      J.bool "safe_tamper_isolation" (List.nth (invariants rep) 2 |> snd) ]
+      J.bool "safe_tamper_isolation" (List.nth (invariants rep) 2 |> snd);
+      J.bool "vanilla_hijack_every_seed" (List.nth (invariants rep) 3 |> snd) ]
   in
   String.concat ""
-    [ "{\n\"schema\":\"levee-faults/1\",\n";
+    [ "{\n\"schema\":\"levee-faults/2\",\n";
       Printf.sprintf "\"campaign\":\"%s\",\n" (J.escape c.cname);
       Printf.sprintf "\"seed\":%d,\n" c.seed;
       "\"plans\":";

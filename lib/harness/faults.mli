@@ -12,10 +12,10 @@
     - a plan that only tampers with the safe region through the plain
       access path ends in [Isolation_violation] in every configuration.
 
-    Everything — plan generation, the cost model, the report — is
-    deterministic, so the [levee-faults/1] JSON report is byte-identical
-    across runs and across [jobs] settings (it carries no wall-clock or
-    parallelism fields). *)
+    Everything — plan generation, the scheduler, the cost model, the
+    report — is deterministic, so the [levee-faults/2] JSON report is
+    byte-identical across runs and across [jobs] settings (it carries
+    no wall-clock or parallelism fields). *)
 
 module P = Levee_core.Pipeline
 module M = Levee_machine
@@ -30,6 +30,9 @@ type subject = {
   input : int array;
   fuel : int;
   splans : A.Faultplan.t list;
+  sseeds : int list;
+      (** scheduler seeds swept for this subject; single-threaded
+          subjects use [[0]] (the seed is inert for them) *)
 }
 
 type campaign = {
@@ -39,10 +42,12 @@ type campaign = {
   configs : (P.protection * M.Safestore.impl) list;
 }
 
-(** The built-in smoke campaign: two code-pointer-dispatch subjects,
-    targeted ret/fptr/global/desync/tamper plans plus seeded random
-    plans, swept over vanilla, safe stack, CPS and CPI × all three
-    safe-store organisations. *)
+(** The built-in smoke campaign: two code-pointer-dispatch subjects
+    plus a two-worker concurrent subject with cross-thread plans
+    (another thread's return slot, safe stack and regular stack, swept
+    under two scheduler seeds), targeted ret/fptr/global/desync/tamper
+    plans plus seeded random plans, swept over vanilla, safe stack,
+    CPS and CPI × all three safe-store organisations. *)
 val smoke : ?seed:int -> unit -> campaign
 
 (** One faulted execution, classified. [r_class] is one of
@@ -54,6 +59,7 @@ type run = {
   r_plan : string;
   r_protection : P.protection;
   r_store : M.Safestore.impl;
+  r_sched_seed : int;
   r_class : string;
   r_outcome : string;
   r_instrs : int;
@@ -71,13 +77,14 @@ val runs : report -> run list
     in submission order, so any [jobs] yields the same report. *)
 val run : ?jobs:int -> campaign -> report
 
-(** The three invariants, in order: CPI-never-hijacked (attacker-model
-    plans), vanilla-hijack-witnessed, safe-tamper-traps-as-isolation. *)
+(** The four invariants, in order: CPI-never-hijacked (attacker-model
+    plans), vanilla-hijack-witnessed, safe-tamper-traps-as-isolation,
+    vanilla-hijack-witnessed-under-every-sched-seed. *)
 val invariants : report -> (string * bool) list
 
 val invariants_ok : report -> bool
 
-(** The [levee-faults/1] JSON document (schema in EXPERIMENTS.md). *)
+(** The [levee-faults/2] JSON document (schema in EXPERIMENTS.md). *)
 val to_json : report -> string
 
 (** Human-readable summary table + invariant verdicts. *)

@@ -67,6 +67,11 @@ type intrin =
   | I_setjmp | I_longjmp
   | I_system                      (* the forbidden control-flow target *)
   | I_exit | I_abort
+  (* Threading runtime (paper §4.2: per-thread stack pairs over a shared
+     safe region). The deterministic scheduler lives in the machine. *)
+  | I_thread_spawn | I_thread_join
+  | I_mutex_lock | I_mutex_unlock
+  | I_atomic_add
 
 type instr =
   | Alloca of { dst : int; ty : Ty.t; mutable slot : slot_kind }
@@ -99,6 +104,9 @@ let intrin_name = function
   | I_checksum -> "checksum"
   | I_setjmp -> "setjmp" | I_longjmp -> "longjmp"
   | I_system -> "system" | I_exit -> "exit" | I_abort -> "abort"
+  | I_thread_spawn -> "thread_spawn" | I_thread_join -> "thread_join"
+  | I_mutex_lock -> "mutex_lock" | I_mutex_unlock -> "mutex_unlock"
+  | I_atomic_add -> "atomic_add"
 
 let intrin_of_name = function
   | "malloc" -> Some I_malloc | "free" -> Some I_free
@@ -110,6 +118,9 @@ let intrin_of_name = function
   | "checksum" -> Some I_checksum
   | "setjmp" -> Some I_setjmp | "longjmp" -> Some I_longjmp
   | "system" -> Some I_system | "exit" -> Some I_exit | "abort" -> Some I_abort
+  | "thread_spawn" -> Some I_thread_spawn | "thread_join" -> Some I_thread_join
+  | "mutex_lock" -> Some I_mutex_lock | "mutex_unlock" -> Some I_mutex_unlock
+  | "atomic_add" -> Some I_atomic_add
   | _ -> None
 
 let binop_name = function

@@ -147,7 +147,9 @@ module Elim = struct
     | Instr.I_abort -> true
     | Instr.I_free | Instr.I_memcpy | Instr.I_memset | Instr.I_strcpy
     | Instr.I_cpi_memcpy | Instr.I_cpi_memset | Instr.I_read_input
-    | Instr.I_setjmp | Instr.I_longjmp | Instr.I_system -> false
+    | Instr.I_setjmp | Instr.I_longjmp | Instr.I_system
+    | Instr.I_thread_spawn | Instr.I_thread_join | Instr.I_mutex_lock
+    | Instr.I_mutex_unlock | Instr.I_atomic_add -> false
 
   type effect = Eff_none | Eff_kill_mem | Eff_kill_all
 

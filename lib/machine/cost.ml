@@ -20,11 +20,13 @@ type t = {
   mutable safe_store_ops : int;
   mutable calls : int;
   mutable unsafe_frames : int;    (* calls that set up an unsafe stack frame *)
+  mutable ctx_switches : int;     (* scheduler context switches *)
 }
 
 let create () =
   { cycles = 0; instrs = 0; mem_ops = 0; instrumented_mem_ops = 0;
-    checks = 0; safe_store_ops = 0; calls = 0; unsafe_frames = 0 }
+    checks = 0; safe_store_ops = 0; calls = 0; unsafe_frames = 0;
+    ctx_switches = 0 }
 
 let[@inline] add t n = t.cycles <- t.cycles + n
 
@@ -68,6 +70,28 @@ let sfi_mask = 1
    frames, approximating a cache-miss rate. *)
 let hot_frame_threshold = 24
 let locality_penalty = 1
+
+(* ---- Threading costs ---- *)
+
+(* A context switch: save/restore of the register file plus the stack- and
+   safe-stack-pointer swap the per-thread stack pairs require. Charged only
+   when the scheduler actually moves to a different thread, so
+   single-threaded runs never pay it. *)
+let ctx_switch = 12
+
+(* thread_spawn: carving the regular+safe stack windows and the first
+   frame of the new thread (the frame itself is charged as a call). *)
+let spawn_cost = 40
+
+(* thread_join bookkeeping (successful reap or wake-up recheck). *)
+let join_cost = 4
+
+(* Uncontended mutex acquire/release: one atomic RMW. *)
+let mutex_cost = 4
+
+(* atomic_add: an atomic RMW on shared memory (load+store are charged
+   separately as one memory round trip). *)
+let atomic_cost = 6
 
 (* Per-word cost of the safe-store-aware memcpy/memset variants: each word
    must probe the safe pointer store in addition to the copy itself. *)

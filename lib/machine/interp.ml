@@ -46,11 +46,35 @@ type frame = {
 }
 
 type jmp_ctx = {
+  jc_tid : int;                (* owning thread: cross-thread longjmp is corruption *)
   jc_depth : int;
   jc_block : int;
   jc_ip : int;                 (* resume point: just after the setjmp *)
   jc_dst : int option;         (* setjmp's destination register *)
   jc_resume_addr : int;        (* code address of the resume point *)
+}
+
+type thread_status =
+  | Runnable
+  | Blocked_join of int        (* waiting for thread [tid] to finish *)
+  | Blocked_mutex of int       (* waiting to acquire the mutex at [addr] *)
+  | Finished of int            (* thread function returned this value *)
+
+(* One thread of the machine: its own call stack (frames) over its own
+   regular+safe stack pair (paper §4.2); registers live in the frames.
+   Everything else — heap, globals, safe region, safe store — is shared. *)
+type thread = {
+  t_id : int;
+  mutable status : thread_status;
+  mutable frames : frame list;
+  mutable depth : int;         (* List.length frames, maintained incrementally *)
+  mutable cur : frame;         (* cached head of [frames] *)
+  mutable sp_r : int;
+  mutable sp_s : int;
+  stack_floor : int;           (* regular-stack overflow floor (slid) *)
+  safe_win_lo : int;           (* own safe-stack window (slid), exclusive lo *)
+  safe_win_hi : int;           (* .. inclusive hi *)
+  mutable locks : int list;    (* held mutex addresses, for the race detector *)
 }
 
 (* A scheduled corruption, injected between two instruction steps. The
@@ -70,11 +94,20 @@ type t = {
   store : Safestore.t;
   heap : Heap.t;
   cost : Cost.t;
-  mutable frames : frame list;
-  mutable depth : int;         (* List.length frames, maintained incrementally *)
-  mutable cur : frame;         (* cached head of [frames] *)
-  mutable sp_r : int;
-  mutable sp_s : int;
+  mutable running : thread;    (* the thread the hot loop is executing *)
+  mutable threads : thread array;  (* index = tid; slot 0 = the main thread *)
+  mutable nthreads : int;
+  (* Deterministic scheduling: [mt] flips on at the first thread_spawn;
+     until then the hot loop pays one boolean test per step and the
+     machine is observationally identical to the single-threaded one.
+     [sched_left] counts instructions down to the next preemption. *)
+  sched : Sched.t;
+  mutable mt : bool;
+  mutable sched_left : int;
+  mutable live : int;          (* threads not yet Finished (joined or not) *)
+  mutexes : (int, int) Hashtbl.t;  (* mutex address -> owner tid *)
+  race : Race.t;
+  mutable race_mute : bool;    (* suppress tracking (atomics, fault injection) *)
   fuel0 : int;                 (* initial fuel; instrs executed = fuel0 - fuel *)
   input : int array;
   mutable input_pos : int;
@@ -110,6 +143,10 @@ type result = {
   store_footprint : int;       (* words used by the safe pointer store *)
   store_accesses : int;        (* safe-store get/set/clear operations *)
   heap_peak : int;
+  threads : int;               (* total threads, including main (>= 1) *)
+  ctx_switches : int;          (* scheduler context switches *)
+  races : int;                 (* data races reported by the lockset detector *)
+  race_reports : string list;  (* human-readable race descriptions, in order *)
 }
 
 (* Sentinel "return address" of the outermost frame; returning through it
@@ -134,6 +171,19 @@ let dummy_frame () =
     base_r = 0; base_s = 0; ret_dst = None; pushed_ret = 0; cookie_value = 0;
     penalize_stack = false; layout = dummy_layout }
 
+(* A fresh thread over its carved stack pair. Thread 0's windows are the
+   historical single-thread stacks, so single-threaded runs are unchanged. *)
+let fresh_thread ~slide tid =
+  { t_id = tid; status = Runnable; frames = []; depth = 0;
+    cur = dummy_frame ();
+    sp_r = Layout.thread_stack_top tid + slide;
+    sp_s = Layout.thread_safe_stack_top tid + slide;
+    stack_floor = Layout.thread_stack_floor tid + slide;
+    safe_win_lo =
+      Layout.thread_safe_stack_top tid - Layout.thread_stack_stride + slide;
+    safe_win_hi = Layout.thread_safe_stack_top tid + slide;
+    locks = [] }
+
 (* ---------- Memory access with isolation ---------- *)
 
 let charge_sfi st =
@@ -155,11 +205,54 @@ let check_safe_access addr meta ~size =
    safe live in the safe region and need no mask either — this is how the
    paper keeps the SFI variant under ~5%. *)
 
+(* ---------- Race-detector hooks ---------- *)
+
+(* Shared-memory accesses feed the lockset detector once the machine is
+   multithreaded. "Shared" means globals/heap and the safe region outside
+   the accessing thread's own safe-stack window: regular-stack accesses
+   (the overwhelming majority) skip the detector on two compares, and a
+   single-threaded machine pays one boolean test. *)
+let[@inline never] race_track st a ~write =
+  let u = a - st.slide in
+  let kind =
+    if u < Layout.stack_limit then
+      if u >= Layout.globals_base then Some Race.Shared_data else None
+    else if u >= Layout.safe_base && u < Layout.safe_end then begin
+      let th = st.running in
+      if a <= th.safe_win_hi && a > th.safe_win_lo then None
+      else Some Race.Safe_region
+    end
+    else None
+  in
+  match kind with
+  | Some kind ->
+    ignore
+      (Race.access st.race ~addr:u ~tid:st.running.t_id ~write
+         ~locks:st.running.locks ~kind)
+  | None -> ()
+
+(* Track only while more than one unfinished thread exists: thread_join
+   is a happens-before edge, so accesses made once every sibling has
+   finished (e.g. main reading the result after joining its workers)
+   cannot race — pure lockset would misreport them. *)
+let[@inline] race_data st a ~write =
+  if st.mt && st.live > 1 && not st.race_mute then race_track st a ~write
+
+(* Safe-store (metadata) accesses are tracked under their own key space:
+   a racy metadata update is a runtime-support bug even when the value
+   accesses themselves are ordered. *)
+let[@inline] race_meta st a ~write =
+  if st.mt && st.live > 1 && not st.race_mute then
+    ignore
+      (Race.access st.race ~addr:(a - st.slide) ~tid:st.running.t_id ~write
+         ~locks:st.running.locks ~kind:Race.Metadata)
+
 (* The region classification is fused into the accessors: the regions are
    disjoint address ranges and only Null, Safe and Code need any action, so
    the overwhelmingly common regular-region access (globals / heap / unsafe
    stack) costs two compares before touching memory. *)
 let plain_read st addr meta =
+  race_data st addr ~write:false;
   let a = addr - st.slide in
   if a < Layout.safe_base then begin
     if a < Layout.null_guard then stop (Crash "null-page access");
@@ -173,6 +266,7 @@ let plain_read st addr meta =
   else Mem.read st.mem addr
 
 let plain_write st addr meta v =
+  race_data st addr ~write:true;
   let a = addr - st.slide in
   if a < Layout.safe_base then begin
     if a < Layout.null_guard then stop (Crash "null-page access");
@@ -248,15 +342,18 @@ let[@inline] set_reg fr dst v m =
 
 let cookie_secret base = 0x600DC00C lxor (base * 31)
 
-(* Push a frame with zeroed registers; the caller fills the argument
-   registers afterwards (before any callee instruction runs). *)
-let push_frame_empty st (pf : Loader.pmeta Pr.func) ~ret_dst ~pushed_ret ~entry =
+(* Push a frame with zeroed registers onto thread [th]; the caller fills
+   the argument registers afterwards (before any callee instruction runs).
+   [th] is the running thread everywhere except thread_spawn, which pushes
+   the outermost frame of the thread it creates. *)
+let push_frame_empty st th (pf : Loader.pmeta Pr.func) ~ret_dst ~pushed_ret
+    ~entry =
   let layout = st.image.Loader.p_layouts.(pf.Pr.findex) in
-  let base_r = st.sp_r in
-  let base_s = st.sp_s in
-  st.sp_r <- st.sp_r - layout.Loader.fl_regular_size;
-  st.sp_s <- st.sp_s - layout.Loader.fl_safe_size;
-  if st.sp_r < Layout.stack_limit + st.slide then
+  let base_r = th.sp_r in
+  let base_s = th.sp_s in
+  th.sp_r <- th.sp_r - layout.Loader.fl_regular_size;
+  th.sp_s <- th.sp_s - layout.Loader.fl_safe_size;
+  if th.sp_r < th.stack_floor then
     stop (Crash "regular stack overflow");
   let regs = Array.make (max pf.Pr.nregs 1) 0 in
   let rmeta = Array.make (max pf.Pr.nregs 1) None in
@@ -289,13 +386,13 @@ let push_frame_empty st (pf : Loader.pmeta Pr.func) ~ret_dst ~pushed_ret ~entry 
       base_r; base_s; ret_dst; pushed_ret; cookie_value; penalize_stack;
       layout }
   in
-  st.frames <- fr :: st.frames;
-  st.depth <- st.depth + 1;
-  st.cur <- fr;
+  th.frames <- fr :: th.frames;
+  th.depth <- th.depth + 1;
+  th.cur <- fr;
   fr
 
-let push_frame st pf ~args ~ret_dst ~pushed_ret ~entry =
-  let fr = push_frame_empty st pf ~ret_dst ~pushed_ret ~entry in
+let push_frame st th pf ~args ~ret_dst ~pushed_ret ~entry =
+  let fr = push_frame_empty st th pf ~ret_dst ~pushed_ret ~entry in
   Array.iteri
     (fun i (v, m) ->
       if i < Array.length fr.regs then begin
@@ -304,16 +401,50 @@ let push_frame st pf ~args ~ret_dst ~pushed_ret ~entry =
       end)
     args
 
-let pop_frame st =
-  match st.frames with
+let pop_frame th =
+  match th.frames with
   | f :: rest ->
-    st.frames <- rest;
-    st.depth <- st.depth - 1;
-    (match rest with g :: _ -> st.cur <- g | [] -> ());
-    st.sp_r <- f.base_r;
-    st.sp_s <- f.base_s;
+    th.frames <- rest;
+    th.depth <- th.depth - 1;
+    (match rest with g :: _ -> th.cur <- g | [] -> ());
+    th.sp_r <- f.base_r;
+    th.sp_s <- f.base_s;
     f
   | [] -> assert false
+
+(* ---------- Scheduling ---------- *)
+
+(* Move to the next runnable thread (or stay). Called on quantum expiry
+   and whenever the running thread blocks or finishes; only ever invoked
+   once the machine is multithreaded, so single-threaded runs draw nothing
+   from the scheduler streams. *)
+let reschedule st =
+  let cur_id = st.running.t_id in
+  let runnable i =
+    match st.threads.(i).status with Runnable -> true | _ -> false
+  in
+  match Sched.pick st.sched ~current:cur_id ~runnable ~n:st.nthreads with
+  | None -> stop (Crash "deadlock: no runnable thread")
+  | Some tid ->
+    st.sched_left <- Sched.quantum st.sched;
+    if tid <> cur_id then begin
+      st.cost.Cost.ctx_switches <- st.cost.Cost.ctx_switches + 1;
+      Cost.add st.cost Cost.ctx_switch;
+      st.running <- st.threads.(tid)
+    end
+
+(* Thread termination: record the value, wake joiners, schedule away.
+   (Thread 0 never comes here — its exit ends the program.) *)
+let finish_thread st th rv =
+  th.status <- Finished rv;
+  st.live <- st.live - 1;
+  for i = 0 to st.nthreads - 1 do
+    let o = st.threads.(i) in
+    match o.status with
+    | Blocked_join j when j = th.t_id -> o.status <- Runnable
+    | _ -> ()
+  done;
+  reschedule st
 
 (* ---------- Control-flow diversion ---------- *)
 
@@ -334,12 +465,13 @@ let divert st target ~via =
     in
     if Loader.is_function_entry st.image target then
       (* Jump to a function entry: executes it with garbage arguments. *)
-      push_frame st pf ~args:[||] ~ret_dst:None ~pushed_ret:exit_sentinel
-        ~entry:(0, 0)
+      push_frame st st.running pf ~args:[||] ~ret_dst:None
+        ~pushed_ret:exit_sentinel ~entry:(0, 0)
     else
       (* Jump into the middle of a function: a gadget; registers hold
          garbage (zeroes). *)
-      push_frame st pf ~args:[||] ~ret_dst:None ~pushed_ret:exit_sentinel
+      push_frame st st.running pf ~args:[||] ~ret_dst:None
+        ~pushed_ret:exit_sentinel
         ~entry:(cp.Loader.cp_block, cp.Loader.cp_ip)
   | None ->
     if Layout.in_code_s st.slide target then
@@ -361,8 +493,8 @@ let do_call st fr dst callee args cfi_checked ret_addr =
   let invoke pf =
     (* Operand evaluation is pure, so the arguments can be read out of the
        caller's (still live) registers directly into the callee's. *)
-    let nf = push_frame_empty st pf ~ret_dst:dst ~pushed_ret:ret_addr
-        ~entry:(0, 0) in
+    let nf = push_frame_empty st st.running pf ~ret_dst:dst
+        ~pushed_ret:ret_addr ~entry:(0, 0) in
     let nregs = Array.length nf.regs in
     for i = 0 to Array.length args - 1 do
       if i < nregs then begin
@@ -399,7 +531,8 @@ let do_call st fr dst callee args cfi_checked ret_addr =
 
 let do_ret st rv rm =
   Cost.add st.cost Cost.ret_base;
-  let fr = st.cur in
+  let th = st.running in
+  let fr = th.cur in
   (* Cookie check (epilogue). *)
   (match fr.layout.Loader.fl_cookie_offset with
    | Some off when st.cfg.Config.check_cookies ->
@@ -410,13 +543,16 @@ let do_ret st rv rm =
     if fr.layout.Loader.fl_ret_on_safe then fr.base_s else fr.base_r
   in
   let stored = Mem.read st.mem (ret_slot_base - fr.layout.Loader.fl_ret_offset) in
-  let popped = pop_frame st in
+  let popped = pop_frame th in
   if stored = popped.pushed_ret then begin
-    if stored = exit_sentinel || st.frames = [] then
-      stop (Exit rv)
+    if stored = exit_sentinel || th.frames = [] then begin
+      (* Outermost return: program exit on the main thread, thread
+         termination on a spawned one. *)
+      if th.t_id = 0 then stop (Exit rv) else finish_thread st th rv
+    end
     else begin
       (match popped.ret_dst with
-       | Some dst -> set_reg st.cur dst rv rm
+       | Some dst -> set_reg th.cur dst rv rm
        | None -> ())
     end
   end
@@ -467,7 +603,7 @@ let do_intrin st fr dst (op : I.intrin) (args : Loader.pmeta Pr.operand array) =
   let v i = eval_v fr args.(i) in
   let m i = eval_m fr args.(i) in
   let ret value meta =
-    match dst with Some d -> set_reg st.cur d value meta | None -> ()
+    match dst with Some d -> set_reg st.running.cur d value meta | None -> ()
   in
   Cost.add st.cost Cost.intrin_setup;
   match op with
@@ -569,15 +705,16 @@ let do_intrin st fr dst (op : I.intrin) (args : Loader.pmeta Pr.operand array) =
   | I.I_checksum -> st.checksum <- checksum_mix st.checksum (v 0)
   | I.I_setjmp ->
     let buf = v 0 in
-    let fr = st.cur in
+    let th = st.running in
+    let fr = th.cur in
     (* Resume point: the instruction after this setjmp (ip was already
        advanced by the dispatch loop). *)
     let resume = fr.fr_pf.Pr.addrs.(fr.block).(fr.ip) in
     let id = st.next_jmp in
     st.next_jmp <- id + 1;
     Hashtbl.replace st.jmp_ctxs id
-      { jc_depth = st.depth; jc_block = fr.block; jc_ip = fr.ip;
-        jc_dst = dst; jc_resume_addr = resume };
+      { jc_tid = th.t_id; jc_depth = th.depth; jc_block = fr.block;
+        jc_ip = fr.ip; jc_dst = dst; jc_resume_addr = resume };
     (* jmp_buf layout: [saved PC; context id]. The saved PC is an
        implicitly-created code pointer (Section 3.2.1) — protected via the
        safe store when the configuration says so. *)
@@ -602,14 +739,19 @@ let do_intrin st fr dst (op : I.intrin) (args : Loader.pmeta Pr.operand array) =
       else plain_read st buf (m 0)
     in
     let id = plain_read st (buf + 1) (m 0) in
+    let th = st.running in
     (match Hashtbl.find_opt st.jmp_ctxs id with
-     | Some ctx when ctx.jc_resume_addr = target && ctx.jc_depth <= st.depth ->
+     | Some ctx
+       when ctx.jc_resume_addr = target && ctx.jc_tid = th.t_id
+            && ctx.jc_depth <= th.depth ->
        (* Legitimate unwind: pop down to the recorded depth. The depth is
-          tracked incrementally, so the unwind is O(frames popped). *)
-       while st.depth > ctx.jc_depth do
-         ignore (pop_frame st)
+          tracked incrementally, so the unwind is O(frames popped). A
+          context saved by another thread never matches: longjmp across
+          threads is treated as the corruption it is. *)
+       while th.depth > ctx.jc_depth do
+         ignore (pop_frame th)
        done;
-       let fr = st.cur in
+       let fr = th.cur in
        fr.block <- ctx.jc_block;
        fr.blk <- fr.fr_pf.Pr.blocks.(ctx.jc_block);
        fr.ip <- ctx.jc_ip;
@@ -622,6 +764,91 @@ let do_intrin st fr dst (op : I.intrin) (args : Loader.pmeta Pr.operand array) =
   | I.I_system -> stop (Hijacked "system() reached")
   | I.I_exit -> stop (Exit (v 0))
   | I.I_abort -> stop (Crash "abort() called")
+  | I.I_thread_spawn ->
+    (* Create a thread running [fn(arg)] over a freshly carved stack pair;
+       returns the thread id. The target must be genuine code: under
+       CPI/CPS it needs code-pointer provenance like any indirect call. *)
+    let fv = v 0 and fm = m 0 and argv = v 1 and argm = m 1 in
+    Cost.add st.cost Cost.spawn_cost;
+    if st.cfg.Config.enforce_code_meta then begin
+      match fm with
+      | Some { kind = Safestore.Code; _ } -> ()
+      | Some _ | None -> stop (Trapped Invalid_code_pointer)
+    end;
+    (match Hashtbl.find_opt st.image.Loader.entry_findex fv with
+     | None -> stop (Crash "thread_spawn: target is not a function entry")
+     | Some idx ->
+       if st.nthreads >= Layout.max_threads then
+         stop (Crash "thread_spawn: thread limit exceeded");
+       let tid = st.nthreads in
+       let th = fresh_thread ~slide:st.slide tid in
+       st.threads <- Array.append st.threads [| th |];
+       st.nthreads <- tid + 1;
+       st.live <- st.live + 1;
+       push_frame st th (pf_of_index st idx)
+         ~args:[| (argv, argm) |]
+         ~ret_dst:None ~pushed_ret:exit_sentinel ~entry:(0, 0);
+       if not st.mt then begin
+         st.mt <- true;
+         st.sched_left <- Sched.quantum st.sched
+       end;
+       ret tid None)
+  | I.I_thread_join ->
+    (* Reap a finished thread's return value, or block until it finishes.
+       Blocking rewinds ip so the join re-executes after wake-up. *)
+    Cost.add st.cost Cost.join_cost;
+    let tid = v 0 in
+    if tid <= 0 || tid >= st.nthreads then
+      stop (Crash "thread_join: invalid thread id");
+    (match st.threads.(tid).status with
+     | Finished rv -> ret rv None
+     | Runnable | Blocked_join _ | Blocked_mutex _ ->
+       let th = st.running in
+       fr.ip <- fr.ip - 1;
+       th.status <- Blocked_join tid;
+       reschedule st)
+  | I.I_mutex_lock ->
+    (* Non-recursive mutex keyed by its address; contention blocks and
+       retries after the owner unlocks. *)
+    Cost.add st.cost Cost.mutex_cost;
+    let a = v 0 in
+    let th = st.running in
+    (match Hashtbl.find_opt st.mutexes a with
+     | None ->
+       Hashtbl.replace st.mutexes a th.t_id;
+       th.locks <- a :: th.locks
+     | Some owner when owner = th.t_id -> stop (Crash "recursive mutex_lock")
+     | Some _ ->
+       fr.ip <- fr.ip - 1;
+       th.status <- Blocked_mutex a;
+       reschedule st)
+  | I.I_mutex_unlock ->
+    Cost.add st.cost Cost.mutex_cost;
+    let a = v 0 in
+    let th = st.running in
+    (match Hashtbl.find_opt st.mutexes a with
+     | Some owner when owner = th.t_id ->
+       Hashtbl.remove st.mutexes a;
+       th.locks <- List.filter (fun x -> x <> a) th.locks;
+       (* Wake every waiter; the scheduler decides who retries first. *)
+       for i = 0 to st.nthreads - 1 do
+         let o = st.threads.(i) in
+         match o.status with
+         | Blocked_mutex b when b = a -> o.status <- Runnable
+         | _ -> ()
+       done
+     | Some _ | None -> stop (Crash "mutex_unlock: not the owner"))
+  | I.I_atomic_add ->
+    (* Atomic fetch-and-add on shared memory: one synchronised RMW, so the
+       race detector is muted for its two accesses. *)
+    Cost.add st.cost Cost.atomic_cost;
+    Cost.charge_mem st.cost ~instrumented:false (Cost.load_base + Cost.store_base);
+    let a = v 0 and d = v 1 in
+    st.race_mute <- true;
+    let old = plain_read st a (m 0) in
+    plain_write st a (m 0) (old + d);
+    st.race_mute <- false;
+    ret old None
 
 (* ---------- Loads and stores ---------- *)
 
@@ -641,6 +868,7 @@ let do_load st fr dst ~what ~universal addr_op where checked =
        && a <= Layout.stack_top + st.slide
        && a > Layout.stack_limit + st.slide
     then Cost.add st.cost Cost.locality_penalty;
+    race_data st a ~write:false;
     (* plain_read with the safe-region shadow lookup fused in, so the
        address is classified once. *)
     let a' = a - st.slide in
@@ -658,6 +886,7 @@ let do_load st fr dst ~what ~universal addr_op where checked =
   | I.SafeFull | I.SafeDebug ->
     Cost.charge_safe_store st.cost st.cfg.Config.store_impl;
     Cost.charge_mem st.cost ~instrumented:true 0;
+    race_meta st a ~write:false;
     (match Safestore.get st.store a with
      | Some e ->
        if where = I.SafeDebug then begin
@@ -676,6 +905,7 @@ let do_load st fr dst ~what ~universal addr_op where checked =
     Cost.charge_mem st.cost ~instrumented:true
       (Safestore.lookup_cost st.cfg.Config.store_impl + 2
        + (if universal then 1 else 0));
+    race_meta st a ~write:false;
     (match Safestore.get st.store a with
      | Some e ->
        set_reg fr dst e.Safestore.value
@@ -685,6 +915,7 @@ let do_load st fr dst ~what ~universal addr_op where checked =
   | I.SafeData ->
     Cost.charge_safe_store st.cost st.cfg.Config.store_impl;
     Cost.charge_mem st.cost ~instrumented:true 0;
+    race_meta st a ~write:false;
     (match Safestore.get st.store a with
      | Some e -> set_reg fr dst e.Safestore.value (meta_of_entry e)
      | None ->
@@ -693,6 +924,7 @@ let do_load st fr dst ~what ~universal addr_op where checked =
   | I.RegularMeta ->
     Cost.charge_mem st.cost ~instrumented:true Cost.load_base;
     Cost.charge_safe_store st.cost st.cfg.Config.store_impl;
+    race_meta st a ~write:false;
     let v = plain_read st a ma in
     let m =
       match Safestore.get st.store a with
@@ -719,6 +951,7 @@ let do_store st fr ~what ~universal v_op addr_op where checked =
   | I.SafeFull | I.SafeDebug ->
     Cost.charge_safe_store st.cost st.cfg.Config.store_impl;
     Cost.charge_mem st.cost ~instrumented:true 0;
+    race_meta st a ~write:true;
     (match vm with
      | Some m ->
        Safestore.set st.store a (entry_of_meta vv (Some m));
@@ -737,6 +970,7 @@ let do_store st fr ~what ~universal v_op addr_op where checked =
     Cost.charge_mem st.cost ~instrumented:true
       (Safestore.lookup_cost st.cfg.Config.store_impl + 2
        + (if universal then 1 else 0));
+    race_meta st a ~write:true;
     (match vm with
      | Some { kind = Safestore.Code; _ } ->
        Safestore.set st.store a
@@ -752,6 +986,7 @@ let do_store st fr ~what ~universal v_op addr_op where checked =
        is plain data *)
     Cost.charge_safe_store st.cost st.cfg.Config.store_impl;
     Cost.charge_mem st.cost ~instrumented:true 0;
+    race_meta st a ~write:true;
     (match vm with
      | Some m -> Safestore.set st.store a (entry_of_meta vv (Some m))
      | None ->
@@ -761,6 +996,7 @@ let do_store st fr ~what ~universal v_op addr_op where checked =
   | I.RegularMeta ->
     Cost.charge_mem st.cost ~instrumented:true Cost.store_base;
     Cost.charge_safe_store st.cost st.cfg.Config.store_impl;
+    race_meta st a ~write:true;
     plain_write st a ma vv;
     Safestore.set st.store a (entry_of_meta vv vm)
 
@@ -906,11 +1142,18 @@ let apply_fault st = function
 let inject_faults st =
   let n = Array.length st.faults in
   let at_current (s, _) = st.fuel0 - s = st.fuel in
-  while st.fault_pos < n && at_current st.faults.(st.fault_pos) do
-    let (_, f) = st.faults.(st.fault_pos) in
-    st.fault_pos <- st.fault_pos + 1;
-    apply_fault st f
-  done;
+  (* Faults model external corruption, not program accesses: they must
+     not feed the race detector. [apply_fault] may end the run, so the
+     mute is restored on both paths. *)
+  st.race_mute <- true;
+  Fun.protect
+    ~finally:(fun () -> st.race_mute <- false)
+    (fun () ->
+      while st.fault_pos < n && at_current st.faults.(st.fault_pos) do
+        let (_, f) = st.faults.(st.fault_pos) in
+        st.fault_pos <- st.fault_pos + 1;
+        apply_fault st f
+      done);
   st.next_fault_fuel <-
     if st.fault_pos < n then st.fuel0 - fst st.faults.(st.fault_pos)
     else min_int
@@ -918,8 +1161,14 @@ let inject_faults st =
 let step st =
   if st.fuel <= 0 then stop Fuel_exhausted;
   if st.fuel = st.next_fault_fuel then inject_faults st;
+  (* Preemption check: a single decrement-and-test per step while the
+     machine is multithreaded, one boolean test before that. *)
+  if st.mt then begin
+    if st.sched_left <= 0 then reschedule st
+    else st.sched_left <- st.sched_left - 1
+  end;
   st.fuel <- st.fuel - 1;
-  let fr = st.cur in
+  let fr = st.running.cur in
   let blk = fr.blk in
   if fr.ip < Array.length blk.Pr.instrs then
     exec_instr st fr (Array.unsafe_get blk.Pr.instrs fr.ip)
@@ -928,7 +1177,7 @@ let step st =
 (* ---------- Top level ---------- *)
 
 let create ?(input = [||]) ?(fuel = 60_000_000) ?(faults = [])
-    (image : Loader.image) =
+    ?(sched_seed = 0) (image : Loader.image) =
   let mem = Mem.create () in
   let store = Safestore.create image.Loader.cfg.Config.store_impl in
   let slide = image.Loader.slide in
@@ -949,9 +1198,12 @@ let create ?(input = [||]) ?(fuel = 60_000_000) ?(faults = [])
   let next_fault_fuel =
     if Array.length faults > 0 then fuel - fst faults.(0) else min_int
   in
+  let main_thread = fresh_thread ~slide 0 in
   { image; cfg = image.Loader.cfg; slide; mem; store; heap; cost = Cost.create ();
-    frames = []; depth = 0; cur = dummy_frame ();
-    sp_r = Layout.stack_top + slide; sp_s = Layout.safe_stack_top + slide;
+    running = main_thread; threads = [| main_thread |]; nthreads = 1;
+    sched = Sched.create ~seed:sched_seed; mt = false; sched_left = max_int;
+    live = 1;
+    mutexes = Hashtbl.create 8; race = Race.create (); race_mute = false;
     fuel0 = fuel; input; input_pos = 0; out = Buffer.create 256; checksum = 0; fuel;
     jmp_ctxs = Hashtbl.create 8; next_jmp = 1; safe_meta = Hashtbl.create 64;
     faults; fault_pos = 0; next_fault_fuel }
@@ -968,18 +1220,22 @@ let result_of st outcome =
     store_footprint =
       Safestore.footprint_words ~entry_words:st.cfg.Config.cps_entry_words st.store;
     store_accesses = Safestore.access_count st.store;
-    heap_peak = st.heap.Heap.peak_words }
+    heap_peak = st.heap.Heap.peak_words;
+    threads = st.nthreads;
+    ctx_switches = st.cost.Cost.ctx_switches;
+    races = Race.count st.race;
+    race_reports = List.map Race.describe (Race.reports st.race) }
 
 (** Run [main] to completion. *)
-let run ?input ?fuel ?faults (image : Loader.image) : result =
-  let st = create ?input ?fuel ?faults image in
+let run ?input ?fuel ?faults ?sched_seed (image : Loader.image) : result =
+  let st = create ?input ?fuel ?faults ?sched_seed image in
   if not (Prog.has_func st.image.Loader.prog "main") then
     invalid_arg "Interp.run: program has no main";
   let main = Loader.prepared st.image "main" in
   (* A synthetic outermost frame is not needed: push main with the exit
      sentinel as its return address. *)
   (try
-     push_frame st main
+     push_frame st st.running main
        ~args:(Array.make main.Pr.nparams (0, None))
        ~ret_dst:None ~pushed_ret:exit_sentinel ~entry:(0, 0);
      let rec loop () =
@@ -990,5 +1246,6 @@ let run ?input ?fuel ?faults (image : Loader.image) : result =
    with Machine_stop outcome -> result_of st outcome)
 
 (** Compile-free convenience used everywhere in tests and benches. *)
-let run_program ?input ?fuel ?faults (prog : Prog.t) (cfg : Config.t) : result =
-  run ?input ?fuel ?faults (Loader.load prog cfg)
+let run_program ?input ?fuel ?faults ?sched_seed (prog : Prog.t)
+    (cfg : Config.t) : result =
+  run ?input ?fuel ?faults ?sched_seed (Loader.load prog cfg)

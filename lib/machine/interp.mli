@@ -36,6 +36,10 @@ type result = {
   store_footprint : int;     (** words used by the safe pointer store *)
   store_accesses : int;      (** safe-store get/set/clear operations *)
   heap_peak : int;           (** peak live heap words *)
+  threads : int;             (** total threads, including main (>= 1) *)
+  ctx_switches : int;        (** scheduler context switches *)
+  races : int;               (** races reported by the lockset detector *)
+  race_reports : string list;(** one line per race, in occurrence order *)
 }
 
 (** Run [main] of a loaded image to completion.
@@ -45,13 +49,18 @@ type result = {
     @param faults scheduled corruptions as [(step, fault)] pairs; the
            fault fires just before instruction number [step] (0-based)
            executes. Same-step faults fire in list order; steps beyond
-           the fuel budget never fire. *)
+           the fuel budget never fire.
+    @param sched_seed seed of the deterministic preemptive scheduler
+           (default 0). Single-threaded programs never consult the
+           scheduler, so the seed does not affect them; for multithreaded
+           programs, the run is a pure function of (program, input,
+           config, faults, sched_seed). *)
 val run :
   ?input:int array -> ?fuel:int -> ?faults:(int * fault) list ->
-  Loader.image -> result
+  ?sched_seed:int -> Loader.image -> result
 
 (** [run_program prog cfg] loads and runs in one step. The program must
     define [main]. *)
 val run_program :
   ?input:int array -> ?fuel:int -> ?faults:(int * fault) list ->
-  Levee_ir.Prog.t -> Config.t -> result
+  ?sched_seed:int -> Levee_ir.Prog.t -> Config.t -> result

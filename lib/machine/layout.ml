@@ -19,6 +19,24 @@ let safe_base = 0x4000_0000        (* everything >= this is the safe region *)
 let safe_stack_top = 0x4FFF_0000   (* safe stacks, grow down *)
 let safe_end = 0x6000_0000
 
+(** Per-thread stack carving (paper §4.2: every thread owns an unsafe
+    stack and a safe stack; the safe region and heap are shared). Thread
+    [k] gets the pair of windows [thread_stack_stride] words below thread
+    [k-1]'s, in both the regular and the safe region. Thread 0's windows
+    are exactly the historical single-thread stacks, so single-threaded
+    programs see an unchanged address space. *)
+let max_threads = 8
+let thread_stack_stride = 0x00F0_0000
+
+let thread_stack_top tid = stack_top - (tid * thread_stack_stride)
+let thread_safe_stack_top tid = safe_stack_top - (tid * thread_stack_stride)
+
+(* Thread 0 keeps the historical overflow floor at [stack_limit]; later
+   threads may not grow into the window of the next thread. *)
+let thread_stack_floor tid =
+  if tid = 0 then stack_limit
+  else thread_stack_top tid - thread_stack_stride + null_guard
+
 let code_base = 0x7000_0000        (* code addresses; read-execute only *)
 let code_end = 0x7800_0000
 

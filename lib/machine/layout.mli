@@ -15,6 +15,19 @@ val stack_limit : int
 val safe_base : int
 val safe_stack_top : int
 val safe_end : int
+
+(** Per-thread stack carving: thread [k] owns regular and safe stack
+    windows [k * thread_stack_stride] below the thread-0 tops. Thread 0's
+    windows are the historical single-thread stacks. *)
+val max_threads : int
+
+val thread_stack_stride : int
+val thread_stack_top : int -> int
+val thread_safe_stack_top : int -> int
+
+(** Overflow floor for a thread's regular stack; [stack_limit] for
+    thread 0. *)
+val thread_stack_floor : int -> int
 val code_base : int
 val code_end : int
 

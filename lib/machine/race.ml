@@ -1,0 +1,112 @@
+(** Dynamic data-race detection (Eraser-style lockset).
+
+    Every access to *shared* memory — globals, heap, and the safe region,
+    i.e. everything outside the accessing thread's own stack windows — is
+    checked against the lockset discipline: each shared location starts
+    with the full universe of candidate locks and is refined to the
+    intersection of the locks held at every access. A location whose
+    candidate set becomes empty while (a) at least two distinct threads
+    touched it and (b) at least one touch was a write, is reported as
+    racy.
+
+    Because the scheduler is deterministic, the detector is too: the same
+    seed observes the same access interleaving and reports the same races
+    in the same order. Races on the safe region and on safe-store
+    metadata are classified separately — a racy safe-region access is
+    exactly the kind of runtime-support bug that would let one thread
+    tamper with another's safe stack. *)
+
+type kind =
+  | Shared_data    (* globals / heap *)
+  | Safe_region    (* safe stacks or safe-store values *)
+  | Metadata       (* safe-store metadata (bounds / provenance) *)
+
+let kind_name = function
+  | Shared_data -> "shared-data"
+  | Safe_region -> "safe-region"
+  | Metadata -> "metadata"
+
+type report = {
+  r_addr : int;      (* unslid address *)
+  r_kind : kind;
+  r_first_tid : int; (* a previous owner of the location *)
+  r_second_tid : int;(* the thread whose access emptied the lockset *)
+  r_write : bool;    (* the racing access was a write *)
+}
+
+(* Per-location state. [cs_locks] is the candidate lockset (sorted mutex
+   addresses); [cs_virgin] marks locations only ever seen with one thread,
+   for which the discipline is not yet enforced (Eraser's initialisation
+   state). *)
+type cell = {
+  mutable cs_locks : int list;
+  mutable cs_tid : int;
+  mutable cs_written : bool;
+  mutable cs_virgin : bool;
+  mutable cs_reported : bool;
+}
+
+type t = {
+  cells : (int, cell) Hashtbl.t;   (* keyed by unslid address (kind-tagged) *)
+  mutable reports : report list;   (* newest first *)
+  mutable count : int;
+}
+
+let create () = { cells = Hashtbl.create 256; reports = []; count = 0 }
+
+(* Metadata shadows live at the same addresses as their values; tag the
+   key so a value cell and its metadata cell are tracked independently. *)
+let key kind addr =
+  match kind with Metadata -> addr lxor min_int | _ -> addr
+
+let inter l1 l2 = List.filter (fun a -> List.mem a l2) l1
+
+(** [access t ~addr ~tid ~write ~locks ~kind] records one shared access.
+    [locks] is the (small) list of mutex addresses the thread holds.
+    Returns [true] when this access was reported as a race (first report
+    per location only). *)
+let access t ~addr ~tid ~write ~locks ~kind =
+  let k = key kind addr in
+  match Hashtbl.find_opt t.cells k with
+  | None ->
+    Hashtbl.replace t.cells k
+      { cs_locks = locks; cs_tid = tid; cs_written = write;
+        cs_virgin = true; cs_reported = false };
+    false
+  | Some c ->
+    if c.cs_tid = tid then begin
+      (* same thread: refine nothing, remember writes *)
+      c.cs_written <- c.cs_written || write;
+      false
+    end
+    else begin
+      let first = c.cs_tid in
+      if c.cs_virgin then begin
+        (* second thread arrives: start enforcing from its lockset *)
+        c.cs_virgin <- false;
+        c.cs_locks <- inter c.cs_locks locks
+      end
+      else c.cs_locks <- inter c.cs_locks locks;
+      c.cs_tid <- tid;
+      c.cs_written <- c.cs_written || write;
+      if c.cs_locks = [] && c.cs_written && not c.cs_reported then begin
+        c.cs_reported <- true;
+        t.count <- t.count + 1;
+        t.reports <-
+          { r_addr = addr; r_kind = kind; r_first_tid = first;
+            r_second_tid = tid; r_write = write }
+          :: t.reports;
+        true
+      end
+      else false
+    end
+
+let count t = t.count
+
+(** Reports in occurrence order. *)
+let reports t = List.rev t.reports
+
+let describe r =
+  Printf.sprintf "race(%s) addr=0x%x tids=%d/%d %s" (kind_name r.r_kind)
+    r.r_addr r.r_first_tid r.r_second_tid
+    (if r.r_write then "write" else "read")

@@ -1,0 +1,33 @@
+(** Dynamic data-race detection (Eraser-style lockset) over shared
+    memory: globals, heap, and the safe region. Deterministic under the
+    deterministic scheduler — same seed, same reports, same order. *)
+
+type kind =
+  | Shared_data    (* globals / heap *)
+  | Safe_region    (* safe stacks or safe-store values *)
+  | Metadata       (* safe-store metadata *)
+
+val kind_name : kind -> string
+
+type report = {
+  r_addr : int;
+  r_kind : kind;
+  r_first_tid : int;
+  r_second_tid : int;
+  r_write : bool;
+}
+
+type t
+
+val create : unit -> t
+
+(** Record one shared access; [locks] is the list of mutex addresses the
+    thread holds. Returns [true] iff this access produced a (first)
+    race report for the location. *)
+val access :
+  t -> addr:int -> tid:int -> write:bool -> locks:int list -> kind:kind ->
+  bool
+
+val count : t -> int
+val reports : t -> report list
+val describe : report -> string

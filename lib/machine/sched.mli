@@ -1,0 +1,18 @@
+(** Deterministic preemptive scheduler policy.
+
+    Seeded round-robin with quantum jitter and occasional out-of-order
+    picks; every decision is a pure function of the seed, so one seed
+    reproduces one interleaving bit-for-bit while a seed sweep explores
+    many. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Instructions the next scheduled thread may run before preemption. *)
+val quantum : t -> int
+
+(** Next thread among ids [0..n-1] satisfying [runnable], round-robin
+    after [current] with a seeded 1-in-4 chance of a uniform pick.
+    [None] when nothing is runnable. *)
+val pick : t -> current:int -> runnable:(int -> bool) -> n:int -> int option

@@ -32,7 +32,12 @@ let intrinsic_sigs : (string * (Ty.t list * Ty.t)) list =
     "longjmp", ([ Ty.Ptr Ty.Int; Ty.Int ], Ty.Void);
     "system", ([ Ty.Ptr Ty.Char ], Ty.Int);
     "exit", ([ Ty.Int ], Ty.Void);
-    "abort", ([], Ty.Void) ]
+    "abort", ([], Ty.Void);
+    "thread_spawn", ([ Ty.Ptr (Ty.Fn ([ Ty.Int ], Ty.Int)); Ty.Int ], Ty.Int);
+    "thread_join", ([ Ty.Int ], Ty.Int);
+    "mutex_lock", ([ Ty.Ptr Ty.Void ], Ty.Void);
+    "mutex_unlock", ([ Ty.Ptr Ty.Void ], Ty.Void);
+    "atomic_add", ([ Ty.Ptr Ty.Int; Ty.Int ], Ty.Int) ]
 
 type checked = {
   ast : program;

@@ -18,6 +18,9 @@ type entry = {
   checksum : int;
   checks_elided : int;
   mem_ops_demoted : int;
+  threads : int;
+  ctx_switches : int;
+  races : int;
   attempts : int;
   wall_us : int;
 }
@@ -29,7 +32,7 @@ type t = {
   mutable rev_entries : entry list;
 }
 
-let schema_id = "levee-bench-journal/3"
+let schema_id = "levee-bench-journal/4"
 
 let create ?(jobs = 1) ~target () =
   { target_name = target; jobs_used = jobs; m = Mutex.create ();
@@ -61,12 +64,14 @@ let entry_to_json e =
      \"outcome\":\"%s\",\"status\":%d,\"cycles\":%d,\"instrs\":%d,\
      \"mem_ops\":%d,\"instrumented_mem_ops\":%d,\"store_accesses\":%d,\
      \"store_footprint\":%d,\"heap_peak\":%d,\"checksum\":%d,\
-     \"checks_elided\":%d,\"mem_ops_demoted\":%d,\"attempts\":%d,\
+     \"checks_elided\":%d,\"mem_ops_demoted\":%d,\"threads\":%d,\
+     \"ctx_switches\":%d,\"races\":%d,\"attempts\":%d,\
      \"wall_us\":%d}"
     (escape e.workload) (escape e.protection) (escape e.store)
     (escape e.outcome) e.status e.cycles e.instrs e.mem_ops
     e.instrumented_mem_ops e.store_accesses e.store_footprint e.heap_peak
-    e.checksum e.checks_elided e.mem_ops_demoted e.attempts e.wall_us
+    e.checksum e.checks_elided e.mem_ops_demoted e.threads e.ctx_switches
+    e.races e.attempts e.wall_us
 
 let to_json t =
   let b = Buffer.create 4096 in
@@ -216,8 +221,9 @@ let entry_of_json j =
     store_accesses = int "store_accesses";
     store_footprint = int "store_footprint"; heap_peak = int "heap_peak";
     checksum = int "checksum"; checks_elided = int "checks_elided";
-    mem_ops_demoted = int "mem_ops_demoted"; attempts = int "attempts";
-    wall_us = int "wall_us" }
+    mem_ops_demoted = int "mem_ops_demoted"; threads = int "threads";
+    ctx_switches = int "ctx_switches"; races = int "races";
+    attempts = int "attempts"; wall_us = int "wall_us" }
 
 let of_json s =
   try

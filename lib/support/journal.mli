@@ -22,6 +22,9 @@ type entry = {
   checksum : int;
   checks_elided : int;         (** checks removed by static elision *)
   mem_ops_demoted : int;       (** accesses demoted by points-to refinement *)
+  threads : int;               (** total threads, including main (>= 1) *)
+  ctx_switches : int;          (** deterministic-scheduler context switches *)
+  races : int;                 (** lockset-detector race reports *)
   attempts : int;              (** executions before this result (>= 1) *)
   wall_us : int;               (** wall-clock microseconds for this cell *)
 }

@@ -11,6 +11,19 @@ let create seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+(* SplitMix64's split: draw one output from the parent and use it as the
+   child's state, re-mixed with the golden-gamma constant so the child
+   stream is decorrelated from the parent's subsequent outputs. The parent
+   advances by exactly one step, so split streams are fully determined by
+   the parent seed and the order of splits. *)
+let split t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  { state = logxor z (shift_right_logical z 31) }
+
 (* SplitMix64 step: the standard constants from Steele et al. (2014). *)
 let next_int64 t =
   let open Int64 in

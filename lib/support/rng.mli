@@ -7,6 +7,13 @@ type t
 
 val create : int -> t
 val copy : t -> t
+
+(** [split t] derives an independent child generator and advances [t] by
+    one step. Split streams are deterministic (same parent seed and split
+    order ⇒ same children) and pairwise decorrelated from each other and
+    from the parent's later outputs. *)
+val split : t -> t
+
 val next_int64 : t -> int64
 
 (** Uniform in [0, bound). Requires [bound > 0]. *)

@@ -314,3 +314,98 @@ int main() {
 
 (** Table 4 rows, in the paper's order. *)
 let all = [ static_page; wsgi_page; dynamic_page ]
+
+(* ---- Concurrent server variants ---- *)
+
+(* The request-processing kernel shared by every thread count: an
+   apache-style hook chain dispatched through a function-pointer table
+   (safe-store traffic under CPI/CPS) plus some per-request compute. Pure
+   except for the atomic served counter, so requests commute. *)
+let conc_kernel = {|
+int queue[600]; int qhead; int qtail; int qlock;
+int acclock; int acc;
+int served;
+int tids[8];
+
+int hook_auth(int r) { return r + 1; }
+int hook_log(int r) { atomic_add(&served, 1); return r; }
+int hook_type(int r) { return r * 2 + 1; }
+int hook_fixup(int r) { return r ^ 5; }
+
+int (*hooks[4])(int) = { hook_auth, hook_type, hook_fixup, hook_log };
+
+int process(int req) {
+  int h; int k;
+  int r = req;
+  for (h = 0; h < 4; h = h + 1) { r = hooks[h](r); }
+  for (k = 0; k < 20; k = k + 1) { r = (r * 33 + k) & 16777215; }
+  return r & 65535;
+}
+
+/* one worker: drain the shared queue under qlock, fold results into the
+   shared accumulator under acclock. (acc + r) & mask is addition mod 2^24,
+   so the final state is independent of the interleaving: any scheduler
+   seed produces the same checksum. */
+int worker(int wid) {
+  int done = 0;
+  int mine = 0;
+  while (done == 0) {
+    int req = -1;
+    mutex_lock(&qlock);
+    if (qhead < qtail) { req = queue[qhead]; qhead = qhead + 1; }
+    mutex_unlock(&qlock);
+    if (req < 0) { done = 1; }
+    else {
+      int r = process(req);
+      mutex_lock(&acclock);
+      acc = (acc + r) & 16777215;
+      mutex_unlock(&acclock);
+      mine = mine + 1;
+    }
+  }
+  return mine;
+}
+|}
+
+(** [concurrent ~threads] is the web-serving workload with [threads]
+    workers draining a shared request queue. [threads = 1] spawns nothing
+    — main drains the queue itself, exercising exactly the single-threaded
+    machine — so its journal rows double as the byte-identity witness for
+    [--threads 1]. Higher counts spawn [threads] workers and join them.
+    The workload is race-free by construction and its output and checksum
+    are scheduler-seed-independent; only cycles and context-switch counts
+    vary with the seed. *)
+let concurrent ~threads =
+  if threads < 1 || threads > 8 then
+    invalid_arg "Webstack.concurrent: threads must be in 1..8";
+  let drive =
+    if threads = 1 then "  total = worker(0);\n"
+    else
+      Printf.sprintf
+        "  for (t = 0; t < %d; t = t + 1) { tids[t] = thread_spawn(worker, t); }\n\
+        \  total = 0;\n\
+        \  for (t = 0; t < %d; t = t + 1) { total = total + thread_join(tids[t]); }\n"
+        threads threads
+  in
+  { Workload.name = Printf.sprintf "web-conc-t%d" threads;
+    lang = Workload.C;
+    description =
+      Printf.sprintf
+        "concurrent server: %d worker(s) draining a shared request queue"
+        threads;
+    input = [||];
+    fuel = 40_000_000;
+    source =
+      rnd ^ conc_kernel
+      ^ Printf.sprintf {|
+int main() {
+  int i; int t; int total;
+  seed = 37;
+  for (i = 0; i < 600; i = i + 1) { queue[i] = rnd(4096); }
+  qtail = 600;
+%s  checksum(acc + total + served);
+  print_int(acc);
+  print_int(total + served);
+  return 0;
+}
+|} drive }

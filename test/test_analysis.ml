@@ -275,6 +275,70 @@ let test_usedef_origin () =
   Alcotest.(check bool) "malloc origin" true (has An.Usedef.From_malloc);
   Alcotest.(check bool) "global origin" true (has (An.Usedef.From_global "g"))
 
+(* ---------- diag: thread-unsafe-intrinsic ---------- *)
+
+let conc_diag_src =
+  {|int lk;
+    int inc(int x) { return x + 1; }
+    int dbl(int x) { return x * 2; }
+    int (*handlers[4])(int);
+    int install(int i) {
+      handlers[i] = inc;
+      return i;
+    }
+    int worker(int wid) {
+      int j;
+      handlers[wid] = dbl;
+      mutex_lock(&lk);
+      handlers[wid + 1] = inc;
+      mutex_unlock(&lk);
+      j = install(wid);
+      return handlers[j](j);
+    }
+    int main() {
+      int t;
+      int r;
+      t = thread_spawn(worker, 1);
+      r = thread_join(t);
+      handlers[0] = inc;
+      print_int(r);
+      return 0;
+    }|}
+
+let thread_unsafe_findings src =
+  let prog = Levee_minic.Lower.compile src in
+  let report = An.Diag.analyze prog in
+  List.filter
+    (fun f -> f.An.Diag.kind = "thread-unsafe-intrinsic")
+    report.An.Diag.findings
+
+let test_thread_unsafe_intrinsic () =
+  let fs = thread_unsafe_findings conc_diag_src in
+  Alcotest.(check int) "three unlocked sensitive accesses" 3
+    (List.length fs);
+  let in_fn name =
+    List.length (List.filter (fun f -> f.An.Diag.func = name) fs)
+  in
+  Alcotest.(check int) "install flagged" 1 (in_fn "install");
+  Alcotest.(check int) "worker flagged twice (store + load)" 2 (in_fn "worker");
+  Alcotest.(check int) "main not spawn-reachable" 0 (in_fn "main");
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "warning severity" true
+        (f.An.Diag.severity = An.Diag.Warning))
+    fs
+
+let test_thread_unsafe_silent_when_single_threaded () =
+  (* Same accesses, no thread_spawn: nothing is spawn-reachable. *)
+  let src =
+    {|int inc(int x) { return x + 1; }
+      int (*handlers[4])(int);
+      int install(int i) { handlers[i] = inc; return i; }
+      int main() { install(0); return handlers[0](1); }|}
+  in
+  Alcotest.(check int) "no findings" 0
+    (List.length (thread_unsafe_findings src))
+
 let () =
   Alcotest.run "analysis"
     [ ("sensitivity",
@@ -296,4 +360,9 @@ let () =
          t "escapes unsafe" test_stack_escape_unsafe;
          t "const fields safe" test_stack_const_index_safe;
          t "dynamic index unsafe" test_stack_dynamic_index_unsafe ]);
-      ("usedef", [ t "origin tracing" test_usedef_origin ]) ]
+      ("usedef", [ t "origin tracing" test_usedef_origin ]);
+      ("diag",
+       [ t "thread-unsafe-intrinsic flags unlocked accesses"
+           test_thread_unsafe_intrinsic;
+         t "silent without thread_spawn"
+           test_thread_unsafe_silent_when_single_threaded ]) ]

@@ -208,12 +208,14 @@ let golden_extended : golden_row list =
     ("400.perlbench", "cpi-debug", "array", 6793480, 3719740, 1936935, 112810, 79151099, "46b7aad30305a5d0fe02bc87b8b27ad1", "exit(0)");
   ]
 
-let run_row ?fuel name prot impl : golden_row =
+let run_row ?fuel ?(sched_seed = 0) name prot impl : golden_row =
   let w =
     match
       List.find_opt
         (fun (w : W.Workload.t) -> w.W.Workload.name = name)
-        (W.Spec.all @ W.Phoronix.all @ W.Webstack.all)
+        (W.Spec.all @ W.Phoronix.all @ W.Webstack.all
+        @ [ W.Webstack.concurrent ~threads:2;
+            W.Webstack.concurrent ~threads:4 ])
     with
     | Some w -> w
     | None -> Alcotest.failf "unknown workload %s" name
@@ -221,7 +223,8 @@ let run_row ?fuel name prot impl : golden_row =
   let b = P.build ~store_impl:impl prot (W.Workload.compile w) in
   let fuel = match fuel with Some f -> f | None -> w.W.Workload.fuel in
   let r =
-    M.Interp.run_program ~input:w.W.Workload.input ~fuel b.P.prog b.P.config
+    M.Interp.run_program ~input:w.W.Workload.input ~fuel ~sched_seed b.P.prog
+      b.P.config
   in
   ( name, P.protection_name prot, M.Safestore.impl_name impl,
     r.M.Interp.cycles, r.M.Interp.instrs, r.M.Interp.mem_ops,
@@ -279,6 +282,41 @@ let test_golden_full_fuel () =
   in
   check_rows "full-fuel golden rows" golden_full_fuel actual
 
+(* Concurrent web workload, deterministic scheduler seed 3: pins the
+   multithreaded machine — preemption points, context-switch charges,
+   blocking mutex/join retries — across thread counts and safe-store
+   organisations. Checksums must match the single-threaded drain (the
+   workload is commutative), so only cycles/instrs may differ per store. *)
+let golden_concurrent : golden_row list =
+  [
+    ("web-conc-t2", "vanilla", "array", 484943, 262983, 115263, 0, 2855742, "39df63e3ec81bb9a2c2e7bb169188a33", "exit(0)");
+    ("web-conc-t2", "cpi", "array", 492143, 262983, 115263, 2404, 2855742, "39df63e3ec81bb9a2c2e7bb169188a33", "exit(0)");
+    ("web-conc-t2", "cpi", "two-level", 496943, 262983, 115263, 2404, 2855742, "39df63e3ec81bb9a2c2e7bb169188a33", "exit(0)");
+    ("web-conc-t2", "cpi", "hashtable", 506543, 262983, 115263, 2404, 2855742, "39df63e3ec81bb9a2c2e7bb169188a33", "exit(0)");
+    ("web-conc-t4", "vanilla", "array", 489782, 263140, 115311, 0, 2855742, "39df63e3ec81bb9a2c2e7bb169188a33", "exit(0)");
+    ("web-conc-t4", "cpi", "array", 496982, 263140, 115311, 2404, 2855742, "39df63e3ec81bb9a2c2e7bb169188a33", "exit(0)");
+    ("web-conc-t4", "cpi", "two-level", 501782, 263140, 115311, 2404, 2855742, "39df63e3ec81bb9a2c2e7bb169188a33", "exit(0)");
+    ("web-conc-t4", "cpi", "hashtable", 511382, 263140, 115311, 2404, 2855742, "39df63e3ec81bb9a2c2e7bb169188a33", "exit(0)");
+  ]
+
+let conc_cells =
+  [ ("web-conc-t2", P.Vanilla, M.Safestore.Simple_array);
+    ("web-conc-t2", P.Cpi, M.Safestore.Simple_array);
+    ("web-conc-t2", P.Cpi, M.Safestore.Two_level);
+    ("web-conc-t2", P.Cpi, M.Safestore.Hashtable);
+    ("web-conc-t4", P.Vanilla, M.Safestore.Simple_array);
+    ("web-conc-t4", P.Cpi, M.Safestore.Simple_array);
+    ("web-conc-t4", P.Cpi, M.Safestore.Two_level);
+    ("web-conc-t4", P.Cpi, M.Safestore.Hashtable) ]
+
+let test_golden_concurrent () =
+  let actual =
+    List.map
+      (fun (name, prot, impl) -> run_row ~sched_seed:3 name prot impl)
+      conc_cells
+  in
+  check_rows "concurrent golden rows" golden_concurrent actual
+
 let test_golden_extended () =
   let actual =
     List.map
@@ -304,4 +342,6 @@ let () =
             test_golden_fuel_capped;
           Alcotest.test_case "full-fuel exits" `Quick test_golden_full_fuel;
           Alcotest.test_case "extended protections and stores" `Quick
-            test_golden_extended ] ) ]
+            test_golden_extended;
+          Alcotest.test_case "concurrent machine" `Quick
+            test_golden_concurrent ] ) ]

@@ -173,6 +173,174 @@ let test_output_capture () =
   in
   Alcotest.(check string) "stdout" "42\ndone\n-1\n" out
 
+(* ---- concurrency: the deterministic multithreaded machine ---- *)
+
+(** Like [Helpers.run] but with a scheduler seed. *)
+let runc ?(protection = P.Vanilla) ?(sched_seed = 0) ?(fuel = 5_000_000) src =
+  let built = P.build protection (Helpers.compile src) in
+  M.Interp.run_program ~sched_seed ~fuel built.P.prog built.P.config
+
+let check_crash ?protection ?sched_seed src sub name =
+  let r = runc ?protection ?sched_seed src in
+  match r.M.Interp.outcome with
+  | M.Trap.Crash m when contains m sub -> ()
+  | o -> Alcotest.failf "%s: got %s" name (M.Trap.outcome_to_string o)
+
+(* Two workers bump a shared counter 50 times each. With the mutex the
+   final count is exactly 100 under every protection and seed; without it
+   the lockset detector must report the race. *)
+let counter_src ~locked =
+  let lock, unlock =
+    if locked then "mutex_lock(&lk);", "mutex_unlock(&lk);" else "", ""
+  in
+  Printf.sprintf
+    {|int n; int lk;
+      int worker(int w) {
+        int i;
+        for (i = 0; i < 50; i = i + 1) { %s n = n + 1; %s }
+        return w;
+      }
+      int main() {
+        int t1 = thread_spawn(worker, 11);
+        int t2 = thread_spawn(worker, 21);
+        int a = thread_join(t1);
+        int b = thread_join(t2);
+        print_int(n);
+        return a + b + n;
+      }|}
+    lock unlock
+
+let test_locked_counter () =
+  List.iter
+    (fun protection ->
+       List.iter
+         (fun sched_seed ->
+            let r = runc ~protection ~sched_seed (counter_src ~locked:true) in
+            Alcotest.(check int) "exit 132" 132 (exit_code r);
+            Alcotest.(check string) "count" "100\n" r.M.Interp.output;
+            Alcotest.(check int) "no races" 0 r.M.Interp.races;
+            Alcotest.(check int) "three threads" 3 r.M.Interp.threads;
+            Alcotest.(check bool) "preempted" true
+              (r.M.Interp.ctx_switches > 0))
+         [ 0; 1; 7 ])
+    [ P.Vanilla; P.Cpi ]
+
+let test_unlocked_counter_races () =
+  let r = runc (counter_src ~locked:false) in
+  (match r.M.Interp.outcome with
+   | M.Trap.Exit _ -> ()
+   | o -> Alcotest.failf "racy run: %s" (M.Trap.outcome_to_string o));
+  Alcotest.(check bool) "race reported" true (r.M.Interp.races > 0);
+  Alcotest.(check bool) "report describes shared data" true
+    (List.exists (fun s -> contains s "shared-data") r.M.Interp.race_reports)
+
+let test_atomic_add () =
+  let src =
+    {|int n;
+      int worker(int w) {
+        int i;
+        for (i = 0; i < 50; i = i + 1) { atomic_add(&n, 1); }
+        return w;
+      }
+      int main() {
+        int t1 = thread_spawn(worker, 1);
+        int t2 = thread_spawn(worker, 2);
+        int a = thread_join(t1) + thread_join(t2);
+        return n + a;
+      }|}
+  in
+  List.iter
+    (fun sched_seed ->
+       let r = runc ~sched_seed src in
+       Alcotest.(check int) "exact count" 103 (exit_code r);
+       Alcotest.(check int) "atomics race-free" 0 r.M.Interp.races)
+    [ 0; 3 ]
+
+(* Same seed: byte-identical results. Different seed: same final state
+   for a race-free program, but a different interleaving (cycles). *)
+let test_sched_determinism () =
+  let run seed = runc ~sched_seed:seed (counter_src ~locked:true) in
+  let a = run 5 and b = run 5 and c = run 6 in
+  Alcotest.(check bool) "same seed identical" true (a = b);
+  Alcotest.(check int) "exit stable across seeds" (exit_code a) (exit_code c);
+  Alcotest.(check string) "output stable across seeds"
+    a.M.Interp.output c.M.Interp.output
+
+let test_deadlock () =
+  check_crash
+    {|int lk;
+      int worker(int w) { mutex_lock(&lk); return w; }
+      int main() {
+        mutex_lock(&lk);
+        int t = thread_spawn(worker, 1);
+        return thread_join(t);
+      }|}
+    "deadlock" "join vs held mutex"
+
+let test_mutex_misuse () =
+  check_crash
+    "int lk; int main() { mutex_lock(&lk); mutex_lock(&lk); return 0; }"
+    "recursive" "recursive lock";
+  check_crash "int lk; int main() { mutex_unlock(&lk); return 0; }"
+    "not the owner" "unlock unheld"
+
+let test_thread_errors () =
+  check_crash "int main() { return thread_join(3); }"
+    "invalid thread id" "join of unspawned id";
+  check_crash
+    {|int worker(int w) {
+        int i;
+        for (i = 0; i < 1000; i = i + 1) { }
+        return w;
+      }
+      int main() {
+        int i;
+        for (i = 0; i < 8; i = i + 1) { thread_spawn(worker, i); }
+        return 0;
+      }|}
+    "thread limit" "spawn past the table"
+
+(* thread_spawn through a function-pointer variable: under CPI the target
+   must carry code metadata, so a spawned-to pointer is covered by the
+   same integrity guarantee as a call. *)
+let test_spawn_via_fptr () =
+  let src =
+    {|int f(int x) { return x + 41; }
+      int (*fp)(int) = f;
+      int main() {
+        int t = thread_spawn(fp, 1);
+        return thread_join(t);
+      }|}
+  in
+  Alcotest.(check int) "vanilla" 42 (exit_code (runc src));
+  Alcotest.(check int) "cpi" 42 (exit_code (runc ~protection:P.Cpi src))
+
+(* The concurrent webstack workload is race-free and commutative by
+   construction: every seed and protection must agree on checksum and
+   output, and its thread count and preemptions must show up in the
+   result. *)
+let test_concurrent_workload () =
+  let module W = Levee_workloads in
+  let w = W.Webstack.concurrent ~threads:4 in
+  let prog = W.Workload.compile w in
+  let run protection sched_seed =
+    let b = P.build protection prog in
+    M.Interp.run_program ~sched_seed ~fuel:w.W.Workload.fuel
+      b.P.prog b.P.config
+  in
+  let r0 = run P.Cpi 0 in
+  Alcotest.(check int) "exit 0" 0 (exit_code r0);
+  Alcotest.(check int) "threads" 5 r0.M.Interp.threads;
+  Alcotest.(check bool) "preempted" true (r0.M.Interp.ctx_switches > 0);
+  Alcotest.(check int) "race-free" 0 r0.M.Interp.races;
+  let r1 = run P.Cpi 9 and rv = run P.Vanilla 0 in
+  Alcotest.(check int) "checksum seed-independent"
+    r0.M.Interp.checksum r1.M.Interp.checksum;
+  Alcotest.(check string) "output seed-independent"
+    r0.M.Interp.output r1.M.Interp.output;
+  Alcotest.(check int) "checksum protection-independent"
+    r0.M.Interp.checksum rv.M.Interp.checksum
+
 let () =
   Alcotest.run "interp"
     [ ("traps",
@@ -191,4 +359,14 @@ let () =
          t "SFI isolation cost" test_sfi_isolation_cost;
          t "store organisations" test_store_impl_costs;
          t "memory accounting" test_memory_accounting ]);
-      ("io", [ t "output capture" test_output_capture ]) ]
+      ("io", [ t "output capture" test_output_capture ]);
+      ("threads",
+       [ t "locked counter" test_locked_counter;
+         t "unlocked counter races" test_unlocked_counter_races;
+         t "atomic add" test_atomic_add;
+         t "scheduler determinism" test_sched_determinism;
+         t "deadlock detection" test_deadlock;
+         t "mutex misuse" test_mutex_misuse;
+         t "thread errors" test_thread_errors;
+         t "spawn via function pointer" test_spawn_via_fptr;
+         t "concurrent workload" test_concurrent_workload ]) ]

@@ -73,7 +73,8 @@ let entry i : Journal.entry =
     status = i mod 2; cycles = 1000 + i; instrs = 900 + i;
     mem_ops = 40 * i; instrumented_mem_ops = 7 * i; store_accesses = 3 * i;
     store_footprint = 4096 + i; heap_peak = 2 * i; checksum = -i;
-    checks_elided = 5 * i; mem_ops_demoted = i; attempts = 1 + (i mod 2);
+    checks_elided = 5 * i; mem_ops_demoted = i; threads = 1 + (i mod 3);
+    ctx_switches = 6 * i; races = i mod 2; attempts = 1 + (i mod 2);
     wall_us = 31337 * i }
 
 let test_journal_roundtrip () =
