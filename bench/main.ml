@@ -38,6 +38,7 @@ module A = Levee_attacks.Attack
 module SupStats = Levee_support.Stats
 module Pool = Levee_support.Pool
 module Journal = Levee_support.Journal
+module Runstore = Levee_support.Runstore
 module Engine = Levee_harness.Engine
 module Targets = Levee_harness.Targets
 
@@ -547,7 +548,12 @@ let run_target name f =
   match j with
   | Some j ->
     let path = Journal.write j in
-    Printf.eprintf "%s -> %s\n" (Journal.summary_line j) path
+    (* BENCH_<target>.json stays the one-shot snapshot; the aggregate
+       record additionally lands in the append-only run-store, so the
+       trajectory across commits is diffable with `levee history`. *)
+    Runstore.append (Journal.to_record ~kind:"bench" j);
+    Printf.eprintf "%s -> %s, %s\n" (Journal.summary_line j) path
+      Runstore.default_path
   | None -> ()
 
 let usage () =

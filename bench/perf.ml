@@ -34,8 +34,11 @@ module P = Levee_core.Pipeline
 module W = Levee_workloads
 module R = Levee_attacks.Ripe
 module Journal = Levee_support.Journal
+module Runstore = Levee_support.Runstore
 module Engine = Levee_harness.Engine
 module Targets = Levee_harness.Targets
+
+let schema_id = "levee-bench-perf/2"
 
 let fuel_cap = ref None
 let json_flag = ref true
@@ -110,15 +113,17 @@ let () =
     let b = Buffer.create 4096 in
     Buffer.add_string b
       (Printf.sprintf
-         "{\n\"schema\":\"levee-bench-perf/2\",\n\"jobs\":1,\n\
+         "{\n\"schema\":\"%s\",\n\"jobs\":1,\n\
           \"fuel_cap\":%d,\n\"cells\":%d,\n\"wall_us_total\":%d,\n\
           \"cells_wall_us\":%d,\n\"ripe_wall_us\":%d,\n\
-          \"cells_per_sec\":%.1f,\n\"sim_cycles\":%d,\n\"sim_instrs\":%d,\n\
+          \"cells_per_sec\":%s,\n\"sim_cycles\":%d,\n\"sim_instrs\":%d,\n\
           \"checks_elided\":%d,\n\"mem_ops_demoted\":%d,\n\
           \"entries\":[\n"
+         schema_id
          (match !fuel_cap with Some f -> f | None -> 0)
-         ncells total_us cells_us ripe_us cells_per_sec sim_cycles sim_instrs
-         elided demoted);
+         ncells total_us cells_us ripe_us
+         (Levee_support.Jsonenc.float_str cells_per_sec)
+         sim_cycles sim_instrs elided demoted);
     List.iteri
       (fun i (e : Journal.entry) ->
         if i > 0 then Buffer.add_string b ",\n";
@@ -137,7 +142,23 @@ let () =
     let oc = open_out "BENCH_perf.json" in
     output_string oc (Buffer.contents b);
     close_out oc;
-    prerr_endline "perf: wrote BENCH_perf.json"
+    prerr_endline "perf: wrote BENCH_perf.json";
+    (* The one-shot snapshot above is kept for compatibility; the
+       trajectory record goes to the append-only run-store. *)
+    Runstore.append
+      (Runstore.make ~schema:schema_id ~kind:"perf" ~config:"perf"
+         ~wall_us:total_us
+         [ ("fuel_cap",
+            Runstore.Int (match !fuel_cap with Some f -> f | None -> 0));
+           ("cells", Runstore.Int ncells);
+           ("cells_wall_us", Runstore.Int cells_us);
+           ("ripe_wall_us", Runstore.Int ripe_us);
+           ("cells_per_sec", Runstore.Float cells_per_sec);
+           ("sim_cycles", Runstore.Int sim_cycles);
+           ("sim_instrs", Runstore.Int sim_instrs);
+           ("checks_elided", Runstore.Int elided);
+           ("mem_ops_demoted", Runstore.Int demoted) ]);
+    prerr_endline ("perf: appended to " ^ Runstore.default_path)
   end;
   (match Engine.vanilla_failures eng with
    | [] -> ()

@@ -44,12 +44,27 @@
        emits a levee-bench-journal/4 document with wall_us zeroed, so
        the output is a pure function of (--threads, --sched-seed):
        byte-identical for any --jobs. Exits 1 if any run fails, any
-       protection diverges from vanilla, or a race is reported. *)
+       protection diverges from vanilla, or a race is reported.
+       --record FILE additionally appends one levee-history/1 record to
+       the run-store at FILE (conc and faults both take it).
+
+     levee history [--file FILE] [--diff A B] [--gate [A B]] [--tol f=p]
+       Read the append-only run-store (RUNS.jsonl by default; every
+       bench/perf/conc/faults run appends one record) and print the
+       trajectory. --diff compares two runs field-by-field; --gate
+       additionally checks per-field tolerances (cycles/sim_cycles 5%,
+       wall_us 50% unless overridden with --tol field=pct) and exits 1
+       naming each offending field when a delta exceeds its tolerance.
+       A and B are 0-based indices (negative counts from the end),
+       "last"/"prev", or a config name (most recent match); --gate
+       alone compares prev vs last. Malformed store lines are precise
+       errors (file:line), exit 2. *)
 
 module P = Levee_core.Pipeline
 module M = Levee_machine
 module Pool = Levee_support.Pool
 module Journal = Levee_support.Journal
+module Runstore = Levee_support.Runstore
 module Faults = Levee_harness.Faults
 
 let usage () =
@@ -62,8 +77,11 @@ let usage () =
     \             [-sched-seed N]\n\
     \             file.c\n\
     \       levee analyze [--json] file.c...\n\
-    \       levee faults [--json] [--jobs N] [--seed S]\n\
-    \       levee conc [--threads N] [--sched-seed S] [--jobs N] [--json]";
+    \       levee faults [--json] [--jobs N] [--seed S] [--record FILE]\n\
+    \       levee conc [--threads N] [--sched-seed S] [--jobs N] [--json]\n\
+    \                  [--record FILE]\n\
+    \       levee history [--file FILE] [--diff A B] [--gate [A B]]\n\
+    \                     [--tol field=pct]";
   exit 2
 
 let read_file file =
@@ -113,11 +131,12 @@ let run_analyze args =
     files;
   exit (if !any_errors then 1 else 0)
 
-(* levee faults [--json] [--jobs N] [--seed S] *)
+(* levee faults [--json] [--jobs N] [--seed S] [--record FILE] *)
 let run_faults args =
   let json = ref false in
   let jobs = ref 1 in
   let seed = ref 42 in
+  let record = ref None in
   let rec parse = function
     | [] -> ()
     | ("--json" | "-json") :: rest -> json := true; parse rest
@@ -131,23 +150,102 @@ let run_faults args =
        | Some n -> seed := n
        | None -> usage ());
       parse rest
+    | ("--record" | "-record") :: path :: rest ->
+      record := Some path;
+      parse rest
     | _ -> usage ()
   in
   parse args;
   let rep = Faults.run ~jobs:!jobs (Faults.smoke ~seed:!seed ()) in
   print_string (if !json then Faults.to_json rep else Faults.to_human rep);
+  (match !record with
+   | Some path -> Runstore.append ~path (Faults.to_record rep)
+   | None -> ());
   exit (if Faults.invariants_ok rep then 0 else 1)
 
-(* levee conc [--threads N] [--sched-seed S] [--jobs N] [--json] *)
+(* levee history [--file FILE] [--diff A B] [--gate [A B]] [--tol f=p] *)
+let run_history args =
+  let file = ref Runstore.default_path in
+  let diff = ref None in
+  let gate = ref None in
+  let tols = ref [] in
+  (* A run spec never starts with '-' except a negative index. *)
+  let is_spec s =
+    String.length s > 0
+    && (s.[0] <> '-' || int_of_string_opt s <> None)
+  in
+  let parse_tol spec =
+    match String.index_opt spec '=' with
+    | Some i ->
+      let f = String.sub spec 0 i in
+      let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+      (match float_of_string_opt v with
+       | Some p when f <> "" -> Some (f, p)
+       | _ -> None)
+    | None -> None
+  in
+  let rec parse = function
+    | [] -> ()
+    | ("--file" | "-file") :: p :: rest -> file := p; parse rest
+    | ("--diff" | "-diff") :: a :: b :: rest when is_spec a && is_spec b ->
+      diff := Some (a, b);
+      parse rest
+    | ("--gate" | "-gate") :: a :: b :: rest when is_spec a && is_spec b ->
+      gate := Some (a, b);
+      parse rest
+    | ("--gate" | "-gate") :: rest -> gate := Some ("prev", "last"); parse rest
+    | ("--tol" | "-tol") :: spec :: rest ->
+      (match parse_tol spec with
+       | Some t -> tols := t :: !tols
+       | None -> usage ());
+      parse rest
+    | ("--list" | "-list") :: rest -> parse rest
+    | _ -> usage ()
+  in
+  parse args;
+  match Runstore.load ~path:!file () with
+  | Error msg ->
+    Printf.eprintf "levee history: %s\n" msg;
+    exit 2
+  | Ok rs ->
+    let get spec =
+      match Runstore.find rs spec with
+      | Ok r -> r
+      | Error msg ->
+        Printf.eprintf "levee history: %s: %s\n" spec msg;
+        exit 2
+    in
+    (match (!gate, !diff) with
+     | Some (a, b), _ ->
+       let a = get a and b = get b in
+       print_string (Runstore.diff_human a b);
+       (* --tol overrides win: tolerances are consulted first-match. *)
+       let tolerances = List.rev !tols @ Runstore.default_tolerances in
+       let violations = Runstore.gate ~tolerances a b in
+       print_string (Runstore.gate_human violations);
+       exit (if violations = [] then 0 else 1)
+     | None, Some (a, b) ->
+       print_string (Runstore.diff_human (get a) (get b));
+       exit 0
+     | None, None ->
+       print_string (Runstore.list_human rs);
+       exit 0)
+
+(* levee conc [--threads N] [--sched-seed S] [--jobs N] [--json]
+   [--record FILE] *)
 let run_conc args =
   let module W = Levee_workloads in
   let json = ref false in
   let jobs = ref 1 in
   let threads = ref 4 in
   let seed = ref 0 in
+  let record = ref None in
   let rec parse = function
     | [] -> ()
     | ("--json" | "-json") :: rest -> json := true; parse rest
+    | ("--record" | "-record") :: path :: rest ->
+      record := Some path;
+      parse rest
     | ("--jobs" | "-jobs") :: n :: rest ->
       (match int_of_string_opt n with
        | Some n when n >= 1 -> jobs := n
@@ -255,6 +353,12 @@ let run_conc args =
     Printf.printf "[conc] threads=%d sched-seed=%d checksum=%d\n" !threads
       !seed base.M.Interp.checksum
   end;
+  (* wall_us is already zeroed in every entry, so the appended record is
+     byte-identical whatever --jobs was (the @history-smoke contract). *)
+  (match !record with
+   | Some path ->
+     Runstore.append ~path (Journal.to_record ~kind:"conc" ~seed:!seed j)
+   | None -> ());
   exit (if !bad = 0 then 0 else 1)
 
 let () =
@@ -275,6 +379,7 @@ let () =
    | _ :: "analyze" :: rest -> run_analyze rest
    | _ :: "faults" :: rest -> run_faults rest
    | _ :: "conc" :: rest -> run_conc rest
+   | _ :: "history" :: rest -> run_history rest
    | _ -> ());
   let rec parse = function
     | [] -> ()

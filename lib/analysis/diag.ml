@@ -333,7 +333,7 @@ let to_human ?elided ?demoted r =
 
 let schema_id = "levee-analyze/1"
 
-(* Reuse the journal's string escaping so the two JSON dialects agree. *)
+(* Shared escaping and float formatting so every JSON dialect agrees. *)
 let escape = Levee_support.Jsonenc.escape
 
 let to_json ?elided ?demoted r =
@@ -359,10 +359,10 @@ let to_json ?elided ?demoted r =
       Buffer.add_string b
         (Printf.sprintf
            "{\"name\":\"%s\",\"mem_ops\":%d,\"sensitive\":%d,\
-            \"sensitive_pct\":%.1f,\"forced\":%d,\"char_demoted\":%d,\
+            \"sensitive_pct\":%s,\"forced\":%d,\"char_demoted\":%d,\
             \"demotable\":%d,\"indirect_calls\":%d}"
            (escape fs.fs_name) fs.fs_mem_ops fs.fs_sensitive
-           (pct fs.fs_sensitive fs.fs_mem_ops)
+           (Levee_support.Jsonenc.float_str (pct fs.fs_sensitive fs.fs_mem_ops))
            fs.fs_forced fs.fs_char_demoted fs.fs_demotable
            fs.fs_indirect_calls))
     r.funcs;

@@ -10,6 +10,9 @@ module M = Levee_machine
 module A = Levee_attacks
 module Pool = Levee_support.Pool
 module J = Levee_support.Jsonenc
+module Runstore = Levee_support.Runstore
+
+let schema_id = "levee-faults/2"
 
 type subject = {
   sname : string;
@@ -388,7 +391,7 @@ let to_json rep =
       J.bool "vanilla_hijack_every_seed" (List.nth (invariants rep) 3 |> snd) ]
   in
   String.concat ""
-    [ "{\n\"schema\":\"levee-faults/2\",\n";
+    [ Printf.sprintf "{\n\"schema\":\"%s\",\n" schema_id;
       Printf.sprintf "\"campaign\":\"%s\",\n" (J.escape c.cname);
       Printf.sprintf "\"seed\":%d,\n" c.seed;
       "\"plans\":";
@@ -402,6 +405,27 @@ let to_json rep =
         @ [ "\"hijacked_by_protection\":" ^ J.obj by_prot;
             "\"invariants\":" ^ J.obj inv_json ]);
       "\n}\n" ]
+
+(* The campaign carries no wall-clock, so its run-store record is fully
+   deterministic: class counts, total simulated cycles, and the
+   invariant verdict, keyed by the campaign seed. *)
+let to_record ?commit rep =
+  let c = rep.rep_campaign in
+  let count cls =
+    List.length (List.filter (fun r -> r.r_class = cls) rep.rep_runs)
+  in
+  Runstore.make ~schema:schema_id ~kind:"faults" ?commit ~config:c.cname
+    ~seed:c.seed ~wall_us:0
+    ([ ("runs", Runstore.Int (List.length rep.rep_runs)) ]
+    @ List.map
+        (fun cls ->
+          ( (if cls = "fuel-exhausted" then "fuel_exhausted" else cls),
+            Runstore.Int (count cls) ))
+        classes
+    @ [ ("cycles",
+         Runstore.Int
+           (List.fold_left (fun acc r -> acc + r.r_cycles) 0 rep.rep_runs));
+        ("invariants_ok", Runstore.Int (if invariants_ok rep then 1 else 0)) ])
 
 let to_human rep =
   let b = Buffer.create 1024 in

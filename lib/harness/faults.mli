@@ -89,3 +89,9 @@ val to_json : report -> string
 
 (** Human-readable summary table + invariant verdicts. *)
 val to_human : report -> string
+
+(** One aggregate run-store record (schema [levee-faults/2], kind
+    ["faults"], keyed by the campaign seed, [wall_us = 0]): per-class
+    counts, total simulated cycles, and the invariant verdict. The
+    bytes are deterministic across runs and [jobs] widths. *)
+val to_record : ?commit:string -> report -> Levee_support.Runstore.record

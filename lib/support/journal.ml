@@ -88,129 +88,16 @@ let to_json t =
 
 (* ---------- parser ---------- *)
 
-(* Minimal recursive-descent JSON reader covering the subset the emitter
-   produces (plus arbitrary nesting, so a future schema bump still parses). *)
+(* The recursive-descent JSON reader lives in Jsonenc, shared with the
+   run-store; only the entry projection is journal-specific. *)
 
-type json =
-  | Jstr of string
-  | Jint of int
-  | Jlist of json list
-  | Jobj of (string * json) list
+exception Bad = Jsonenc.Bad
 
-exception Bad of string
-
-let parse_json (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    skip_ws ();
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec loop () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' ->
-        advance ();
-        (match peek () with
-         | Some '"' -> Buffer.add_char b '"'; advance ()
-         | Some '\\' -> Buffer.add_char b '\\'; advance ()
-         | Some 'n' -> Buffer.add_char b '\n'; advance ()
-         | Some 't' -> Buffer.add_char b '\t'; advance ()
-         | Some 'u' ->
-           advance ();
-           if !pos + 4 > n then fail "bad \\u escape";
-           let code = int_of_string ("0x" ^ String.sub s !pos 4) in
-           Buffer.add_char b (Char.chr (code land 0xff));
-           pos := !pos + 4
-         | _ -> fail "bad escape");
-        loop ()
-      | Some c -> Buffer.add_char b c; advance (); loop ()
-    in
-    loop ();
-    Buffer.contents b
-  in
-  let parse_int () =
-    skip_ws ();
-    let start = !pos in
-    (match peek () with Some '-' -> advance () | _ -> ());
-    let rec digits () =
-      match peek () with
-      | Some ('0' .. '9') -> advance (); digits ()
-      | _ -> ()
-    in
-    digits ();
-    if !pos = start then fail "expected integer";
-    int_of_string (String.sub s start (!pos - start))
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '"' -> Jstr (parse_string ())
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then (advance (); Jobj [])
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let k = parse_string () in
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' -> advance (); members ((k, v) :: acc)
-          | Some '}' -> advance (); List.rev ((k, v) :: acc)
-          | _ -> fail "expected ',' or '}'"
-        in
-        Jobj (members [])
-      end
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then (advance (); Jlist [])
-      else begin
-        let rec elems acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' -> advance (); elems (v :: acc)
-          | Some ']' -> advance (); List.rev (v :: acc)
-          | _ -> fail "expected ',' or ']'"
-        in
-        Jlist (elems [])
-      end
-    | Some ('-' | '0' .. '9') -> Jint (parse_int ())
-    | _ -> fail "expected value"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-let field name = function
-  | Jobj kvs ->
-    (match List.assoc_opt name kvs with
-     | Some v -> v
-     | None -> raise (Bad ("missing field " ^ name)))
-  | _ -> raise (Bad "expected object")
-
-let as_str = function Jstr s -> s | _ -> raise (Bad "expected string")
-let as_int = function Jint i -> i | _ -> raise (Bad "expected int")
-let as_list = function Jlist l -> l | _ -> raise (Bad "expected array")
+let parse_json = Jsonenc.parse
+let field = Jsonenc.field
+let as_str = Jsonenc.as_str
+let as_int = Jsonenc.as_int
+let as_list = Jsonenc.as_list
 
 let entry_of_json j =
   let str k = as_str (field k j) and int k = as_int (field k j) in
@@ -264,3 +151,27 @@ let write ?(dir = ".") t =
   output_string oc (to_json t);
   close_out oc;
   path
+
+(* ---------- run-store projection ---------- *)
+
+(* One aggregate record per journal: the trajectory tracks whole-target
+   totals, the per-cell detail stays in BENCH_<target>.json. Metric
+   order is fixed, so the record's bytes are deterministic. *)
+let to_record ?(kind = "bench") ?commit ?(seed = 0) ?(zero_wall = false) t =
+  let es = entries t in
+  let sum f = List.fold_left (fun acc e -> acc + f e) 0 es in
+  let wall_us = if zero_wall then 0 else sum (fun e -> e.wall_us) in
+  Runstore.make ~schema:schema_id ~kind ?commit ~config:t.target_name ~seed
+    ~wall_us
+    [ ("cells", Runstore.Int (List.length es));
+      ("failures", Runstore.Int (List.length (failures t)));
+      ("cycles", Runstore.Int (sum (fun e -> e.cycles)));
+      ("instrs", Runstore.Int (sum (fun e -> e.instrs)));
+      ("mem_ops", Runstore.Int (sum (fun e -> e.mem_ops)));
+      ("instrumented_mem_ops", Runstore.Int (sum (fun e -> e.instrumented_mem_ops)));
+      ("store_accesses", Runstore.Int (sum (fun e -> e.store_accesses)));
+      ("checks_elided", Runstore.Int (sum (fun e -> e.checks_elided)));
+      ("mem_ops_demoted", Runstore.Int (sum (fun e -> e.mem_ops_demoted)));
+      ("ctx_switches", Runstore.Int (sum (fun e -> e.ctx_switches)));
+      ("races", Runstore.Int (sum (fun e -> e.races)));
+      ("checksum", Runstore.Int (sum (fun e -> e.checksum))) ]

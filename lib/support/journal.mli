@@ -64,3 +64,16 @@ val summary_line : t -> string
 (** Write [BENCH_<target>.json] under [dir] (default ["."]) and return
     the path. *)
 val write : ?dir:string -> t -> string
+
+(** Project the journal to one aggregate {!Runstore.record} (sums over
+    the entries; [config] is the journal's target) for appending to the
+    run-store. [zero_wall] drops the only nondeterministic field so the
+    record's bytes are a pure function of the run; deterministic
+    producers (e.g. `levee conc`) already record [wall_us = 0]. *)
+val to_record :
+  ?kind:string ->
+  ?commit:string ->
+  ?seed:int ->
+  ?zero_wall:bool ->
+  t ->
+  Runstore.record

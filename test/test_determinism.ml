@@ -331,6 +331,72 @@ let test_golden_extended () =
   in
   check_rows "extended golden rows" golden_extended actual
 
+(* ---------- Run-store determinism ----------
+
+   The run-store's whole value rests on records being deterministic
+   bytes: the same run appended under any --jobs width must produce
+   byte-identical JSONL lines (wall_us is the one nondeterministic
+   field; zero_wall drops it, and `levee conc` records it as 0), and
+   the `levee history` renderings are pinned so the @history-smoke
+   byte-compares and any downstream tooling can rely on them. *)
+
+module RS = Levee_support.Runstore
+
+let test_record_bytes_jobs () =
+  let line jobs =
+    RS.to_line
+      (Journal.to_record ~kind:"bench" ~commit:"golden" ~zero_wall:true
+         (run_table1 ~jobs))
+  in
+  let l1 = line 1 in
+  Alcotest.(check string) "jobs=1 vs jobs=4: byte-identical record" l1 (line 4);
+  Alcotest.(check string) "jobs=1 rerun: byte-identical record" l1 (line 1)
+
+let hist_a =
+  RS.make ~schema:"levee-bench-journal/4" ~kind:"bench" ~commit:"aaaa111"
+    ~config:"table1" ~seed:0 ~wall_us:0
+    [ ("cells", RS.Int 30); ("cycles", RS.Int 1000000);
+      ("checks_elided", RS.Int 420); ("races", RS.Int 0);
+      ("cells_per_sec", RS.Float 197.4) ]
+
+let hist_b =
+  RS.make ~schema:"levee-bench-journal/4" ~kind:"bench" ~commit:"bbbb222"
+    ~config:"table1" ~seed:0 ~wall_us:0
+    [ ("cells", RS.Int 30); ("cycles", RS.Int 1100000);
+      ("checks_elided", RS.Int 400); ("races", RS.Int 0);
+      ("cells_per_sec", RS.Float 212.9) ]
+
+let test_golden_record_line () =
+  Alcotest.(check string) "record line pinned"
+    "{\"v\":\"levee-history/1\",\"schema\":\"levee-bench-journal/4\",\
+     \"kind\":\"bench\",\"commit\":\"aaaa111\",\"config\":\"table1\",\
+     \"seed\":0,\"wall_us\":0,\"metrics\":{\"cells\":30,\
+     \"cycles\":1000000,\"checks_elided\":420,\"races\":0,\
+     \"cells_per_sec\":197.4}}"
+    (RS.to_line hist_a)
+
+let test_golden_diff_human () =
+  Alcotest.(check string) "diff table pinned"
+    "a: bench/table1 seed 0 commit aaaa111 (levee-bench-journal/4)\n\
+     b: bench/table1 seed 0 commit bbbb222 (levee-bench-journal/4)\n\
+    \  field                               a              b      delta\n\
+    \  wall_us                             0              0      +0.0%\n\
+    \  cells                              30             30      +0.0%\n\
+    \  cycles                        1000000        1100000     +10.0%\n\
+    \  checks_elided                     420            400      -4.8%\n\
+    \  races                               0              0      +0.0%\n\
+    \  cells_per_sec                   197.4          212.9      +7.9%\n"
+    (RS.diff_human hist_a hist_b)
+
+let test_golden_gate_human () =
+  Alcotest.(check string) "gate failure verdict pinned"
+    "gate: FAIL\n\
+    \  cycles: 1000000 -> 1100000 (+10.0% exceeds tolerance 5.0%)\n"
+    (RS.gate_human (RS.gate hist_a hist_b));
+  Alcotest.(check string) "gate pass verdict pinned"
+    "gate: OK (all gated deltas within tolerance)\n"
+    (RS.gate_human (RS.gate hist_a hist_a))
+
 let () =
   Alcotest.run "determinism"
     [ ( "table1",
@@ -344,4 +410,13 @@ let () =
           Alcotest.test_case "extended protections and stores" `Quick
             test_golden_extended;
           Alcotest.test_case "concurrent machine" `Quick
-            test_golden_concurrent ] ) ]
+            test_golden_concurrent ] );
+      ( "history",
+        [ Alcotest.test_case "record bytes across --jobs" `Quick
+            test_record_bytes_jobs;
+          Alcotest.test_case "record line pinned" `Quick
+            test_golden_record_line;
+          Alcotest.test_case "diff rendering pinned" `Quick
+            test_golden_diff_human;
+          Alcotest.test_case "gate rendering pinned" `Quick
+            test_golden_gate_human ] ) ]
