@@ -21,14 +21,28 @@
        -jobs N                  pool width for -matrix (default 1)
        -json FILE               write a BENCH-style JSON run journal
 
-     levee analyze [--json] file.c...
+     levee analyze [--json] [--races] [--record FILE] file.c...
        Static lint over each file: unsafe casts, Castflow-forced loads,
        dead instrumentation (provably data-only sensitive accesses),
        unreachable blocks, never-code indirect calls, and per-function
        Table-2-style statistics, plus the CPI pipeline's authoritative
-       check-elision/demotion counts. --json emits the levee-analyze/1
+       check-elision/demotion counts. --races additionally runs the
+       static lockset race detector over the source program and the
+       safe-region separation prover over the CPI build (certificates
+       replayed through Verify). --json emits the levee-analyze/2
        document instead of the human table. Output is deterministic;
        exits 1 on error-severity findings (internal inconsistencies).
+       --record appends one analyze record per file to the run-store.
+
+     levee crossval [--json] [--jobs N] [--seeds N] [--record FILE]
+       Cross-validate the static race analyzer against the dynamic
+       Eraser detector: run the built-in racy/race-free corpus under
+       vanilla and CPI across scheduler seeds 0..N-1 (default 8) and
+       check that every dynamically-observed race is statically flagged,
+       that verdicts match the corpus expectations, and that the
+       fault-campaign subjects' separation proofs agree with their
+       measured CPI hijack immunity. Deterministic for any --jobs;
+       exits 1 iff an invariant is violated.
 
      levee faults [--json] [--jobs N] [--seed S]
        Run the deterministic fault-injection smoke campaign: seeded
@@ -76,7 +90,8 @@ let usage () =
     \             [-input w1,w2,...] [-fuel N] [-store array|two-level|hash]\n\
     \             [-sched-seed N]\n\
     \             file.c\n\
-    \       levee analyze [--json] file.c...\n\
+    \       levee analyze [--json] [--races] [--record FILE] file.c...\n\
+    \       levee crossval [--json] [--jobs N] [--seeds N] [--record FILE]\n\
     \       levee faults [--json] [--jobs N] [--seed S] [--record FILE]\n\
     \       levee conc [--threads N] [--sched-seed S] [--jobs N] [--json]\n\
     \                  [--record FILE]\n\
@@ -97,17 +112,25 @@ let compile_or_die file =
     prerr_endline msg;
     exit 1
 
-(* levee analyze [--json] file.c... *)
+(* levee analyze [--json] [--races] [--record FILE] file.c... *)
 let run_analyze args =
   let json = ref false in
+  let races = ref false in
+  let record = ref None in
   let files = ref [] in
-  List.iter
-    (fun a ->
-      match a with
-      | "--json" | "-json" -> json := true
-      | f when String.length f > 0 && f.[0] <> '-' -> files := f :: !files
-      | _ -> usage ())
-    args;
+  let rec parse = function
+    | [] -> ()
+    | ("--json" | "-json") :: rest -> json := true; parse rest
+    | ("--races" | "-races") :: rest -> races := true; parse rest
+    | ("--record" | "-record") :: path :: rest ->
+      record := Some path;
+      parse rest
+    | f :: rest when String.length f > 0 && f.[0] <> '-' ->
+      files := f :: !files;
+      parse rest
+    | _ -> usage ()
+  in
+  parse args;
   let files = List.rev !files in
   if files = [] then usage ();
   let any_errors = ref false in
@@ -122,14 +145,67 @@ let run_analyze args =
       (* The instrumented build supplies the authoritative pipeline
          counts: what elision and demotion actually did under CPI. *)
       let built = P.build ~annotated P.Cpi prog in
+      let report =
+        if not !races then report
+        else
+          (* Race verdicts come from the uninstrumented program (what the
+             programmer wrote); the separation proof is about the CPI
+             build (what actually runs). *)
+          let rs = Levee_analysis.Racecheck.races ~annotated prog in
+          let sep = Levee_analysis.Racecheck.separation built.P.prog in
+          Levee_analysis.Diag.add_separation
+            (Levee_analysis.Diag.add_races report rs)
+            sep
+      in
       let elided = built.P.stats.Levee_core.Stats.checks_elided in
       let demoted = built.P.stats.Levee_core.Stats.mem_ops_demoted in
       print_string
         (if !json then Levee_analysis.Diag.to_json ~elided ~demoted report
          else Levee_analysis.Diag.to_human ~elided ~demoted report);
+      (match !record with
+       | Some path ->
+         Runstore.append ~path
+           (Levee_analysis.Diag.to_record ~name:(Filename.basename file) report)
+       | None -> ());
       if Levee_analysis.Diag.has_errors report then any_errors := true)
     files;
   exit (if !any_errors then 1 else 0)
+
+(* levee crossval [--json] [--jobs N] [--seeds N] [--record FILE] *)
+let run_crossval args =
+  let module X = Levee_harness.Crossval in
+  let json = ref false in
+  let jobs = ref 1 in
+  let nseeds = ref 8 in
+  let record = ref None in
+  let rec parse = function
+    | [] -> ()
+    | ("--json" | "-json") :: rest -> json := true; parse rest
+    | ("--jobs" | "-jobs") :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 -> jobs := n
+       | _ -> usage ());
+      parse rest
+    | ("--seeds" | "-seeds") :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 && n <= 64 -> nseeds := n
+       | _ -> usage ());
+      parse rest
+    | ("--record" | "-record") :: path :: rest ->
+      record := Some path;
+      parse rest
+    | _ -> usage ()
+  in
+  parse args;
+  let seeds = List.init !nseeds (fun i -> i) in
+  let rep = X.run ~jobs:!jobs ~seeds X.corpus in
+  let faults = X.faults_cross ~jobs:!jobs () in
+  print_string
+    (if !json then X.to_json ~faults rep else X.to_human ~faults rep);
+  (match !record with
+   | Some path -> Runstore.append ~path (X.to_record rep)
+   | None -> ());
+  exit (if X.invariants_ok rep && X.faults_consistent faults then 0 else 1)
 
 (* levee faults [--json] [--jobs N] [--seed S] [--record FILE] *)
 let run_faults args =
@@ -377,6 +453,7 @@ let () =
   let sched_seed = ref 0 in
   (match Array.to_list Sys.argv with
    | _ :: "analyze" :: rest -> run_analyze rest
+   | _ :: "crossval" :: rest -> run_crossval rest
    | _ :: "faults" :: rest -> run_faults rest
    | _ :: "conc" :: rest -> run_conc rest
    | _ :: "history" :: rest -> run_history rest

@@ -1,0 +1,36 @@
+// Double-checked locking: the classic broken idiom. The unlocked fast
+// path reads `ready` (and then calls through `handler`) with an empty
+// lockset while the initialising thread writes both under the mutex, so
+// the static analyzer must report both globals -- `handler` as
+// safe-region storage, since it is a function pointer and lives in the
+// safe region under CPI. On this sequentially-consistent machine the
+// idiom still works (every run exits 0), which is exactly why the race
+// needs a detector rather than a crash to be seen.
+int lk;
+int ready;
+int (*handler)(int);
+
+int dbl(int x) { return x * 2; }
+
+int user(int wid) {
+  if (ready == 0) {
+    mutex_lock(&lk);
+    if (ready == 0) {
+      handler = dbl;
+      ready = 1;
+    }
+    mutex_unlock(&lk);
+  }
+  return handler(wid);
+}
+
+int main() {
+  int t1;
+  int t2;
+  int r;
+  t1 = thread_spawn(user, 3);
+  t2 = thread_spawn(user, 4);
+  r = thread_join(t1) + thread_join(t2);
+  print_int(r);
+  return 0;
+}

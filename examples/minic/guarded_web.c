@@ -1,0 +1,62 @@
+// A properly guarded web-stack fragment: two workers drain a shared
+// request queue and dispatch through a shared routing table, with every
+// shared access under one mutex; main fills the queue before spawning
+// and reads the stats after joining. Both detectors must stay silent:
+// the may-live window keeps main's unlocked setup and teardown out of
+// the race set, and the workers' common lock covers the rest.
+int queue[16];
+int qhead;
+int qtail;
+int served;
+int total;
+int lk;
+int (*route[2])(int);
+
+int route_a(int x) { return x + 1; }
+int route_b(int x) { return x * 2; }
+
+int worker(int wid) {
+  int done;
+  int req;
+  int r;
+  done = 0;
+  while (done == 0) {
+    req = 0 - 1;
+    mutex_lock(&lk);
+    if (qhead < qtail) {
+      req = queue[qhead];
+      qhead = qhead + 1;
+    }
+    mutex_unlock(&lk);
+    if (req < 0) {
+      done = 1;
+    } else {
+      mutex_lock(&lk);
+      r = route[req % 2](req);
+      served = served + 1;
+      total = total + r;
+      mutex_unlock(&lk);
+    }
+  }
+  return wid;
+}
+
+int main() {
+  int i;
+  int t1;
+  int t2;
+  route[0] = route_a;
+  route[1] = route_b;
+  i = 0;
+  while (i < 16) {
+    queue[i] = i * 3;
+    i = i + 1;
+  }
+  qtail = 16;
+  t1 = thread_spawn(worker, 1);
+  t2 = thread_spawn(worker, 2);
+  i = thread_join(t1) + thread_join(t2);
+  print_int(served);
+  print_int(total);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Two spawned workers bump a shared counter with no lock: the canonical
+// unguarded data race. Both detectors must flag `counter`; the run still
+// exits 0 under every seed (the lost updates only skew the final count,
+// not control flow).
+int counter;
+
+int worker(int n) {
+  int i;
+  i = 0;
+  while (i < n) {
+    counter = counter + 1;
+    i = i + 1;
+  }
+  return n;
+}
+
+int main() {
+  int t1;
+  int t2;
+  int r;
+  t1 = thread_spawn(worker, 200);
+  t2 = thread_spawn(worker, 200);
+  r = thread_join(t1) + thread_join(t2);
+  print_int(r);
+  return 0;
+}

@@ -45,10 +45,20 @@ type func_stats = {
   fs_indirect_calls : int;
 }
 
+type sep_stats = {
+  ss_plain : int;
+  ss_certified : int;
+  ss_unproven : int;
+  ss_opaque : int;
+  ss_replay_ok : bool;
+}
+
 type report = {
   source : string;
   findings : finding list;     (* sorted: func, block, idx, kind *)
   funcs : func_stats list;     (* program order *)
+  races : Racecheck.race list option;
+  sep : sep_stats option;
 }
 
 let count sev r =
@@ -278,7 +288,71 @@ let analyze ?(annotated = []) ?(name = "<program>") (prog : Prog.t) : report =
   let order f = (f.func, f.block, f.idx, f.kind, f.msg) in
   { source = name;
     findings = List.sort (fun a b -> compare (order a) (order b)) !findings;
-    funcs = List.rev !funcs }
+    funcs = List.rev !funcs;
+    races = None;
+    sep = None }
+
+(* Canonical diagnostic order: position first, then kind and message, so
+   the report (and its JSON bytes) are independent of emission order. *)
+let sort_findings fs =
+  let order f = (f.func, f.block, f.idx, f.kind, f.msg) in
+  List.sort (fun a b -> compare (order a) (order b)) fs
+
+let add_races r (races : Racecheck.race list) =
+  let findings =
+    List.fold_left
+      (fun acc (rc : Racecheck.race) ->
+        match rc.Racecheck.rc_sites with
+        | [] -> acc
+        | (first : Racecheck.site) :: _ ->
+          { severity = Warning;
+            kind = "potential-race";
+            func = first.Racecheck.st_func;
+            block = first.Racecheck.st_block;
+            idx = first.Racecheck.st_idx;
+            msg =
+              Printf.sprintf
+                "%s (%s) is written without a common lock by concurrent \
+                 threads (%d access sites)"
+                rc.Racecheck.rc_obj rc.Racecheck.rc_storage
+                (List.length rc.Racecheck.rc_sites) }
+          :: acc)
+      r.findings races
+  in
+  { r with races = Some races; findings = sort_findings findings }
+
+let add_separation r (sep : Racecheck.separation) =
+  let findings =
+    List.fold_left
+      (fun acc (u : Racecheck.unproven) ->
+        { severity = Info;
+          kind = "unproven-separation";
+          func = u.Racecheck.up_func;
+          block = u.Racecheck.up_block;
+          idx = u.Racecheck.up_idx;
+          msg =
+            "plain store not certified as separate from safe-region \
+             storage: " ^ u.Racecheck.up_reason }
+        :: acc)
+      r.findings sep.Racecheck.sp_unproven
+  in
+  let findings =
+    match sep.Racecheck.sp_replay with
+    | Ok () -> findings
+    | Error e ->
+      { severity = Error; kind = "separation-replay"; func = ""; block = -1;
+        idx = -1;
+        msg = "separation certificates failed independent replay: " ^ e }
+      :: findings
+  in
+  let stats =
+    { ss_plain = sep.Racecheck.sp_plain;
+      ss_certified = List.length sep.Racecheck.sp_certs;
+      ss_unproven = List.length sep.Racecheck.sp_unproven;
+      ss_opaque = List.length sep.Racecheck.sp_model.Levee_ir.Verify.sm_opaque;
+      ss_replay_ok = sep.Racecheck.sp_replay = Ok () }
+  in
+  { r with sep = Some stats; findings = sort_findings findings }
 
 (* ---------- rendering ---------- *)
 
@@ -315,6 +389,28 @@ let to_human ?elided ?demoted r =
       (fun f -> Buffer.add_string b (finding_to_string f ^ "\n"))
       r.findings
   end;
+  (match r.races with
+   | None -> ()
+   | Some races ->
+     Buffer.add_string b
+       (Printf.sprintf "\nstatic races: %d racy object(s)\n"
+          (List.length races));
+     List.iter
+       (fun (rc : Racecheck.race) ->
+         Buffer.add_string b
+           (Printf.sprintf "  %-24s %-12s %d site(s)\n" rc.Racecheck.rc_obj
+              rc.Racecheck.rc_storage
+              (List.length rc.Racecheck.rc_sites)))
+       races);
+  (match r.sep with
+   | None -> ()
+   | Some s ->
+     Buffer.add_string b
+       (Printf.sprintf
+          "\nsafe-region separation: %d plain store(s), %d certified, %d \
+           unproven, %d opaque-safe; certificate replay: %s\n"
+          s.ss_plain s.ss_certified s.ss_unproven s.ss_opaque
+          (if s.ss_replay_ok then "ok" else "FAILED")));
   (match (elided, demoted) with
    | Some e, Some d ->
      Buffer.add_string b
@@ -331,7 +427,9 @@ let to_human ?elided ?demoted r =
        (count Warning r) (count Info r));
   Buffer.contents b
 
-let schema_id = "levee-analyze/1"
+(* /2 added the optional "races" and "separation" sections and pinned the
+   canonical finding order; /1 documents are a strict subset. *)
+let schema_id = "levee-analyze/2"
 
 (* Shared escaping and float formatting so every JSON dialect agrees. *)
 let escape = Levee_support.Jsonenc.escape
@@ -367,6 +465,39 @@ let to_json ?elided ?demoted r =
            fs.fs_indirect_calls))
     r.funcs;
   Buffer.add_string b "\n],\n";
+  (match r.races with
+   | None -> ()
+   | Some races ->
+     Buffer.add_string b "\"races\":[\n";
+     List.iteri
+       (fun i (rc : Racecheck.race) ->
+         if i > 0 then Buffer.add_string b ",\n";
+         Buffer.add_string b
+           (Printf.sprintf "{\"object\":\"%s\",\"storage\":\"%s\",\"sites\":["
+              (escape rc.Racecheck.rc_obj)
+              (escape rc.Racecheck.rc_storage));
+         List.iteri
+           (fun j (s : Racecheck.site) ->
+             if j > 0 then Buffer.add_string b ",";
+             Buffer.add_string b
+               (Printf.sprintf
+                  "{\"func\":\"%s\",\"block\":%d,\"idx\":%d,\"write\":%b,\
+                   \"locked\":%b}"
+                  (escape s.Racecheck.st_func) s.Racecheck.st_block
+                  s.Racecheck.st_idx s.Racecheck.st_write
+                  s.Racecheck.st_locked))
+           rc.Racecheck.rc_sites;
+         Buffer.add_string b "]}")
+       races;
+     Buffer.add_string b "\n],\n");
+  (match r.sep with
+   | None -> ()
+   | Some s ->
+     Buffer.add_string b
+       (Printf.sprintf
+          "\"separation\":{\"plain_stores\":%d,\"certified\":%d,\
+           \"unproven\":%d,\"opaque_safe\":%d,\"replay_ok\":%b},\n"
+          s.ss_plain s.ss_certified s.ss_unproven s.ss_opaque s.ss_replay_ok));
   (match (elided, demoted) with
    | Some e, Some d ->
      Buffer.add_string b
@@ -382,3 +513,26 @@ let to_json ?elided ?demoted r =
     (Printf.sprintf "\"totals\":{\"errors\":%d,\"warnings\":%d,\"info\":%d}\n}\n"
        (count Error r) (count Warning r) (count Info r));
   Buffer.contents b
+
+(* Analysis counts are a pure function of the source, so every field sits
+   at 0% tolerance under `levee history --gate`: any drift in finding or
+   certification counts is a regression (or an intentional change to be
+   re-baselined), never noise. *)
+let to_record ?commit ?(name = "<program>") r =
+  let module Runstore = Levee_support.Runstore in
+  Runstore.make ~schema:schema_id ~kind:"analyze" ?commit ~config:name ~seed:0
+    ~wall_us:0
+    ([ ("functions", Runstore.Int (List.length r.funcs));
+       ("findings_errors", Runstore.Int (count Error r));
+       ("findings_warnings", Runstore.Int (count Warning r));
+       ("findings_info", Runstore.Int (count Info r)) ]
+    @ (match r.races with
+      | None -> []
+      | Some races -> [ ("races_static", Runstore.Int (List.length races)) ])
+    @
+    match r.sep with
+    | None -> []
+    | Some s ->
+      [ ("sep_certified", Runstore.Int s.ss_certified);
+        ("sep_unproven", Runstore.Int s.ss_unproven);
+        ("sep_replay_ok", Runstore.Int (if s.ss_replay_ok then 1 else 0)) ])

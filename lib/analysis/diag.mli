@@ -28,10 +28,24 @@ type func_stats = {
   fs_indirect_calls : int;
 }
 
+(** Aggregate of the safe-region separation pass, carried by the report
+    when [levee analyze --races] ran it (counts from
+    {!Racecheck.separation}; the certificate replay verdict is folded
+    into the findings). *)
+type sep_stats = {
+  ss_plain : int;      (** plain stores examined *)
+  ss_certified : int;  (** separation certificates emitted *)
+  ss_unproven : int;
+  ss_opaque : int;     (** safe accesses with opaque provenance *)
+  ss_replay_ok : bool; (** [Verify.check_separation] accepted the certs *)
+}
+
 type report = {
   source : string;
   findings : finding list;  (** sorted by function, block, index, kind *)
   funcs : func_stats list;  (** program order *)
+  races : Racecheck.race list option;  (** static race verdicts, when run *)
+  sep : sep_stats option;
 }
 
 val count : severity -> report -> int
@@ -46,13 +60,34 @@ val has_errors : report -> bool
 val analyze :
   ?annotated:string list -> ?name:string -> Levee_ir.Prog.t -> report
 
+(** Fold static race verdicts ({!Racecheck.races}) into a report: one
+    ["potential-race"] warning per racy object, plus the [races] section
+    of the JSON document. Findings are re-sorted canonically. *)
+val add_races : report -> Racecheck.race list -> report
+
+(** Fold the safe-region separation pass ({!Racecheck.separation}, run on
+    the CPI-instrumented program) into a report: one
+    ["unproven-separation"] info per unproven store, a
+    ["separation-replay"] error if the certificate replay failed, and
+    the [separation] JSON section. Findings are re-sorted canonically. *)
+val add_separation : report -> Racecheck.separation -> report
+
 (** Human-readable rendering. [elided]/[demoted] append the CPI pipeline's
     authoritative elision/demotion counts when the caller has built the
     instrumented program. *)
 val to_human : ?elided:int -> ?demoted:int -> report -> string
 
-(** The ["levee-analyze/1"] JSON document (see README). Same optional
-    pipeline counts as [to_human]. *)
+(** The ["levee-analyze/2"] JSON document (see README). Same optional
+    pipeline counts as [to_human]. [races] / [separation] sections appear
+    exactly when the corresponding pass ran. *)
 val to_json : ?elided:int -> ?demoted:int -> report -> string
 
 val schema_id : string
+
+(** One run-store record (schema [levee-analyze/2], kind ["analyze"],
+    [config = name], [wall_us = 0]): finding counts plus, when the race
+    and separation passes ran, their verdict counts. All fields are
+    deterministic, so `levee history --gate` holds them at 0%%
+    tolerance. *)
+val to_record :
+  ?commit:string -> ?name:string -> report -> Levee_support.Runstore.record

@@ -1,0 +1,402 @@
+(** Interprocedural must-lockset / concurrency-context analysis.
+
+    Mirrors the dynamic Eraser detector's happens-before concessions so
+    the static verdicts can be compared against it 1:1:
+
+    - lock identity is the points-to object of the [mutex_lock] argument
+      (the machine keys mutexes by address; one abstract object per
+      static lock is the sound analogue);
+    - a lock with an unresolvable identity adds nothing on lock (it is
+      not a *must*-held lock) and clears the set on unlock (it may
+      release anything);
+    - the machine only tracks races while more than one thread is live,
+      so main-side accesses after every spawned thread has been joined
+      are not concurrent with anything — the may-live counter reproduces
+      that edge (sound because [thread_join] on a bogus id crashes the
+      machine rather than silently under-counting). *)
+
+module I = Levee_ir.Instr
+module Prog = Levee_ir.Prog
+
+module OSet = Set.Make (struct
+  type t = Pointsto.obj
+  let compare = compare
+end)
+
+module ISet = Set.Make (Int)
+
+type ctx = {
+  cx_locks : Pointsto.obj list;
+  cx_classes : int list;
+  cx_mainlive : bool;
+}
+
+(* Entry summary of one function: the meet over every call site. *)
+type fentry = {
+  mutable e_locks : OSet.t option; (* None = never invoked (top) *)
+  mutable e_live : int;            (* max may-live spawns at any call site *)
+  mutable e_classes : ISet.t;      (* spawn classes the body may run under *)
+}
+
+(* Intra state: must-held locks plus this thread's own unjoined spawns.
+   [None] is the unvisited (bottom) element. *)
+type st = (OSet.t * int) option
+
+type t = {
+  entries : (string, fentry) Hashtbl.t;
+  states : (string, st array) Hashtbl.t;   (* block-entry fixpoints *)
+  sites : (string * int * int) array;      (* spawn site id -> position *)
+  site_multi : bool array;
+  funcs : (string, Prog.func) Hashtbl.t;
+  pt : Pointsto.t;
+}
+
+let live_cap = 8
+
+(* The mutex object a lock/unlock argument denotes, when it provably
+   denotes exactly one. *)
+let lock_id pt ~fname op =
+  match Pointsto.points_to pt ~fname op with
+  | [ o ] when o <> Pointsto.O_unknown && o <> Pointsto.O_code -> Some o
+  | _ -> None
+
+let step pt fname ((locks, live) : OSet.t * int) (ins : I.instr) =
+  match ins with
+  | I.Intrin { op = I.I_mutex_lock; args = a :: _; _ } ->
+    (match lock_id pt ~fname a with
+     | Some o -> (OSet.add o locks, live)
+     | None -> (locks, live))
+  | I.Intrin { op = I.I_mutex_unlock; args = a :: _; _ } ->
+    (match lock_id pt ~fname a with
+     | Some o -> (OSet.remove o locks, live)
+     | None -> (OSet.empty, live))
+  | I.Intrin { op = I.I_thread_spawn; _ } -> (locks, min live_cap (live + 1))
+  | I.Intrin { op = I.I_thread_join; _ } -> (locks, max 0 (live - 1))
+  | _ -> (locks, live)
+
+let join (a : st) (b : st) =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some (l1, v1), Some (l2, v2) -> Some (OSet.inter l1 l2, max v1 v2)
+
+let st_equal (a : st) (b : st) =
+  match (a, b) with
+  | None, None -> true
+  | Some (l1, v1), Some (l2, v2) -> v1 = v2 && OSet.equal l1 l2
+  | _ -> false
+
+let solve_func pt (fn : Prog.func) ~(entry : OSet.t * int) : st array =
+  let cfg = Dataflow.build fn in
+  let transfer b s =
+    match s with
+    | None -> None
+    | Some s ->
+      Some (Array.fold_left (step pt fn.Prog.fname) s fn.Prog.blocks.(b).Prog.instrs)
+  in
+  Dataflow.solve cfg ~entry:(Some entry) ~bottom:None ~join ~equal:st_equal
+    ~transfer
+
+(* ---------- multiple-invocation analysis ---------- *)
+
+(* Is block [b] part of a CFG cycle (reachable from its own successors)? *)
+let block_in_cycle (fn : Prog.func) =
+  let cfg = Dataflow.build fn in
+  let n = cfg.Dataflow.nblocks in
+  fun b ->
+    let seen = Array.make n false in
+    let rec dfs x =
+      x = b
+      || (not seen.(x)
+          && begin
+            seen.(x) <- true;
+            List.exists dfs cfg.Dataflow.succs.(x)
+          end)
+    in
+    List.exists dfs cfg.Dataflow.succs.(b)
+
+(* May a function's body execute in two or more dynamic instances
+   (hence: may a spawn site inside it fire twice)? Fixpoint over
+   "invoked >= 2 times, from a loop, recursively, or from a function
+   that itself executes multiply". *)
+let multi_invoked (prog : Prog.t) (taken : string list) =
+  let sites : (string, (string * bool) list) Hashtbl.t = Hashtbl.create 16 in
+  let add callee site =
+    Hashtbl.replace sites callee (site :: (Option.value ~default:[] (Hashtbl.find_opt sites callee)))
+  in
+  let edges : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  let add_edge caller callee =
+    Hashtbl.replace edges caller (callee :: (Option.value ~default:[] (Hashtbl.find_opt edges caller)))
+  in
+  Prog.iter_funcs prog (fun fn ->
+      let in_cycle = block_in_cycle fn in
+      Array.iter
+        (fun (b : Prog.block) ->
+          let looped = in_cycle b.Prog.bid in
+          Array.iter
+            (fun ins ->
+              let targets =
+                match ins with
+                | I.Call { callee = I.Direct g; _ } -> [ g ]
+                | I.Call { callee = I.Indirect _; _ } -> taken
+                | I.Intrin { op = I.I_thread_spawn; args = I.Fun g :: _; _ } ->
+                  [ g ]
+                | I.Intrin { op = I.I_thread_spawn; args = _ :: _; _ } -> taken
+                | _ -> []
+              in
+              List.iter
+                (fun g ->
+                  if Prog.has_func prog g then begin
+                    add g (fn.Prog.fname, looped);
+                    add_edge fn.Prog.fname g
+                  end)
+                targets)
+            b.Prog.instrs)
+        fn.Prog.blocks);
+  let self_reaches f =
+    let seen = Hashtbl.create 8 in
+    let rec dfs g =
+      List.exists
+        (fun h ->
+          h = f
+          || (not (Hashtbl.mem seen h)
+              && begin
+                Hashtbl.replace seen h ();
+                dfs h
+              end))
+        (Option.value ~default:[] (Hashtbl.find_opt edges g))
+    in
+    dfs f
+  in
+  let multi = Hashtbl.create 16 in
+  let get f = Hashtbl.mem multi f in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Prog.iter_funcs prog (fun fn ->
+        let f = fn.Prog.fname in
+        if not (get f) then begin
+          let ss = Option.value ~default:[] (Hashtbl.find_opt sites f) in
+          let m =
+            List.length ss >= 2
+            || List.exists (fun (_, looped) -> looped) ss
+            || List.exists (fun (caller, _) -> get caller) ss
+            || self_reaches f
+          in
+          if m then begin
+            Hashtbl.replace multi f ();
+            changed := true
+          end
+        end)
+  done;
+  get
+
+(* ---------- interprocedural driver ---------- *)
+
+(* Functions whose address escapes into data flow (stored, passed as a
+   plain argument, returned, used in arithmetic, seeded by a global
+   initialiser). A [Fun] literal consumed directly as the target of a
+   [thread_spawn] never becomes a first-class value, so it cannot
+   surface behind an indirect call or a spawn-target register — the
+   whole-program address-taken set would call every spawn body
+   "multiply invoked" as soon as any indirect call exists. *)
+let escaped_functions (prog : Prog.t) =
+  let taken = Hashtbl.create 16 in
+  let mark = function I.Fun f -> Hashtbl.replace taken f () | _ -> () in
+  let check (ins : I.instr) =
+    match ins with
+    | I.Intrin { op = I.I_thread_spawn; args = I.Fun _ :: rest; _ } ->
+      List.iter mark rest
+    | I.Bin { l; r; _ } | I.Cmp { l; r; _ } ->
+      mark l;
+      mark r
+    | I.Load { addr; _ } -> mark addr
+    | I.Store { v; addr; _ } ->
+      mark v;
+      mark addr
+    | I.Gep { base; path; _ } ->
+      mark base;
+      List.iter (function I.Index (_, o) -> mark o | I.Field _ -> ()) path
+    | I.Cast { v; _ } -> mark v
+    | I.Call { callee; args; _ } ->
+      (match callee with I.Indirect o -> mark o | I.Direct _ -> ());
+      List.iter mark args
+    | I.Intrin { args; _ } -> List.iter mark args
+    | I.Alloca _ -> ()
+  in
+  Prog.iter_funcs prog (fun fn ->
+      Prog.iter_instrs fn check;
+      Array.iter
+        (fun (b : Prog.block) ->
+          match b.Prog.term with
+          | I.Ret (Some o) -> mark o
+          | I.Br (o, _, _) | I.Switch (o, _, _) -> mark o
+          | I.Ret None | I.Jmp _ | I.Unreachable -> ())
+        fn.Prog.blocks);
+  List.iter
+    (fun (g : Prog.global) ->
+      Array.iter
+        (function
+          | Prog.Cfun f -> Hashtbl.replace taken f ()
+          | Prog.Cint _ | Prog.Cglob _ -> ())
+        g.Prog.init)
+    prog.Prog.globals;
+  taken
+
+let analyze (prog : Prog.t) (pt : Pointsto.t) : t =
+  let taken_tbl = escaped_functions prog in
+  let taken =
+    List.filter
+      (fun f -> Hashtbl.mem taken_tbl f && Prog.has_func prog f)
+      prog.Prog.func_order
+  in
+  (* Enumerate spawn sites in program order. *)
+  let sites = ref [] in
+  Prog.iter_funcs prog (fun fn ->
+      Array.iter
+        (fun (b : Prog.block) ->
+          Array.iteri
+            (fun idx ins ->
+              match ins with
+              | I.Intrin { op = I.I_thread_spawn; _ } ->
+                sites := (fn.Prog.fname, b.Prog.bid, idx) :: !sites
+              | _ -> ())
+            b.Prog.instrs)
+        fn.Prog.blocks);
+  let sites = Array.of_list (List.rev !sites) in
+  let site_id = Hashtbl.create 8 in
+  Array.iteri (fun i pos -> Hashtbl.replace site_id pos i) sites;
+  let minvoke = multi_invoked prog taken in
+  let site_multi =
+    Array.map
+      (fun (f, b, _) ->
+        let fn = Prog.find_func prog f in
+        block_in_cycle fn b || minvoke f)
+      sites
+  in
+  let entries = Hashtbl.create 16 in
+  Prog.iter_funcs prog (fun fn ->
+      Hashtbl.replace entries fn.Prog.fname
+        { e_locks = None; e_live = 0; e_classes = ISet.empty });
+  (match Hashtbl.find_opt entries "main" with
+   | Some e -> e.e_locks <- Some OSet.empty
+   | None -> ());
+  let states = Hashtbl.create 16 in
+  let changed = ref true in
+  let contribute callee ~locks ~live ~classes =
+    match Hashtbl.find_opt entries callee with
+    | None -> ()
+    | Some e ->
+      (match e.e_locks with
+       | None ->
+         e.e_locks <- Some locks;
+         changed := true
+       | Some cur ->
+         let m = OSet.inter cur locks in
+         if not (OSet.equal m cur) then begin
+           e.e_locks <- Some m;
+           changed := true
+         end);
+      if live > e.e_live then begin
+        e.e_live <- live;
+        changed := true
+      end;
+      let u = ISet.union e.e_classes classes in
+      if not (ISet.equal u e.e_classes) then begin
+        e.e_classes <- u;
+        changed := true
+      end
+  in
+  let visit emit fn =
+    let e = Hashtbl.find entries fn.Prog.fname in
+    match e.e_locks with
+    | None -> ()
+    | Some entry_locks ->
+      let sts = solve_func pt fn ~entry:(entry_locks, e.e_live) in
+      Hashtbl.replace states fn.Prog.fname sts;
+      if emit then
+        Array.iteri
+          (fun bi (b : Prog.block) ->
+            match sts.(bi) with
+            | None -> ()
+            | Some s0 ->
+              let s = ref s0 in
+              Array.iteri
+                (fun idx ins ->
+                  let locks, live = !s in
+                  (match ins with
+                   | I.Call { callee = I.Direct g; _ } ->
+                     contribute g ~locks ~live ~classes:e.e_classes
+                   | I.Call { callee = I.Indirect _; _ } ->
+                     List.iter
+                       (fun g -> contribute g ~locks ~live ~classes:e.e_classes)
+                       taken
+                   | I.Intrin { op = I.I_thread_spawn; args; _ } ->
+                     let cls =
+                       match
+                         Hashtbl.find_opt site_id (fn.Prog.fname, b.Prog.bid, idx)
+                       with
+                       | Some s -> ISet.add s e.e_classes
+                       | None -> e.e_classes
+                     in
+                     let targets =
+                       match args with
+                       | I.Fun g :: _ -> [ g ]
+                       | _ -> taken
+                     in
+                     List.iter
+                       (fun g ->
+                         contribute g ~locks:OSet.empty ~live:0 ~classes:cls)
+                       targets
+                   | _ -> ());
+                  s := step pt fn.Prog.fname !s ins)
+                b.Prog.instrs)
+          fn.Prog.blocks
+  in
+  let rounds = ref 0 in
+  while !changed && !rounds < 64 do
+    changed := false;
+    incr rounds;
+    Prog.iter_funcs prog (visit true)
+  done;
+  (* One quiet pass so every stored state reflects the converged entries. *)
+  Prog.iter_funcs prog (visit false);
+  { entries; states;
+    sites; site_multi;
+    funcs = prog.Prog.funcs; pt }
+
+let has_spawn t = Array.length t.sites > 0
+
+let multi_class t c = c >= 0 && c < Array.length t.site_multi && t.site_multi.(c)
+
+let ctx_at t ~fname ~block ~idx =
+  match
+    (Hashtbl.find_opt t.entries fname, Hashtbl.find_opt t.states fname,
+     Hashtbl.find_opt t.funcs fname)
+  with
+  | Some e, Some sts, Some fn when block >= 0 && block < Array.length sts ->
+    (match sts.(block) with
+     | None -> None
+     | Some s0 ->
+       let instrs = fn.Prog.blocks.(block).Prog.instrs in
+       let n = min idx (Array.length instrs) in
+       let s = ref s0 in
+       for i = 0 to n - 1 do
+         s := step t.pt fname !s instrs.(i)
+       done;
+       let locks, live = !s in
+       Some
+         { cx_locks = OSet.elements locks;
+           cx_classes = ISet.elements e.e_classes;
+           cx_mainlive = live > 0 })
+  | _ -> None
+
+let may_overlap t a b =
+  let cross =
+    List.exists
+      (fun s ->
+        List.exists (fun u -> s <> u || multi_class t s) b.cx_classes)
+      a.cx_classes
+  in
+  cross
+  || (a.cx_mainlive && b.cx_classes <> [])
+  || (b.cx_mainlive && a.cx_classes <> [])

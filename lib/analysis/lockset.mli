@@ -1,0 +1,45 @@
+(** Interprocedural must-lockset and concurrency-context analysis: the
+    RacerD-style substrate of the static race detector ({!Racecheck}).
+
+    For every reachable program point the analysis computes (a) the set of
+    mutexes that are *must*-held (identified by the points-to object of
+    the [mutex_lock] argument), (b) the spawn classes the enclosing
+    function may execute under (one class per static [thread_spawn]
+    site), and (c) for main-side code, whether spawned threads may still
+    be live there (a capped spawn/join counter — the static analogue of
+    the machine's "track only while [live > 1]" rule, justified because
+    [thread_join] on an invalid handle crashes the machine). *)
+
+module Prog = Levee_ir.Prog
+
+(** The concurrency context of one program point. *)
+type ctx = {
+  cx_locks : Pointsto.obj list;  (** must-held locks, sorted *)
+  cx_classes : int list;         (** spawn classes (site ids), sorted *)
+  cx_mainlive : bool;  (** main-side code while spawned threads may be live *)
+}
+
+type t
+
+(** [analyze prog pt] solves the interprocedural fixpoint. Deterministic:
+    functions are iterated in declaration order. *)
+val analyze : Prog.t -> Pointsto.t -> t
+
+(** Does the program contain any [thread_spawn] site at all? *)
+val has_spawn : t -> bool
+
+(** May the spawn site of this class produce two or more concurrently
+    live threads (site in a loop, spawning function itself spawned or
+    multiply called)? *)
+val multi_class : t -> int -> bool
+
+(** Context at instruction [idx] of block [block], or [None] when the
+    point is statically unreachable (never-called function, dead
+    block). *)
+val ctx_at : t -> fname:string -> block:int -> idx:int -> ctx option
+
+(** May two accesses with these contexts execute concurrently in two
+    distinct threads? True for two distinct spawn classes, a shared
+    multi-instance class, or spawned code against live main-side code.
+    Lock disjointness is the caller's business. *)
+val may_overlap : t -> ctx -> ctx -> bool

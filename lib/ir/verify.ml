@@ -465,3 +465,267 @@ let check_elision (p : Prog.t) (certs : elision_cert list) :
             (Ok ()) !certs
         end)
     by_fn (Ok ())
+
+(* ---------- safe-region separation certificates ---------- *)
+
+(* A certified plain store claims: the addresses this store can produce
+   are rooted in the listed allocation sites, and none of those sites
+   backs safe-region (CPI-protected) storage. The replay rebuilds both
+   halves from the instrumented program alone — a local, single-def
+   provenance walk for the roots, and the [where] attributes for the set
+   of safe-resident sites — so a bug in the emitting analysis cannot
+   vouch for itself. Addresses whose provenance is not locally decidable
+   (loaded pointers, call results) are *not* certifiable; the model
+   records safe accesses with such addresses as opaque, and the checker
+   insists the emitter declared every one of them. *)
+
+type sep_root =
+  | Sr_global of string
+  | Sr_alloca of int
+  | Sr_malloc of int * int
+
+type separation_cert = {
+  sc_func : string;
+  sc_block : int;
+  sc_idx : int;
+  sc_roots : sep_root list;
+}
+
+type separation_model = {
+  sm_safe : (string * sep_root) list;
+  sm_opaque : (string * int * int) list;
+}
+
+let sep_root_to_string = function
+  | Sr_global g -> "global:" ^ g
+  | Sr_alloca r -> Printf.sprintf "alloca:r%d" r
+  | Sr_malloc (b, i) -> Printf.sprintf "malloc:b%d.%d" b i
+
+(* Scope a root for cross-function comparison: globals are program-wide,
+   stack and heap sites belong to their function. *)
+let qualify_root fname = function
+  | Sr_global g -> ("", Sr_global g)
+  | r -> (fname, r)
+
+module Sep = struct
+  (* Roots of an address operand by a purely local walk over single-def
+     register chains. [None] = opaque provenance (loaded pointer, call
+     result, multiply-defined register, code address). [Some []] = a
+     constant address naming no object. *)
+  let build_roots (fn : Prog.func) =
+    let ndefs = Array.make fn.Prog.nregs 0 in
+    let defs = Hashtbl.create 64 in
+    Array.iter
+      (fun (b : Prog.block) ->
+        Array.iteri
+          (fun idx (i : Instr.instr) ->
+            let def r =
+              if r >= 0 && r < fn.Prog.nregs then begin
+                ndefs.(r) <- ndefs.(r) + 1;
+                Hashtbl.replace defs r ((b.Prog.bid, idx), i)
+              end
+            in
+            match i with
+            | Instr.Alloca { dst; _ }
+            | Instr.Bin { dst; _ }
+            | Instr.Cmp { dst; _ }
+            | Instr.Load { dst; _ }
+            | Instr.Gep { dst; _ }
+            | Instr.Cast { dst; _ } -> def dst
+            | Instr.Call { dst; _ } | Instr.Intrin { dst; _ } ->
+              (match dst with Some d -> def d | None -> ())
+            | Instr.Store _ -> ())
+          b.Prog.instrs)
+      fn.Prog.blocks;
+    let memo : (int, sep_root list option) Hashtbl.t = Hashtbl.create 64 in
+    let rec of_reg ~depth r =
+      if depth = 0 then None
+      else
+        match Hashtbl.find_opt memo r with
+        | Some cached -> cached
+        | None ->
+          Hashtbl.replace memo r None;
+          let result =
+            if ndefs.(r) > 1 then None
+            else
+              match Hashtbl.find_opt defs r with
+              | None -> None (* parameter or undefined: opaque *)
+              | Some ((bid, idx), i) ->
+                (match i with
+                 | Instr.Alloca _ -> Some [ Sr_alloca r ]
+                 | Instr.Cast { v; _ } -> of_op ~depth:(depth - 1) v
+                 | Instr.Gep { base; _ } -> of_op ~depth:(depth - 1) base
+                 | Instr.Bin { l; r = rr; _ } ->
+                   (match
+                      (of_op ~depth:(depth - 1) l, of_op ~depth:(depth - 1) rr)
+                    with
+                    | Some a, Some b -> Some (a @ b)
+                    | _, _ -> None)
+                 | Instr.Intrin { op = Instr.I_malloc; _ } ->
+                   Some [ Sr_malloc (bid, idx) ]
+                 | Instr.Cmp _ | Instr.Load _ | Instr.Call _ | Instr.Intrin _
+                 | Instr.Store _ -> None)
+          in
+          Hashtbl.replace memo r result;
+          result
+    and of_op ~depth (o : Instr.operand) =
+      match o with
+      | Instr.Glob g -> Some [ Sr_global g ]
+      | Instr.Imm _ | Instr.Nullp -> Some []
+      | Instr.Fun _ -> None
+      | Instr.Reg r -> of_reg ~depth r
+    in
+    fun (o : Instr.operand) -> of_op ~depth:24 o
+
+  let is_safe_where (w : Instr.where) =
+    match w with
+    | Instr.SafeFull | Instr.SafeValue | Instr.SafeDebug | Instr.SafeData ->
+      true
+    | Instr.Regular | Instr.RegularMeta -> false
+end
+
+let check_separation (p : Prog.t) ~(model : separation_model)
+    (certs : separation_cert list) : (unit, string) result =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let roots_of = Hashtbl.create 8 in
+  let walker fname =
+    match Hashtbl.find_opt roots_of fname with
+    | Some w -> w
+    | None ->
+      let w = Sep.build_roots (Prog.find_func p fname) in
+      Hashtbl.replace roots_of fname w;
+      w
+  in
+  (* 1. The model must account for every safe-routed access: concrete
+     provenance lands in [sm_safe], opaque provenance in [sm_opaque]. *)
+  let audit =
+    Prog.fold_funcs p
+      (fun acc fn ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          let fname = fn.Prog.fname in
+          let w = walker fname in
+          Array.fold_left
+            (fun acc (b : Prog.block) ->
+              let bid = b.Prog.bid in
+              let n = Array.length b.Prog.instrs in
+              let rec go acc idx =
+                if idx >= n then acc
+                else
+                  match acc with
+                  | Error _ -> acc
+                  | Ok () ->
+                    let addr =
+                      match b.Prog.instrs.(idx) with
+                      | Instr.Load { addr; where; _ }
+                      | Instr.Store { addr; where; _ }
+                        when Sep.is_safe_where where -> Some addr
+                      | _ -> None
+                    in
+                    let acc =
+                      match addr with
+                      | None -> Ok ()
+                      | Some addr ->
+                        (match w addr with
+                         | Some roots ->
+                           (try
+                              let missing =
+                                List.find
+                                  (fun r ->
+                                    not
+                                      (List.mem (qualify_root fname r)
+                                         model.sm_safe))
+                                  roots
+                              in
+                              err
+                                "%s: safe access b%d.%d root %s missing from \
+                                 the separation model"
+                                fname bid idx (sep_root_to_string missing)
+                            with Not_found -> Ok ())
+                         | None ->
+                           if List.mem (fname, bid, idx) model.sm_opaque then
+                             Ok ()
+                           else
+                             err
+                               "%s: safe access b%d.%d has opaque provenance \
+                                not declared by the model"
+                               fname bid idx)
+                    in
+                    go acc (idx + 1)
+              in
+              go acc 0)
+            acc fn.Prog.blocks)
+      (Ok ())
+  in
+  match audit with
+  | Error _ as e -> e
+  | Ok () ->
+    (* 2. Replay each certificate. *)
+    List.fold_left
+      (fun acc (c : separation_cert) ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          if not (Prog.has_func p c.sc_func) then
+            err "separation certificate for unknown function %s" c.sc_func
+          else begin
+            let fn = Prog.find_func p c.sc_func in
+            if c.sc_block < 0 || c.sc_block >= Array.length fn.Prog.blocks
+            then
+              err "%s: separation certificate for unknown block b%d" c.sc_func
+                c.sc_block
+            else begin
+              let b = fn.Prog.blocks.(c.sc_block) in
+              if c.sc_idx < 0 || c.sc_idx >= Array.length b.Prog.instrs then
+                err "%s: separation certificate for unknown instr b%d.%d"
+                  c.sc_func c.sc_block c.sc_idx
+              else begin
+                match b.Prog.instrs.(c.sc_idx) with
+                | Instr.Store { addr; where = Instr.Regular; _ } ->
+                  (match walker c.sc_func addr with
+                   | None ->
+                     err
+                       "%s: certified store b%d.%d has opaque provenance"
+                       c.sc_func c.sc_block c.sc_idx
+                   | Some roots ->
+                     (try
+                        let stray =
+                          List.find
+                            (fun r -> not (List.mem r c.sc_roots))
+                            roots
+                        in
+                        err
+                          "%s: store b%d.%d reaches unclaimed root %s"
+                          c.sc_func c.sc_block c.sc_idx
+                          (sep_root_to_string stray)
+                      with Not_found ->
+                        (try
+                           let unsafe =
+                             List.find
+                               (fun r ->
+                                 List.mem
+                                   (qualify_root c.sc_func r)
+                                   model.sm_safe)
+                               c.sc_roots
+                           in
+                           err
+                             "%s: store b%d.%d claims safe-resident root %s \
+                              as separate"
+                             c.sc_func c.sc_block c.sc_idx
+                             (sep_root_to_string unsafe)
+                         with Not_found -> Ok ())))
+                | Instr.Store _ ->
+                  err "%s: certificate b%d.%d is not a plain store" c.sc_func
+                    c.sc_block c.sc_idx
+                | _ ->
+                  err "%s: certificate b%d.%d is not a store" c.sc_func
+                    c.sc_block c.sc_idx
+              end
+            end
+          end)
+      (Ok ()) certs
+
+(** The replay's provenance walker, exported so the emitting analysis can
+    phrase its claims in the exact vocabulary the replay re-derives. *)
+let local_roots = Sep.build_roots

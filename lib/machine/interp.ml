@@ -147,6 +147,7 @@ type result = {
   ctx_switches : int;          (* scheduler context switches *)
   races : int;                 (* data races reported by the lockset detector *)
   race_reports : string list;  (* human-readable race descriptions, in order *)
+  race_details : Race.report list;  (* the structured reports, in order *)
 }
 
 (* Sentinel "return address" of the outermost frame; returning through it
@@ -1224,7 +1225,8 @@ let result_of st outcome =
     threads = st.nthreads;
     ctx_switches = st.cost.Cost.ctx_switches;
     races = Race.count st.race;
-    race_reports = List.map Race.describe (Race.reports st.race) }
+    race_reports = List.map Race.describe (Race.reports st.race);
+    race_details = Race.reports st.race }
 
 (** Run [main] to completion. *)
 let run ?input ?fuel ?faults ?sched_seed (image : Loader.image) : result =

@@ -40,6 +40,9 @@ type result = {
   ctx_switches : int;        (** scheduler context switches *)
   races : int;               (** races reported by the lockset detector *)
   race_reports : string list;(** one line per race, in occurrence order *)
+  race_details : Race.report list;
+      (** the structured reports behind [race_reports], for projection
+          back onto program objects ({!Raceproj}) *)
 }
 
 (** Run [main] of a loaded image to completion.

@@ -1,0 +1,58 @@
+(** Projection of dynamic race reports back onto program objects.
+
+    The Eraser detector reports unslid machine addresses; cross-validating
+    against static verdicts needs the *object* behind the address. The
+    image's global bounds name globals exactly; heap and stack addresses
+    project to their region (the static side speaks in allocation-site
+    keys, which one dynamic address cannot single out). Metadata races
+    are keyed by the regular-region address of the shadowed cell, so
+    they project like their value cell. *)
+
+type root =
+  | Rglobal of string
+  | Rheap
+  | Rstack
+  | Rsafe
+  | Runknown
+
+let root_key = function
+  | Rglobal g -> "global:" ^ g
+  | Rheap -> "heap"
+  | Rstack -> "stack"
+  | Rsafe -> "safe"
+  | Runknown -> "unknown"
+
+(* [u] is an unslid address (reports carry them). Global bounds in the
+   image are slid, so compare in slid space. *)
+let project_addr (image : Loader.image) (u : int) : root =
+  match Layout.region_of u with
+  | Layout.Globals ->
+    let a = u + image.Loader.slide in
+    let hit =
+      Hashtbl.fold
+        (fun name (lo, hi) acc ->
+          if a >= lo && a < hi then
+            match acc with
+            | Some best when best <= name -> acc
+            | _ -> Some name
+          else acc)
+        image.Loader.global_bounds None
+    in
+    (match hit with Some name -> Rglobal name | None -> Runknown)
+  | Layout.Heap -> Rheap
+  | Layout.Stack -> Rstack
+  | Layout.Safe -> Rsafe
+  | Layout.Null | Layout.Code | Layout.Other ->
+    (* Thread stacks above thread 0 are carved below [stack_limit]; the
+       coarse region map calls that span [Other]. Anything between the
+       heap and the thread-0 floor is stack space. *)
+    if u >= Layout.heap_limit && u < Layout.stack_top then Rstack
+    else Runknown
+
+let project (image : Loader.image) (r : Race.report) : root =
+  project_addr image r.Race.r_addr
+
+(** Sorted, deduplicated object keys of a run's race reports. *)
+let keys (image : Loader.image) (reports : Race.report list) : string list =
+  List.sort_uniq compare
+    (List.map (fun r -> root_key (project image r)) reports)

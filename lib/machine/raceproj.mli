@@ -1,0 +1,25 @@
+(** Projection of dynamic race reports back onto program objects, for
+    cross-validation against the static detector's verdicts. *)
+
+(** The object class behind a raced address: a named global, somewhere
+    in the heap, somewhere in a (thread) stack, the safe region, or
+    unattributable. *)
+type root =
+  | Rglobal of string
+  | Rheap
+  | Rstack
+  | Rsafe
+  | Runknown
+
+(** Stable key: ["global:NAME"], ["heap"], ["stack"], ["safe"],
+    ["unknown"]. *)
+val root_key : root -> string
+
+(** Project one unslid address. *)
+val project_addr : Loader.image -> int -> root
+
+(** Project one dynamic race report. *)
+val project : Loader.image -> Race.report -> root
+
+(** Sorted, deduplicated keys of a run's reports. *)
+val keys : Loader.image -> Race.report list -> string list

@@ -225,7 +225,16 @@ let diff_human a b =
 
 let default_tolerances =
   [ ("cycles", 5.0); ("sim_cycles", 5.0); ("wall_us", 50.0);
-    ("wall_us_total", 50.0) ]
+    ("wall_us_total", 50.0);
+    (* Static-analysis and cross-validation counts are pure functions of
+       the analyzed source, so they gate at exactly 0%: any drift is a
+       real behaviour change to re-baseline deliberately, never noise. *)
+    ("functions", 0.0); ("findings_errors", 0.0);
+    ("findings_warnings", 0.0); ("findings_info", 0.0);
+    ("races_static", 0.0); ("sep_certified", 0.0); ("sep_unproven", 0.0);
+    ("sep_replay_ok", 0.0); ("subjects", 0.0); ("cells", 0.0);
+    ("static_races", 0.0); ("dynamic_race_cells", 0.0); ("uncovered", 0.0);
+    ("invariants_ok", 0.0) ]
 
 type violation = {
   vfield : string;
