@@ -62,6 +62,19 @@
        --record FILE additionally appends one levee-history/1 record to
        the run-store at FILE (conc and faults both take it).
 
+     levee serve [--json] [--jobs N] [--seeds N] [--workers N] [--shards N]
+                 [--requests N] [--no-faults] [--record FILE]
+       Run the resilient-server campaign: per-class service costs
+       calibrated on the machine, hijack/degradation fault-plan probes
+       per (protection, seed) cell, then a deterministic discrete-event
+       simulation of an open-loop arrival process (default 10^6 requests
+       per cell) with deadlines, bounded retries, per-shard circuit
+       breakers, admission shedding, and injected worker kills + a
+       hot-shard stall window. --json emits the levee-serve/1 document
+       (simulated cycles only, byte-identical for any --jobs). --record
+       appends one record per cell to the run-store. Exits 1 iff a
+       campaign invariant is violated.
+
      levee history [--file FILE] [--diff A B] [--gate [A B]] [--tol f=p]
        Read the append-only run-store (RUNS.jsonl by default; every
        bench/perf/conc/faults run appends one record) and print the
@@ -95,6 +108,9 @@ let usage () =
     \       levee faults [--json] [--jobs N] [--seed S] [--record FILE]\n\
     \       levee conc [--threads N] [--sched-seed S] [--jobs N] [--json]\n\
     \                  [--record FILE]\n\
+    \       levee serve [--json] [--jobs N] [--seeds N] [--workers N]\n\
+    \                   [--shards N] [--requests N] [--no-faults]\n\
+    \                   [--record FILE]\n\
     \       levee history [--file FILE] [--diff A B] [--gate [A B]]\n\
     \                     [--tol field=pct]";
   exit 2
@@ -329,8 +345,8 @@ let run_conc args =
       parse rest
     | ("--threads" | "-threads") :: n :: rest ->
       (match int_of_string_opt n with
-       | Some n when n >= 1 && n <= 8 -> threads := n
-       | _ -> usage ());
+       | Some n -> threads := n
+       | None -> usage ());
       parse rest
     | ("--sched-seed" | "-sched-seed") :: n :: rest ->
       (match int_of_string_opt n with
@@ -340,6 +356,12 @@ let run_conc args =
     | _ -> usage ()
   in
   parse args;
+  (* The worker cap lives with the workload (Webstack.max_workers), so
+     the conc and serve CLIs can't drift from what the machine supports. *)
+  (try W.Webstack.check_workers ~flag:"--threads" !threads with
+   | Invalid_argument msg ->
+     Printf.eprintf "levee conc: %s\n" msg;
+     exit 2);
   let w = W.Webstack.concurrent ~threads:!threads in
   let prog = W.Workload.compile w in
   let stores =
@@ -437,6 +459,60 @@ let run_conc args =
    | None -> ());
   exit (if !bad = 0 then 0 else 1)
 
+(* levee serve [--json] [--jobs N] [--seeds N] [--workers N] [--shards N]
+   [--requests N] [--no-faults] [--record FILE] *)
+let run_serve args =
+  let module Serve = Levee_harness.Serve in
+  let json = ref false in
+  let jobs = ref 1 in
+  let cfg = ref Serve.default in
+  let record = ref None in
+  let int_arg n k rest parse =
+    match int_of_string_opt n with
+    | Some n -> k n; parse rest
+    | None -> usage ()
+  in
+  let rec parse = function
+    | [] -> ()
+    | ("--json" | "-json") :: rest -> json := true; parse rest
+    | ("--no-faults" | "-no-faults") :: rest ->
+      cfg := { !cfg with Serve.faulted = false };
+      parse rest
+    | ("--record" | "-record") :: path :: rest ->
+      record := Some path;
+      parse rest
+    | ("--jobs" | "-jobs") :: n :: rest ->
+      int_arg n (fun n -> if n >= 1 then jobs := n else usage ()) rest parse
+    | ("--seeds" | "-seeds") :: n :: rest ->
+      int_arg n
+        (fun n ->
+          if n >= 1 then cfg := { !cfg with Serve.seeds = List.init n Fun.id }
+          else usage ())
+        rest parse
+    | ("--workers" | "-workers") :: n :: rest ->
+      int_arg n (fun n -> cfg := { !cfg with Serve.workers = n }) rest parse
+    | ("--shards" | "-shards") :: n :: rest ->
+      int_arg n (fun n -> cfg := { !cfg with Serve.shards = n }) rest parse
+    | ("--requests" | "-requests") :: n :: rest ->
+      int_arg n (fun n -> cfg := { !cfg with Serve.requests = n }) rest parse
+    | _ -> usage ()
+  in
+  parse args;
+  let rep =
+    try Serve.run ~jobs:!jobs !cfg with
+    | Invalid_argument msg ->
+      Printf.eprintf "levee serve: %s\n" msg;
+      exit 2
+  in
+  if !json then print_string (Serve.to_json rep)
+  else print_string (Serve.to_human rep);
+  (* Every metric is in simulated cycles (wall_us is zero), so the
+     appended records are byte-identical whatever --jobs was. *)
+  (match !record with
+   | Some path -> List.iter (Runstore.append ~path) (Serve.to_records rep)
+   | None -> ());
+  exit (if Serve.invariants_ok rep then 0 else 1)
+
 let () =
   let protection = ref P.Cpi in
   let emit_ir = ref false in
@@ -456,6 +532,7 @@ let () =
    | _ :: "crossval" :: rest -> run_crossval rest
    | _ :: "faults" :: rest -> run_faults rest
    | _ :: "conc" :: rest -> run_conc rest
+   | _ :: "serve" :: rest -> run_serve rest
    | _ :: "history" :: rest -> run_history rest
    | _ -> ());
   let rec parse = function

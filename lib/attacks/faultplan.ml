@@ -25,6 +25,8 @@ type action =
   | Write of { site : site; value : value_spec }
   | Desync of { site : site; delta : int }
   | Drop_meta of site
+  | Stall of { cycles : int }
+  | Kill_worker of { tid : int }
 
 type event = { step : int; action : action }
 
@@ -55,11 +57,21 @@ let random ~name ~seed ~events ~max_step =
 
 let site_of = function
   | Flip { site; _ } | Write { site; _ } | Desync { site; _ }
-  | Drop_meta site -> site
+  | Drop_meta site -> Some site
+  | Stall _ | Kill_worker _ -> None
 
+(* Stall/Kill_worker are availability faults — crashes and slowness, not
+   isolation bypass — so they stay inside the attacker model: CPI promises
+   integrity, not liveness, and the "never hijacked" invariant must hold
+   mid-degradation too. *)
 let within_attacker_model p =
   List.for_all
     (fun e -> match e.action with Desync _ | Drop_meta _ -> false | _ -> true)
+    p.events
+
+let has_availability_faults p =
+  List.exists
+    (fun e -> match e.action with Stall _ | Kill_worker _ -> true | _ -> false)
     p.events
 
 let pure_safe_tamper p =
@@ -67,7 +79,7 @@ let pure_safe_tamper p =
   && List.for_all
        (fun e ->
          match e.action, site_of e.action with
-         | (Flip _ | Write _), (Safe_site _ | Thread_safe _) -> true
+         | (Flip _ | Write _), Some (Safe_site _ | Thread_safe _) -> true
          | _ -> false)
        p.events
 
@@ -122,6 +134,8 @@ let resolve ~(reference : M.Loader.image) ~(deployed : M.Loader.image) p =
         | Desync { site; delta } ->
           M.Interp.Store_desync { addr = addr_of site; delta }
         | Drop_meta site -> M.Interp.Meta_drop { addr = addr_of site }
+        | Stall { cycles } -> M.Interp.Stall { cycles }
+        | Kill_worker { tid } -> M.Interp.Worker_kill { tid }
       in
       (e.step, f))
     p.events

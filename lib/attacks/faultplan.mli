@@ -53,6 +53,12 @@ type action =
           models an attacker already past isolation *)
   | Drop_meta of site
       (** erase a safe-store entry: ditto *)
+  | Stall of { cycles : int }
+      (** availability fault: the machine loses [cycles] simulated cycles
+          to an external stall (slow request injection) *)
+  | Kill_worker of { tid : int }
+      (** availability fault: spawned thread [tid] crashes mid-run; its
+          joiners observe [-1], mutexes it held stay held *)
 
 type event = { step : int; action : action }
 
@@ -68,8 +74,14 @@ val random : name:string -> seed:int -> events:int -> max_step:int -> t
 (** No [Desync]/[Drop_meta] events: the plan stays inside the software
     attacker model the paper defends against (arbitrary reads/writes of
     the regular region, no isolation bypass). The campaign's "CPI never
-    hijacked" invariant quantifies over exactly these plans. *)
+    hijacked" invariant quantifies over exactly these plans.
+    [Stall]/[Kill_worker] are inside the model: CPI promises integrity,
+    not liveness, so the invariant must hold mid-degradation too. *)
 val within_attacker_model : t -> bool
+
+(** The plan injects at least one [Stall] or [Kill_worker]: a
+    degradation plan in the resilient-server sense. *)
+val has_availability_faults : t -> bool
 
 (** Every event lands on a safe-region site ([Safe_site] or
     [Thread_safe]) through the plain access path:

@@ -85,6 +85,8 @@ type fault =
   | Arb_write of { addr : int; value : int }
   | Store_desync of { addr : int; delta : int }
   | Meta_drop of { addr : int }
+  | Stall of { cycles : int }
+  | Worker_kill of { tid : int }
 
 type t = {
   image : Loader.image;
@@ -1137,6 +1139,33 @@ let apply_fault st = function
      | Some e -> Safestore.set st.store addr { e with Safestore.value = e.Safestore.value + delta }
      | None -> ())
   | Meta_drop { addr } -> Safestore.clear_at st.store addr
+  | Stall { cycles } ->
+    (* An availability fault, not a corruption: the machine loses [cycles]
+       simulated cycles to an external stall (I/O hiccup, page fault
+       storm). Memory and metadata are untouched. *)
+    Cost.add st.cost (max 0 cycles)
+  | Worker_kill { tid } ->
+    (* Asynchronously kill one spawned thread, as a worker crash would:
+       the thread finishes with value -1 (joiners observe it), any mutex
+       it holds stays held — precisely the hazard a resilient server must
+       survive. Killing the main thread kills the process; a tid that is
+       invalid or already finished is a no-op. *)
+    if tid = 0 then stop (Crash "worker-kill: main thread killed")
+    else if tid > 0 && tid < st.nthreads then begin
+      let th = st.threads.(tid) in
+      match th.status with
+      | Finished _ -> ()
+      | Runnable | Blocked_join _ | Blocked_mutex _ ->
+        th.status <- Finished (-1);
+        st.live <- st.live - 1;
+        for i = 0 to st.nthreads - 1 do
+          let o = st.threads.(i) in
+          match o.status with
+          | Blocked_join j when j = tid -> o.status <- Runnable
+          | _ -> ()
+        done;
+        if st.running == th then reschedule st
+    end
 
 (* Fire every fault scheduled for the current step, then re-arm the
    sentinel. [apply_fault] may legitimately end the run (Machine_stop). *)

@@ -17,12 +17,23 @@
     code segment is unwritable, the null page crashes. [Store_desync]
     (add [delta] to an existing safe-store entry's value) and [Meta_drop]
     (erase an entry) mutate the safe pointer store directly — they model
-    an attacker who has already bypassed isolation. *)
+    an attacker who has already bypassed isolation.
+
+    [Stall] and [Worker_kill] are availability faults for the resilient
+    server campaigns: [Stall] charges [cycles] extra simulated cycles (an
+    external stall — I/O hiccup, page-fault storm) without touching
+    memory; [Worker_kill] forcibly finishes spawned thread [tid] with
+    value [-1] (joiners observe it; mutexes the victim held stay held,
+    so a kill inside a critical section can deadlock the survivors).
+    Killing tid 0 crashes the whole machine; an invalid or already
+    finished tid is a no-op. *)
 type fault =
   | Flip_bit of { addr : int; bit : int }
   | Arb_write of { addr : int; value : int }
   | Store_desync of { addr : int; delta : int }
   | Meta_drop of { addr : int }
+  | Stall of { cycles : int }
+  | Worker_kill of { tid : int }
 
 type result = {
   outcome : Trap.outcome;

@@ -234,7 +234,14 @@ let default_tolerances =
     ("races_static", 0.0); ("sep_certified", 0.0); ("sep_unproven", 0.0);
     ("sep_replay_ok", 0.0); ("subjects", 0.0); ("cells", 0.0);
     ("static_races", 0.0); ("dynamic_race_cells", 0.0); ("uncovered", 0.0);
-    ("invariants_ok", 0.0) ]
+    ("invariants_ok", 0.0);
+    (* Serve records (levee-serve/1): latency percentiles are simulated
+       cycles, so they may drift with deliberate cost-model changes —
+       gate them like cycles, at 5%. The terminal accounting and fault
+       bookkeeping are exact, so those gate at 0%. *)
+    ("p50_cycles", 5.0); ("p99_cycles", 5.0); ("p999_cycles", 5.0);
+    ("arrivals", 0.0); ("served", 0.0); ("shed", 0.0); ("timed_out", 0.0);
+    ("retried", 0.0); ("killed_workers", 0.0); ("breaker_trips", 0.0) ]
 
 type violation = {
   vfield : string;

@@ -93,8 +93,11 @@ val diff : record -> record -> delta list
 val diff_human : record -> record -> string
 
 (** Per-field percentage tolerances the gate applies by default:
-    [cycles]/[sim_cycles] 5%, [wall_us]/[wall_us_total] 50%. Fields not
-    listed are reported by {!diff} but never gated. *)
+    [cycles]/[sim_cycles] and the serve latency percentiles
+    ([p50_cycles]/[p99_cycles]/[p999_cycles]) 5%, [wall_us]/
+    [wall_us_total] 50%, and exact-count fields (analysis findings,
+    serve terminal accounting) 0%. Fields not listed are reported by
+    {!diff} but never gated. *)
 val default_tolerances : (string * float) list
 
 type violation = {

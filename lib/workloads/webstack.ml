@@ -367,6 +367,23 @@ int worker(int wid) {
 }
 |}
 
+(** Maximum spawnable worker threads. [Layout.max_threads] counts every
+    thread *including main* (tids 0..max_threads-1), so a workload that
+    spawns [Layout.max_threads] workers would crash at the last
+    [thread_spawn]. Shared by [concurrent], [server] and the `levee
+    conc`/`levee serve` argument validation. *)
+let max_workers = Levee_machine.Layout.max_threads - 1
+
+(** [check_workers ~flag n] rejects out-of-range worker counts with a
+    message naming the CLI flag that carried them. *)
+let check_workers ~flag threads =
+  if threads < 1 || threads > max_workers then
+    invalid_arg
+      (Printf.sprintf
+         "%s must be in 1..%d (the machine runs at most %d threads \
+          including main)"
+         flag max_workers Levee_machine.Layout.max_threads)
+
 (** [concurrent ~threads] is the web-serving workload with [threads]
     workers draining a shared request queue. [threads = 1] spawns nothing
     — main drains the queue itself, exercising exactly the single-threaded
@@ -376,8 +393,7 @@ int worker(int wid) {
     are scheduler-seed-independent; only cycles and context-switch counts
     vary with the seed. *)
 let concurrent ~threads =
-  if threads < 1 || threads > 8 then
-    invalid_arg "Webstack.concurrent: threads must be in 1..8";
+  check_workers ~flag:"--threads" threads;
   let drive =
     if threads = 1 then "  total = worker(0);\n"
     else
@@ -409,3 +425,150 @@ int main() {
   return 0;
 }
 |} drive }
+
+(* ---- The resilient-server workload: sharded KV store behind a
+   function-pointer handler table ---- *)
+
+(** Shard-count cap: per-shard lock and KV arrays are sized statically. *)
+let max_shards = 16
+
+(** Request-count cap: the request queue is a static global array. *)
+let max_requests = 4096
+
+(** [server ~threads ~shards ~cls ~requests] is the fault-tolerant server
+    kernel behind `levee serve`: [threads] workers drain a shared queue of
+    [requests] requests over a KV store split into [shards] shards, each
+    guarded by its own mutex. Every request is classified (static / wsgi /
+    dynamic — [cls] forces one class for calibration runs, [cls = -1]
+    mixes them round-robin) and dispatched through a function-pointer
+    handler table, so control-flow hijack attempts against the dispatch
+    path are visible to the protection under test; [backdoor] is the
+    hijack witness ([system] => [Hijacked]).
+
+    Handlers only ever *add* into KV cells (mod 2^16) and return a value
+    that is a pure function of the request id, so acc, the final KV image
+    and the checksum are independent of the scheduler seed — worker kills
+    and stalls change cycles and per-thread work splits, never the
+    surviving checksum. The workload name encodes every parameter because
+    [Workload.compile] caches by name. *)
+let server ~threads ~shards ~cls ~requests =
+  check_workers ~flag:"--workers" threads;
+  if shards < 1 || shards > max_shards then
+    invalid_arg
+      (Printf.sprintf "--shards must be in 1..%d" max_shards);
+  if requests < 1 || requests > max_requests then
+    invalid_arg
+      (Printf.sprintf "Webstack.server: requests must be in 1..%d"
+         max_requests);
+  if cls < -1 || cls > 2 then
+    invalid_arg "Webstack.server: cls must be -1 (mixed) or 0..2";
+  let classify = if cls < 0 then "req % 3" else string_of_int cls in
+  let drive =
+    if threads = 1 then "  total = worker(0);\n"
+    else
+      Printf.sprintf
+        "  for (t = 0; t < %d; t = t + 1) { tids[t] = thread_spawn(worker, t); }\n\
+        \  total = 0;\n\
+        \  for (t = 0; t < %d; t = t + 1) { total = total + thread_join(tids[t]); }\n"
+        threads threads
+  in
+  { Workload.name =
+      Printf.sprintf "web-serve-t%d-sh%d-c%d-r%d" threads shards cls requests;
+    lang = Workload.C;
+    description =
+      Printf.sprintf
+        "resilient server: %d worker(s), %d-shard KV store, class %s, %d requests"
+        threads shards (if cls < 0 then "mix" else string_of_int cls) requests;
+    input = [||];
+    fuel = 40_000_000;
+    source =
+      rnd
+      ^ Printf.sprintf {|
+int queue[%d]; int qhead; int qtail; int qlock;
+int acclock; int acc;
+int served;
+int tids[8];
+int shard_lock[%d];
+int kv[%d];
+
+int backdoor() { system("pwn"); return 1; }
+
+/* static page: one KV touch, almost no compute */
+int handler_static(int req) {
+  int s = req %% %d;
+  int r = (req * 7 + 11) & 65535;
+  mutex_lock(&shard_lock[s]);
+  kv[s * 64 + (req & 63)] = (kv[s * 64 + (req & 63)] + r) & 65535;
+  mutex_unlock(&shard_lock[s]);
+  return r;
+}
+
+/* wsgi page: medium compute outside the lock, a few KV touches inside */
+int handler_wsgi(int req) {
+  int s = req %% %d;
+  int r = req & 65535;
+  int k;
+  for (k = 0; k < 16; k = k + 1) { r = (r * 33 + k) & 16777215; }
+  mutex_lock(&shard_lock[s]);
+  for (k = 0; k < 4; k = k + 1) {
+    kv[s * 64 + ((req + k) & 63)] = (kv[s * 64 + ((req + k) & 63)] + 1) & 65535;
+  }
+  mutex_unlock(&shard_lock[s]);
+  return r & 65535;
+}
+
+/* dynamic page: heaviest compute, widest KV touch */
+int handler_dyn(int req) {
+  int s = req %% %d;
+  int r = (req * 3 + 1) & 65535;
+  int k;
+  for (k = 0; k < 48; k = k + 1) { r = (r * 29 + k) & 16777215; }
+  mutex_lock(&shard_lock[s]);
+  for (k = 0; k < 8; k = k + 1) {
+    kv[s * 64 + ((req * 3 + k) & 63)] = (kv[s * 64 + ((req * 3 + k) & 63)] + 3) & 65535;
+  }
+  mutex_unlock(&shard_lock[s]);
+  return r & 65535;
+}
+
+int (*handlers[3])(int) = { handler_static, handler_wsgi, handler_dyn };
+
+int classify(int req) { return %s; }
+
+int worker(int wid) {
+  int done = 0;
+  int mine = 0;
+  while (done == 0) {
+    int req = -1;
+    mutex_lock(&qlock);
+    if (qhead < qtail) { req = queue[qhead]; qhead = qhead + 1; }
+    mutex_unlock(&qlock);
+    if (req < 0) { done = 1; }
+    else {
+      int c = classify(req);
+      int r = handlers[c](req);
+      atomic_add(&served, 1);
+      mutex_lock(&acclock);
+      acc = (acc + r) & 16777215;
+      mutex_unlock(&acclock);
+      mine = mine + 1;
+    }
+  }
+  return mine;
+}
+
+int main() {
+  int i; int t; int total;
+  seed = 41;
+  for (i = 0; i < %d; i = i + 1) { kv[i] = rnd(4096); }
+  for (i = 0; i < %d; i = i + 1) { queue[i] = i; }
+  qtail = %d;
+%s  for (i = 0; i < %d; i = i + 1) { acc = (acc + kv[i]) & 16777215; }
+  checksum(acc + total + served);
+  print_int(acc);
+  print_int(total + served);
+  return 0;
+}
+|}
+          requests shards (shards * 64) shards shards shards classify
+          (shards * 64) requests requests drive (shards * 64) }

@@ -1,0 +1,75 @@
+#!/bin/sh
+# CI entry point: build, full test suite, then the perf-regression gate.
+#
+# After the tests pass, the script appends fresh run-store records to
+# RUNS.jsonl — the serve smoke matrix (one levee-serve/1 record per
+# cell, via `levee serve --record`) and the simulator wall-clock
+# summary (bench/perf.exe appends its own record) — and then runs
+# `levee history --gate` for each appended config against the most
+# recent earlier record of the same config. The gate compares
+# field-by-field under the default tolerances (simulated cycles and
+# latency percentiles 5%, terminal accounting 0%, wall clock 50%); a
+# config with no prior record is skipped — the append itself seeds the
+# baseline the next CI run gates against.
+#
+# Usage: scripts/ci.sh [perf-fuel-cap]     (default fuel cap: 20000)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+STORE=RUNS.jsonl
+FUEL=${1:-20000}
+
+echo "== build =="
+dune build
+
+echo "== tests =="
+dune runtest
+
+LEVEE="dune exec --no-build bin/levee.exe --"
+
+# How many records the store holds before this run's appends: configs
+# appended below gate only against records at an index < BASE.
+if [ -f "$STORE" ]; then
+  BASE=$(grep -c . "$STORE")
+else
+  BASE=0
+fi
+
+echo "== append: serve smoke matrix =="
+$LEVEE serve --requests 12000 --record "$STORE" > /dev/null
+
+echo "== append: perf summary (fuel cap $FUEL) =="
+dune exec --no-build bench/perf.exe -- --fuel-cap "$FUEL" > /dev/null
+
+# Gate every appended record against the most recent pre-existing
+# record with the same (config, seed) — serve appends one record per
+# matrix seed under the same config name. Records are one JSON object
+# per line; 0-based line indices are exactly the run specs
+# `levee history --gate A B` consumes.
+FAIL=0
+TOTAL=$(grep -c . "$STORE")
+i=$BASE
+while [ "$i" -lt "$TOTAL" ]; do
+  line=$(sed -n "$((i + 1))p" "$STORE")
+  config=$(printf '%s' "$line" | sed 's/.*"config":"\([^"]*\)".*/\1/')
+  seed=$(printf '%s' "$line" | sed 's/.*"seed":\([0-9-]*\).*/\1/')
+  key="\"config\":\"$config\",\"seed\":$seed,"
+  prev=$(head -n "$BASE" "$STORE" | grep -nF "$key" \
+         | tail -n 1 | cut -d: -f1 || true)
+  if [ -n "$prev" ]; then
+    echo "== gate: $config seed $seed (run $((prev - 1)) -> $i) =="
+    if ! $LEVEE history --file "$STORE" --gate "$((prev - 1))" "$i"; then
+      FAIL=1
+    fi
+  else
+    echo "== gate: $config seed $seed — no prior record, baseline seeded =="
+  fi
+  i=$((i + 1))
+done
+
+if [ "$FAIL" -ne 0 ]; then
+  echo "ci: FAIL (regression gate)"
+  exit 1
+fi
+echo "ci: OK"

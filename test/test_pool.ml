@@ -158,6 +158,68 @@ let test_timeout_keeps_siblings () =
       done;
       Alcotest.(check int) "abandoned task drained" 0 (Pool.abandoned p))
 
+let test_timeout_at_last_task () =
+  with_pool 2 (fun p ->
+      (* The stuck task is the LAST slot: the watchdog fires while the
+         rest of the batch has already drained and the submitter is
+         polling for a single remaining slot. *)
+      let outs =
+        Pool.run_guarded ~timeout:0.05 p
+          [ (fun () -> 1); (fun () -> 2); (fun () -> 3);
+            (fun () ->
+              Unix.sleepf 0.5;
+              -1) ]
+      in
+      Alcotest.(check (list (option int))) "only the final slot times out"
+        [ Some 1; Some 2; Some 3; None ]
+        (List.map ok_of outs);
+      Alcotest.(check bool) "final slot reported Timed_out" true
+        (is_timed_out (List.nth outs 3));
+      (* the watchdog replaced the stuck worker: full-width batches run *)
+      let again = Pool.map p (fun i -> i + 1) [ 1; 2; 3; 4 ] in
+      Alcotest.check results_testable "pool usable after last-slot timeout"
+        [ Ok 2; Ok 3; Ok 4; Ok 5 ] again;
+      let deadline = Unix.gettimeofday () +. 2.0 in
+      while Pool.abandoned p > 0 && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.01
+      done;
+      Alcotest.(check int) "abandoned task drained" 0 (Pool.abandoned p))
+
+let test_all_attempts_time_out () =
+  with_pool 2 (fun p ->
+      (* Every task wedges: each slot must report Timed_out with
+         attempts = 1 — the watchdog result bypasses the retry loop, so
+         a requested retry budget must not inflate the accounting. *)
+      let outs =
+        Pool.run_guarded ~timeout:0.05 ~retries:2
+          ~backoff:(fun _ -> 0.0)
+          p
+          [ (fun () ->
+              Unix.sleepf 0.5;
+              1);
+            (fun () ->
+              Unix.sleepf 0.5;
+              2) ]
+      in
+      Alcotest.(check int) "both slots reported" 2 (List.length outs);
+      List.iter
+        (fun o ->
+          Alcotest.(check bool) "slot is Timed_out" true (is_timed_out o);
+          Alcotest.(check int) "timed-out slot counts one attempt" 1
+            o.Pool.attempts)
+        outs;
+      Alcotest.(check int) "both stuck domains tracked as abandoned" 2
+        (Pool.abandoned p);
+      let deadline = Unix.gettimeofday () +. 2.0 in
+      while Pool.abandoned p > 0 && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.01
+      done;
+      Alcotest.(check int) "abandoned tasks drained" 0 (Pool.abandoned p);
+      (* two replacement workers were spawned: capacity is intact *)
+      let again = Pool.map p (fun i -> i * 3) [ 1; 2 ] in
+      Alcotest.check results_testable "pool survives a fully-wedged batch"
+        [ Ok 3; Ok 6 ] again)
+
 let test_retry_deterministic () =
   (* Same failing-twice thunk under jobs=1 and jobs=2: identical outcome
      shape, identical backoff schedule. *)
@@ -232,6 +294,10 @@ let () =
       ( "resilience",
         [ Alcotest.test_case "timeout keeps siblings" `Quick
             test_timeout_keeps_siblings;
+          Alcotest.test_case "timeout at the last task" `Quick
+            test_timeout_at_last_task;
+          Alcotest.test_case "every attempt times out" `Quick
+            test_all_attempts_time_out;
           Alcotest.test_case "deterministic retry/backoff" `Quick
             test_retry_deterministic;
           Alcotest.test_case "retries exhausted" `Quick
