@@ -72,8 +72,8 @@ let header title =
    through the pool; concatenating in protection order reproduces the
    sequential run_matrix output exactly. *)
 let ripe_protections =
-  [ P.Vanilla; P.Hardened; P.Cookies; P.Safe_stack; P.Cfi; P.Cps; P.Cpi;
-    P.Softbound ]
+  [ P.Vanilla; P.Hardened; P.Cookies; P.Safe_stack; P.Cfi; P.Cfi_type;
+    P.Cps; P.Cpi; P.Cpi_crypt; P.Softbound ]
 
 let ripe_summaries =
   lazy
@@ -90,7 +90,9 @@ let ripe_summaries =
    past CPS/CPI/SoftBound, which the paper says stop everything. *)
 let ripe_journal_entry (s : R.summary) : Journal.entry =
   let must_stop_all =
-    match s.R.protection with P.Cps | P.Cpi | P.Softbound -> true | _ -> false
+    match s.R.protection with
+    | P.Cps | P.Cpi | P.Cpi_crypt | P.Softbound -> true
+    | _ -> false
   in
   { Journal.workload = "ripe-matrix";
     protection = P.protection_name s.R.protection;
@@ -114,8 +116,10 @@ let bench_ripe () =
     | P.Cookies -> "stops continuous stack smashes only"
     | P.Safe_stack -> "prevents all stack-based attacks"
     | P.Cfi -> "bypassable in a principled way [19,15,9]"
+    | P.Cfi_type -> "per-signature sets narrow the bypass (Burow et al.)"
     | P.Cps -> "none succeed"
     | P.Cpi -> "none succeed"
+    | P.Cpi_crypt -> "keyed pointers garble under tampering (LIPPEN/PAC)"
     | P.Softbound -> "full memory safety"
     | P.Cpi_debug -> ""
   in

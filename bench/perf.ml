@@ -7,7 +7,7 @@
    matrix) sequentially (--jobs 1, so the numbers are not confounded by
    domain scheduling) and writes BENCH_perf.json:
 
-     { "schema": "levee-bench-perf/2",
+     { "schema": "levee-bench-perf/3",
        "jobs": 1, "fuel_cap": <int or 0 for full fuel>,
        "cells": <number of table1 cells>,
        "wall_us_total": <microseconds for cells + ripe>,
@@ -38,7 +38,7 @@ module Runstore = Levee_support.Runstore
 module Engine = Levee_harness.Engine
 module Targets = Levee_harness.Targets
 
-let schema_id = "levee-bench-perf/2"
+let schema_id = "levee-bench-perf/3"
 
 let fuel_cap = ref None
 let json_flag = ref true
@@ -73,7 +73,7 @@ let () =
     R.run_matrix ~include_beyond_ripe:false
       ~protections:
         [ P.Vanilla; P.Hardened; P.Cookies; P.Safe_stack; P.Cfi; P.Cps;
-          P.Cpi; P.Softbound ]
+          P.Cpi; P.Softbound; P.Cfi_type; P.Cpi_crypt ]
       ()
   in
   let t2 = Unix.gettimeofday () in

@@ -8,7 +8,8 @@
        -fcps                    code-pointer separation
        -fstack-protector-safe   safe stack only
        -fsoftbound              full spatial memory safety baseline
-       -fcfi | -fcookies | -fvanilla | -fhardened | -fcpi-debug
+       -fcfi | -fcfi-type | -fcookies | -fvanilla | -fhardened | -fcpi-debug
+       -fcpi-crypt              in-place pointer encryption (no safe region)
        -emit-ir                 print the (instrumented) IR and exit
        -stats                   print Table-2-style instrumentation stats
        -input 1,2,3             input words fed to read_int/gets
@@ -97,7 +98,8 @@ module Faults = Levee_harness.Faults
 let usage () =
   prerr_endline
     "usage: levee [-fcpi|-fcps|-fstack-protector-safe|-fsoftbound|-fcfi|\n\
-    \              -fcookies|-fvanilla|-fhardened|-fcpi-debug]\n\
+    \              -fcfi-type|-fcpi-crypt|-fcookies|-fvanilla|-fhardened|\n\
+    \              -fcpi-debug]\n\
     \             [-emit-ir] [-stats] [-time] [-sfi] [-matrix] [-jobs N]\n\
     \             [-json FILE]\n\
     \             [-input w1,w2,...] [-fuel N] [-store array|two-level|hash]\n\
@@ -549,6 +551,8 @@ let () =
     | "-fstack-protector-safe" :: rest -> protection := P.Safe_stack; parse rest
     | "-fsoftbound" :: rest -> protection := P.Softbound; parse rest
     | "-fcfi" :: rest -> protection := P.Cfi; parse rest
+    | "-fcfi-type" :: rest -> protection := P.Cfi_type; parse rest
+    | "-fcpi-crypt" :: rest -> protection := P.Cpi_crypt; parse rest
     | "-fcookies" :: rest -> protection := P.Cookies; parse rest
     | "-fvanilla" :: rest -> protection := P.Vanilla; parse rest
     | "-fhardened" :: rest -> protection := P.Hardened; parse rest

@@ -1,0 +1,38 @@
+// A zoo of indirect calls separating the graded CFI family: the fp call
+// in zoo() has signature int(int,int) whose address-taken class is
+// {add, evil} (evil is address-taken only through evil_ref, never called
+// benignly), while post has signature int(int) with class {out}. Coarse
+// CFI lumps every function entry into one set, so redirecting fp to
+// backdoor — a different signature — still passes; cfi-type refuses it
+// but must admit a same-signature swap to evil. CPI and cpi-crypt refuse
+// both: the pointer itself is protected, not the target set.
+int add(int a, int b) { return a + b; }
+int sub(int a, int b) { return a - b; }
+int evil(int a, int b) { system("pwn"); return a; }
+int backdoor() { system("pwn"); return 1; }
+
+int (*evil_ref)(int, int) = evil;
+
+int out(int x) { return x & 65535; }
+int (*post)(int) = out;
+
+int zoo(int n) {
+  int (*fp)(int, int);
+  int acc;
+  int i;
+  fp = add;
+  acc = 0;
+  i = 0;
+  while (i < n) {
+    acc = post(acc + fp(i, 2));
+    i = i + 1;
+  }
+  checksum(acc);
+  return acc;
+}
+
+int main() {
+  zoo(60);
+  print_str("done");
+  return 0;
+}

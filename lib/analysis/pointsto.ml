@@ -27,6 +27,10 @@ type obj =
   | O_global of string
   | O_alloca of string * int (* function, alloca dst register *)
   | O_malloc of string * int * int (* function, block, instr index *)
+  | O_fun of string (* the code address of one named function; always
+                       seeded alongside [O_code] so every existing
+                       reaches/demotion answer is unchanged — the named
+                       object only adds precision for cfi-type *)
   | O_code (* any code address *)
   | O_unknown (* memory the analysis cannot model *)
 
@@ -117,9 +121,10 @@ let analyze (prog : Prog.t) : t =
       let n = node_id (N_op o) in
       add_base n (obj_id (O_global g));
       n
-    | I.Fun _ ->
+    | I.Fun f ->
       let n = node_id (N_op o) in
       add_base n code_id;
+      add_base n (obj_id (O_fun f));
       n
     | I.Imm _ | I.Nullp -> node_id (N_op o)
   in
@@ -132,7 +137,9 @@ let analyze (prog : Prog.t) : t =
         (fun cell ->
           match cell with
           | Prog.Cint _ -> ()
-          | Prog.Cfun _ -> add_base (node_id (N_obj oid)) code_id
+          | Prog.Cfun f ->
+            add_base (node_id (N_obj oid)) code_id;
+            add_base (node_id (N_obj oid)) (obj_id (O_fun f))
           | Prog.Cglob (g2, _) ->
             add_base (node_id (N_obj oid)) (obj_id (O_global g2)))
         g.Prog.init)
@@ -303,6 +310,11 @@ let analyze (prog : Prog.t) : t =
   let reaches = Array.make nobj false in
   reaches.(code_id) <- true;
   reaches.(unknown_id) <- true;
+  (* Named function objects ARE code: seed them like [O_code] so the
+     closure (and every demotion decision downstream) is unchanged. *)
+  Array.iteri
+    (fun i o -> match o with O_fun _ -> reaches.(i) <- true | _ -> ())
+    objs;
   let rchanged = ref true in
   while !rchanged do
     rchanged := false;
@@ -379,8 +391,25 @@ let obj_to_string = function
   | O_global g -> Printf.sprintf "global:%s" g
   | O_alloca (f, r) -> Printf.sprintf "alloca:%s/r%d" f r
   | O_malloc (f, b, i) -> Printf.sprintf "malloc:%s/b%d.%d" f b i
+  | O_fun f -> Printf.sprintf "fun:%s" f
   | O_code -> "<code>"
   | O_unknown -> "<unknown>"
+
+(** Possible *named-function* targets of an indirect-call operand, read
+    off the Andersen solution: [Some names] (sorted, deduplicated) when
+    the operand's code sources are all named functions; [None] when the
+    set is unmodelled (empty or containing [O_unknown]) or carries code
+    provenance with no name (e.g. a setjmp-saved resume address). *)
+let callee_targets t ~fname o : string list option =
+  let s = pts_ids t ~fname o in
+  if ISet.is_empty s || ISet.mem t.unknown_id s then None
+  else
+    let names =
+      ISet.fold
+        (fun i acc -> match t.objs.(i) with O_fun f -> f :: acc | _ -> acc)
+        s []
+    in
+    if names = [] then None else Some (List.sort_uniq compare names)
 
 (* ---------- sensitivity refinement ---------- *)
 
@@ -439,7 +468,7 @@ let refine_cpi t ~ctx ~keep ~skip : (string * int * int, unit) Hashtbl.t =
     (fun o obj ->
       in_c.(o) <-
         (match obj with
-         | O_code | O_unknown -> false
+         | O_code | O_unknown | O_fun _ -> false
          | O_global _ | O_alloca _ | O_malloc _ ->
            (not t.reaches.(o)) && not t.hazard.(o)))
     t.objs;

@@ -15,6 +15,7 @@ type obj =
   | O_global of string
   | O_alloca of string * int (* function, alloca dst register *)
   | O_malloc of string * int * int (* function, block, instr index *)
+  | O_fun of string (* the code address of one named function *)
   | O_code
   | O_unknown
 
@@ -41,6 +42,12 @@ val addr_may_reach_code : t -> fname:string -> I.operand -> bool
 val value_may_be_code : t -> fname:string -> I.operand -> bool
 
 val obj_to_string : obj -> string
+
+(** Possible named-function targets of an indirect-call operand:
+    [Some names] (sorted) when the operand's code sources are all named
+    functions, [None] when the set is unmodelled or carries unnamed code
+    provenance. Feeds the cfi-type per-call-site target sets. *)
+val callee_targets : t -> fname:string -> I.operand -> string list option
 
 (** Positions (function, block, index) of type-rule-sensitive accesses
     that are provably data-only and safe to demote to plain accesses.

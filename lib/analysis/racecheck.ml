@@ -210,7 +210,9 @@ type separation = {
 let is_safe_where (w : I.where) =
   match w with
   | I.SafeFull | I.SafeValue | I.SafeDebug | I.SafeData -> true
-  | I.Regular | I.RegularMeta -> false
+  (* Crypt accesses hit the regular region (ciphertext in place), so they
+     participate in regular-region races like any plain access. *)
+  | I.Regular | I.RegularMeta | I.Crypt -> false
 
 let separation (prog : Prog.t) : separation =
   let pt = Pointsto.analyze prog in

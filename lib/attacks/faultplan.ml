@@ -69,6 +69,24 @@ let within_attacker_model p =
     (fun e -> match e.action with Desync _ | Drop_meta _ -> false | _ -> true)
     p.events
 
+(* Metadata attacks (safe-store desync / drop) are the plans that separate
+   safe-region backends from keyed ones: cpi-crypt has no metadata table,
+   so these events hit nothing — dropping metadata is not leaking the key. *)
+let targets_metadata p =
+  List.exists
+    (fun e -> match e.action with Desync _ | Drop_meta _ -> true | _ -> false)
+    p.events
+
+(* Every event is a metadata attack: under a keyed backend the whole plan
+   hits an empty safe store, so the faulted run must be observationally
+   identical to the un-faulted baseline (class "masked"). *)
+let pure_metadata p =
+  p.events <> []
+  && List.for_all
+       (fun e ->
+         match e.action with Desync _ | Drop_meta _ -> true | _ -> false)
+       p.events
+
 let has_availability_faults p =
   List.exists
     (fun e -> match e.action with Stall _ | Kill_worker _ -> true | _ -> false)

@@ -79,6 +79,17 @@ val random : name:string -> seed:int -> events:int -> max_step:int -> t
     not liveness, so the invariant must hold mid-degradation too. *)
 val within_attacker_model : t -> bool
 
+(** At least one [Desync]/[Drop_meta] event: the plan attacks the
+    safe-store metadata itself. These are exactly the plans that separate
+    safe-region backends from keyed in-place encryption — cpi-crypt keeps
+    no metadata table, so dropping metadata is not leaking the key. *)
+val targets_metadata : t -> bool
+
+(** Every event is a [Desync]/[Drop_meta]: under a keyed backend the plan
+    hits an empty safe store end to end, so the faulted run must be
+    observationally identical to the baseline. *)
+val pure_metadata : t -> bool
+
 (** The plan injects at least one [Stall] or [Kill_worker]: a
     degradation plan in the resilient-server sense. *)
 val has_availability_faults : t -> bool

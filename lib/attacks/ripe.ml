@@ -84,7 +84,7 @@ type summary = {
 let run_matrix ?(include_beyond_ripe = false)
     ?(protections =
       [ P.Vanilla; P.Hardened; P.Cookies; P.Safe_stack; P.Cfi; P.Cps; P.Cpi;
-        P.Softbound ]) () : summary list =
+        P.Softbound; P.Cfi_type; P.Cpi_crypt ]) () : summary list =
   let compiled = compile_victims () in
   List.map
     (fun prot ->

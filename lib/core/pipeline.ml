@@ -14,10 +14,12 @@ type protection =
   | Hardened          (* DEP + ASLR + stack cookies: a stock modern system *)
   | Cookies           (* stack cookies only *)
   | Safe_stack        (* the safe stack alone (-fstack-protector-safe) *)
-  | Cfi               (* coarse-grained CFI baseline *)
+  | Cfi               (* coarse-grained CFI baseline (any function entry) *)
+  | Cfi_type          (* per-signature CFI sets (Burow et al. middle point) *)
   | Cps               (* code-pointer separation (-fcps) *)
   | Cpi               (* code-pointer integrity (-fcpi) *)
   | Cpi_debug         (* CPI in debug mode: both copies kept and compared *)
+  | Cpi_crypt         (* in-place pointer encryption, no safe region *)
   | Softbound         (* full spatial memory safety baseline *)
 
 let protection_name = function
@@ -26,13 +28,18 @@ let protection_name = function
   | Cookies -> "cookies"
   | Safe_stack -> "safestack"
   | Cfi -> "cfi"
+  | Cfi_type -> "cfi-type"
   | Cps -> "cps"
   | Cpi -> "cpi"
   | Cpi_debug -> "cpi-debug"
+  | Cpi_crypt -> "cpi-crypt"
   | Softbound -> "softbound"
 
+(* New spectrum members appended so every positional expectation over the
+   established prefix stays valid. *)
 let all_protections =
-  [ Vanilla; Hardened; Cookies; Safe_stack; Cfi; Cps; Cpi; Cpi_debug; Softbound ]
+  [ Vanilla; Hardened; Cookies; Safe_stack; Cfi; Cps; Cpi; Cpi_debug; Softbound;
+    Cfi_type; Cpi_crypt ]
 
 type built = {
   protection : protection;
@@ -69,6 +76,13 @@ let build ?(annotated = []) ?(store_impl = Safestore.Simple_array)
     | Cfi ->
       Cfi_pass.run prog;
       Config.cfi
+    | Cfi_type ->
+      ignore (Cfi_type_pass.run prog);
+      Config.cfi_type
+    | Cpi_crypt ->
+      let d, crypt_cells = Crypt_pass.run ~refine ~annotated prog in
+      demoted := d;
+      { Config.cpi_crypt with Config.crypt_cells }
     | Cps ->
       Safestack_pass.run prog;
       demoted := Cps_pass.run ~refine prog;

@@ -11,10 +11,12 @@ type protection =
   | Hardened          (** DEP + ASLR + stack cookies: a stock modern system *)
   | Cookies
   | Safe_stack        (** the safe stack alone (-fstack-protector-safe) *)
-  | Cfi               (** coarse-grained CFI baseline *)
+  | Cfi               (** coarse-grained CFI baseline (any function entry) *)
+  | Cfi_type          (** per-signature CFI sets (Burow et al. middle point) *)
   | Cps               (** code-pointer separation (-fcps) *)
   | Cpi               (** code-pointer integrity (-fcpi) *)
   | Cpi_debug         (** CPI debug mode: both copies kept and compared *)
+  | Cpi_crypt         (** in-place pointer encryption, no safe region *)
   | Softbound         (** full spatial memory safety baseline *)
 
 val protection_name : protection -> string

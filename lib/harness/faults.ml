@@ -12,7 +12,7 @@ module Pool = Levee_support.Pool
 module J = Levee_support.Jsonenc
 module Runstore = Levee_support.Runstore
 
-let schema_id = "levee-faults/2"
+let schema_id = "levee-faults/3"
 
 type subject = {
   sname : string;
@@ -119,6 +119,36 @@ int main() {
 }
 |}
 
+(* Spectrum subject (mirrors examples/minic/fptr_zoo.c): the fp call's
+   signature class is {add, evil} — evil is address-taken through
+   [evil_ref] but never called benignly — so a same-signature swap to
+   [evil] pierces cfi-type while the cross-signature [backdoor] does not.
+   CPI and cpi-crypt refuse both: the pointer is protected, not the set. *)
+let fptr_zoo_src = {|
+int add(int a, int b) { return a + b; }
+int sub(int a, int b) { return a - b; }
+int evil(int a, int b) { system("pwn"); return a; }
+int backdoor() { system("pwn"); return 1; }
+int (*evil_ref)(int, int) = evil;
+int out(int x) { return x & 65535; }
+int (*post)(int) = out;
+int zoo(int n) {
+  int (*fp)(int, int);
+  int acc;
+  int i;
+  fp = add;
+  acc = 0;
+  i = 0;
+  while (i < n) {
+    acc = post(acc + fp(i, 2));
+    i = i + 1;
+  }
+  checksum(acc);
+  return acc;
+}
+int main() { zoo(60); print_str("done"); return 0; }
+|}
+
 let smoke ?(seed = 42) () =
   let open A.Faultplan in
   let ev step action = { step; action } in
@@ -181,6 +211,26 @@ let smoke ?(seed = 42) () =
                 (Flip { site = Thread_stack { tid = 2; off = 8 }; bit = 5 }) ];
         ] }
   in
+  let zoo_chain = [ "main"; "zoo" ] in
+  let fptr_zoo =
+    (* [zoo]'s allocas in order: the [n] parameter spill, then [fp],
+       [acc], [i]. Step 150 lands a few iterations into the loop, with
+       [fp] live and about to be dispatched through. *)
+    { sname = "fptr_zoo"; source = fptr_zoo_src; input = [||]; fuel = 200_000;
+      sseeds = [ 0 ];
+      splans =
+        [ make ~name:"same-sig-hijack"
+            [ ev 150
+                (Write
+                   { site = Var_slot { chain = zoo_chain; index = 1 };
+                     value = Code_entry "evil" }) ];
+          make ~name:"cross-sig-hijack"
+            [ ev 150
+                (Write
+                   { site = Var_slot { chain = zoo_chain; index = 1 };
+                     value = backdoor }) ];
+        ] }
+  in
   let shared =
     List.init 4 (fun k ->
         random
@@ -190,7 +240,9 @@ let smoke ?(seed = 42) () =
   in
   let with_shared s = { s with splans = s.splans @ shared } in
   { cname = "smoke"; seed;
-    subjects = [ with_shared dispatch; with_shared gdispatch; with_shared conc ];
+    subjects =
+      [ with_shared dispatch; with_shared gdispatch; with_shared conc;
+        with_shared fptr_zoo ];
     configs =
       [ (P.Vanilla, M.Safestore.Simple_array);
         (P.Safe_stack, M.Safestore.Simple_array);
@@ -200,6 +252,12 @@ let smoke ?(seed = 42) () =
         (P.Cpi, M.Safestore.Simple_array);
         (P.Cpi, M.Safestore.Two_level);
         (P.Cpi, M.Safestore.Hashtable);
+        (* The graded spectrum (appended so the established rows keep
+           their positions): coarse CFI, per-signature CFI, and keyed
+           in-place encryption — none of which use the safe store. *)
+        (P.Cfi, M.Safestore.Simple_array);
+        (P.Cfi_type, M.Safestore.Simple_array);
+        (P.Cpi_crypt, M.Safestore.Simple_array);
       ] }
 
 (* ---------- execution ---------- *)
@@ -217,6 +275,7 @@ type run = {
   r_checksum : int;
   r_model : bool;
   r_tamper : bool;
+  r_meta : bool;
 }
 
 type report = {
@@ -280,7 +339,8 @@ let exec_config (s, (prot, store)) =
             r_cycles = r.M.Interp.cycles;
             r_checksum = r.M.Interp.checksum;
             r_model = A.Faultplan.within_attacker_model plan;
-            r_tamper = A.Faultplan.pure_safe_tamper plan })
+            r_tamper = A.Faultplan.pure_safe_tamper plan;
+            r_meta = A.Faultplan.pure_metadata plan })
         s.splans)
     s.sseeds
 
@@ -332,6 +392,63 @@ let invariants rep =
               && r.r_class = "hijacked")
             rs)
         (List.sort_uniq compare (List.map (fun r -> r.r_sched_seed) rs)) );
+    (* ---- the protection-spectrum invariants ---- *)
+    (* Keyed in-place encryption keeps no safe store, so a plan made only
+       of metadata attacks (Desync/Drop_meta) hits nothing: the run must
+       be observationally identical to the un-faulted baseline. *)
+    ( "cpi-crypt masks pure metadata-drop plans",
+      List.for_all
+        (fun r ->
+          (not (r.r_protection = P.Cpi_crypt && r.r_meta))
+          || r.r_class = "masked")
+        rs );
+    (* ... while the same plans do disturb a safe-region backend: the
+       campaign must witness CPI actually depending on its metadata
+       (otherwise the previous invariant is vacuous). *)
+    ( "safe-region metadata corruption witnessed (cpi)",
+      List.exists
+        (fun r ->
+          r.r_protection = P.Cpi && r.r_meta && r.r_class <> "masked")
+        rs );
+    (* Burow et al. ordering, lower bound: at least one plan hijacks
+       coarse CFI while the per-signature sets refuse it (the
+       cross-signature redirects — backdoor is a function entry, but the
+       wrong type). *)
+    ( "coarse cfi admits a hijack cfi-type refuses",
+      List.exists
+        (fun r ->
+          r.r_protection = P.Cfi && r.r_class = "hijacked"
+          && List.exists
+               (fun r' ->
+                 r'.r_protection = P.Cfi_type && r'.r_subject = r.r_subject
+                 && r'.r_plan = r.r_plan && r'.r_sched_seed = r.r_sched_seed
+                 && r'.r_class <> "hijacked")
+               rs)
+        rs );
+    (* ... and upper bound: the same-signature swap stays inside the type
+       set, so cfi-type is pierced where the pointer-centric backends are
+       not — set precision cannot substitute for pointer integrity. *)
+    ( "same-signature hijack pierces cfi-type but not cpi/cpi-crypt",
+      List.exists
+        (fun r ->
+          r.r_protection = P.Cfi_type && r.r_plan = "same-sig-hijack"
+          && r.r_class = "hijacked")
+        rs
+      && not
+           (List.exists
+              (fun r ->
+                (r.r_protection = P.Cpi || r.r_protection = P.Cpi_crypt)
+                && r.r_plan = "same-sig-hijack" && r.r_class = "hijacked")
+              rs) );
+    (* cpi-crypt's guarantee is unconditional on the plan class: even
+       metadata attacks (outside the software attacker model) find no
+       table to corrupt, and tampered ciphertext decrypts to garbled
+       targets that trap rather than hijack. *)
+    ( "cpi-crypt never hijacked (all plans)",
+      not
+        (List.exists
+           (fun r -> r.r_protection = P.Cpi_crypt && r.r_class = "hijacked")
+           rs) );
   ]
 
 let invariants_ok rep = List.for_all snd (invariants rep)
@@ -355,7 +472,8 @@ let to_json rep =
         J.int "seed" p.A.Faultplan.seed;
         J.int "events" (List.length p.A.Faultplan.events);
         J.bool "attacker_model" (A.Faultplan.within_attacker_model p);
-        J.bool "safe_tamper" (A.Faultplan.pure_safe_tamper p) ]
+        J.bool "safe_tamper" (A.Faultplan.pure_safe_tamper p);
+        J.bool "targets_metadata" (A.Faultplan.targets_metadata p) ]
   in
   let run_json r =
     J.obj
@@ -385,10 +503,15 @@ let to_json rep =
       P.all_protections
   in
   let inv_json =
-    [ J.bool "cpi_no_hijack" (List.nth (invariants rep) 0 |> snd);
-      J.bool "vanilla_hijack_witnessed" (List.nth (invariants rep) 1 |> snd);
-      J.bool "safe_tamper_isolation" (List.nth (invariants rep) 2 |> snd);
-      J.bool "vanilla_hijack_every_seed" (List.nth (invariants rep) 3 |> snd) ]
+    (* Paired with [invariants] by position: one stable key per verdict,
+       in the same order the invariants are declared. *)
+    let keys =
+      [ "cpi_no_hijack"; "vanilla_hijack_witnessed"; "safe_tamper_isolation";
+        "vanilla_hijack_every_seed"; "crypt_masks_metadata_drop";
+        "cpi_metadata_witness"; "coarse_cfi_gap"; "same_sig_pierces_cfi_type";
+        "cpi_crypt_no_hijack" ]
+    in
+    List.map2 (fun key (_, ok) -> J.bool key ok) keys (invariants rep)
   in
   String.concat ""
     [ Printf.sprintf "{\n\"schema\":\"%s\",\n" schema_id;
@@ -409,10 +532,28 @@ let to_json rep =
 (* The campaign carries no wall-clock, so its run-store record is fully
    deterministic: class counts, total simulated cycles, and the
    invariant verdict, keyed by the campaign seed. *)
+(* The per-backend hijack counts recorded in the run-store: the spectrum
+   ordering (vanilla >= cfi >= cfi-type >= cpi = cpi-crypt = 0) becomes a
+   history-gated regression surface, not just a one-shot invariant. *)
+let record_backends =
+  [ P.Vanilla; P.Cfi; P.Cfi_type; P.Cpi; P.Cpi_crypt ]
+
 let to_record ?commit rep =
   let c = rep.rep_campaign in
   let count cls =
     List.length (List.filter (fun r -> r.r_class = cls) rep.rep_runs)
+  in
+  let hijacked prot =
+    List.length
+      (List.filter
+         (fun r -> r.r_protection = prot && r.r_class = "hijacked")
+         rep.rep_runs)
+  in
+  let field_name prot =
+    "hijacked_"
+    ^ String.map
+        (fun ch -> if ch = '-' then '_' else ch)
+        (P.protection_name prot)
   in
   Runstore.make ~schema:schema_id ~kind:"faults" ?commit ~config:c.cname
     ~seed:c.seed ~wall_us:0
@@ -422,6 +563,9 @@ let to_record ?commit rep =
           ( (if cls = "fuel-exhausted" then "fuel_exhausted" else cls),
             Runstore.Int (count cls) ))
         classes
+    @ List.map
+        (fun prot -> (field_name prot, Runstore.Int (hijacked prot)))
+        record_backends
     @ [ ("cycles",
          Runstore.Int
            (List.fold_left (fun acc r -> acc + r.r_cycles) 0 rep.rep_runs));

@@ -12,8 +12,15 @@
     - a plan that only tampers with the safe region through the plain
       access path ends in [Isolation_violation] in every configuration.
 
+    The campaign also sweeps the graded protection spectrum (coarse CFI,
+    per-signature cfi-type, keyed in-place cpi-crypt) and checks the
+    ordering empirically: coarse CFI is hijackable by cross-signature
+    redirects that cfi-type refuses, a same-signature swap pierces
+    cfi-type but not the pointer-centric backends, and cpi-crypt shrugs
+    off metadata-drop plans entirely (it keeps no safe store to drop).
+
     Everything — plan generation, the scheduler, the cost model, the
-    report — is deterministic, so the [levee-faults/2] JSON report is
+    report — is deterministic, so the [levee-faults/3] JSON report is
     byte-identical across runs and across [jobs] settings (it carries
     no wall-clock or parallelism fields). *)
 
@@ -42,12 +49,15 @@ type campaign = {
   configs : (P.protection * M.Safestore.impl) list;
 }
 
-(** The built-in smoke campaign: two code-pointer-dispatch subjects
-    plus a two-worker concurrent subject with cross-thread plans
-    (another thread's return slot, safe stack and regular stack, swept
-    under two scheduler seeds), targeted ret/fptr/global/desync/tamper
-    plans plus seeded random plans, swept over vanilla, safe stack,
-    CPS and CPI × all three safe-store organisations. *)
+(** The built-in smoke campaign: two code-pointer-dispatch subjects,
+    a two-worker concurrent subject with cross-thread plans (another
+    thread's return slot, safe stack and regular stack, swept under two
+    scheduler seeds), and a function-pointer zoo with same-signature and
+    cross-signature hijack plans separating the graded CFI family;
+    targeted ret/fptr/global/desync/tamper plans plus seeded random
+    plans, swept over vanilla, safe stack, CPS and CPI × all three
+    safe-store organisations, plus the protection spectrum (coarse CFI,
+    cfi-type, cpi-crypt). *)
 val smoke : ?seed:int -> unit -> campaign
 
 (** One faulted execution, classified. [r_class] is one of
@@ -67,6 +77,8 @@ type run = {
   r_checksum : int;
   r_model : bool;   (** plan stays within the software attacker model *)
   r_tamper : bool;  (** plan is a pure safe-region tamper *)
+  r_meta : bool;    (** plan is made only of metadata attacks
+                        ([Desync]/[Drop_meta]) *)
 }
 
 type report
@@ -77,21 +89,28 @@ val runs : report -> run list
     in submission order, so any [jobs] yields the same report. *)
 val run : ?jobs:int -> campaign -> report
 
-(** The four invariants, in order: CPI-never-hijacked (attacker-model
+(** The nine invariants, in order: CPI-never-hijacked (attacker-model
     plans), vanilla-hijack-witnessed, safe-tamper-traps-as-isolation,
-    vanilla-hijack-witnessed-under-every-sched-seed. *)
+    vanilla-hijack-witnessed-under-every-sched-seed, then the
+    protection-spectrum class — cpi-crypt masks pure metadata-drop plans
+    (no safe region to drop), CPI's metadata dependence is witnessed,
+    coarse CFI admits a hijack cfi-type refuses, the same-signature swap
+    pierces cfi-type but not cpi/cpi-crypt (Burow et al. ordering), and
+    cpi-crypt is never hijacked under any plan. *)
 val invariants : report -> (string * bool) list
 
 val invariants_ok : report -> bool
 
-(** The [levee-faults/2] JSON document (schema in EXPERIMENTS.md). *)
+(** The [levee-faults/3] JSON document (schema in EXPERIMENTS.md). *)
 val to_json : report -> string
 
 (** Human-readable summary table + invariant verdicts. *)
 val to_human : report -> string
 
-(** One aggregate run-store record (schema [levee-faults/2], kind
+(** One aggregate run-store record (schema [levee-faults/3], kind
     ["faults"], keyed by the campaign seed, [wall_us = 0]): per-class
-    counts, total simulated cycles, and the invariant verdict. The
-    bytes are deterministic across runs and [jobs] widths. *)
+    counts, per-backend hijack counts over the protection spectrum
+    (vanilla/cfi/cfi-type/cpi/cpi-crypt), total simulated cycles, and
+    the invariant verdict. The bytes are deterministic across runs and
+    [jobs] widths. *)
 val to_record : ?commit:string -> report -> Levee_support.Runstore.record

@@ -33,8 +33,12 @@ type config = {
 }
 
 let default =
+  (* The spectrum members ride along after the paper's own columns: the
+     handler-overwrite probe is cross-signature (backdoor is int(), the
+     handlers are int(int)), so cfi-type refuses it and cpi-crypt garbles
+     it — both must stay un-hijacked even mid-degradation. *)
   { workers = 4; shards = 4; requests = 1_000_000;
-    protections = [ P.Vanilla; P.Safe_stack; P.Cpi ];
+    protections = [ P.Vanilla; P.Safe_stack; P.Cpi; P.Cfi_type; P.Cpi_crypt ];
     seeds = [ 0; 1 ]; faulted = true }
 
 let smoke = { default with requests = 12_000 }
@@ -555,6 +559,10 @@ let invariants rep =
   in
   [ ( "cpi never hijacked (incl. mid-degradation)",
       List.for_all (fun p -> p.p_class <> "hijacked") (probes_of P.Cpi) );
+    ( "spectrum backends never hijacked (cfi-type, cpi-crypt)",
+      List.for_all
+        (fun p -> p.p_class <> "hijacked")
+        (probes_of P.Cfi_type @ probes_of P.Cpi_crypt) );
     ( "every admitted request terminally accounted",
       List.for_all accounted cs );
     ( "vanilla hijack witnessed",
@@ -606,8 +614,8 @@ let to_json rep =
   let inv_json =
     List.map2
       (fun key (_, ok) -> J.bool key ok)
-      [ "cpi_never_hijacked"; "all_accounted"; "vanilla_hijack_witnessed";
-        "degraded_cells_still_serve" ]
+      [ "cpi_never_hijacked"; "spectrum_never_hijacked"; "all_accounted";
+        "vanilla_hijack_witnessed"; "degraded_cells_still_serve" ]
       (invariants rep)
   in
   String.concat ""

@@ -17,7 +17,10 @@ let cells workloads protections =
     (fun w -> List.map (fun p -> Engine.cell w p) protections)
     workloads
 
-let spec_protections = [ P.Vanilla; P.Safe_stack; P.Cps; P.Cpi ]
+(* Spectrum members appended after the paper's own columns so the
+   established rows keep their relative order within each workload. *)
+let spec_protections =
+  [ P.Vanilla; P.Safe_stack; P.Cps; P.Cpi; P.Cfi_type; P.Cpi_crypt ]
 
 let table1 () = cells W.Spec.all spec_protections
 let fig3 = table1

@@ -92,7 +92,7 @@ let cast t kind ty v =
 
 let call t ?(fty = Ty.Fn ([], Ty.Void)) ~ret_ty callee args =
   let dst = if Ty.equal ret_ty Ty.Void then None else Some (fresh_reg ~ty:ret_ty t) in
-  emit t (Call { dst; callee; args; fty; cfi_checked = false });
+  emit t (Call { dst; callee; args; fty; cfi_checked = false; cfi_set = None });
   dst
 
 let intrin t ?dst_ty op args =

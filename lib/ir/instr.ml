@@ -24,8 +24,12 @@ type operand =
     - [SafeValue]: value only in the safe pointer store, no metadata —
       CPS's layout for code pointers.
     - [SafeDebug]: like [SafeFull] but the value is mirrored into regular
-      memory and compared on load — the paper's debug mode (Section 3.2.2). *)
+      memory and compared on load — the paper's debug mode (Section 3.2.2).
+    - [Crypt]: value kept in regular memory as ciphertext under the run's
+      pointer-cipher key, no metadata — the in-place encryption layout of
+      LIPPEN/CryptSan-style schemes (cpi-crypt). *)
 type where = Regular | RegularMeta | SafeFull | SafeValue | SafeDebug | SafeData
+           | Crypt
 
 (* [SafeData] is the layout for programmer-annotated sensitive *data*
    (Section 4's struct-ucred case): the value itself is kept in the safe
@@ -84,7 +88,11 @@ type instr =
   | Gep of { dst : int; base_ty : Ty.t; base : operand; path : gep_step list }
   | Cast of { dst : int; kind : castkind; ty : Ty.t; v : operand }
   | Call of { dst : int option; callee : callee; args : operand list;
-              fty : Ty.t; mutable cfi_checked : bool }
+              fty : Ty.t; mutable cfi_checked : bool;
+              (* cfi-type: allowed target functions for this indirect call
+                 site (signature class ∩ Andersen callee set); [None] means
+                 the coarse any-function-entry check only. *)
+              mutable cfi_set : string list option }
   | Intrin of { dst : int option; op : intrin; args : operand list }
 
 type term =
@@ -133,3 +141,4 @@ let cmpop_name = function
 let where_name = function
   | Regular -> "reg" | RegularMeta -> "sb" | SafeFull -> "cpi"
   | SafeValue -> "cps" | SafeDebug -> "cpi-dbg" | SafeData -> "cpi-data"
+  | Crypt -> "crypt"

@@ -54,7 +54,11 @@ type 'm instr =
   | Gep of { dst : int; base : 'm operand; path : 'm gep_step array }
   | Cast of { dst : int; v : 'm operand }
   | Call of { dst : int option; callee : 'm callee; args : 'm operand array;
-              cfi_checked : bool; ret_addr : int }
+              cfi_checked : bool;
+              (* cfi-type: allowed target entry addresses (sorted) for this
+                 indirect call; [None] = coarse any-entry check only. *)
+              cfi_set : int array option;
+              ret_addr : int }
   | Intrin of { dst : int option; op : I.intrin; args : 'm operand array }
 
 type 'm term =

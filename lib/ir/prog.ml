@@ -84,8 +84,8 @@ let clone_instr (i : Instr.instr) : Instr.instr =
     Instr.Store { ty; v; addr; where; checked }
   | Instr.Gep { dst; base_ty; base; path } -> Instr.Gep { dst; base_ty; base; path }
   | Instr.Cast { dst; kind; ty; v } -> Instr.Cast { dst; kind; ty; v }
-  | Instr.Call { dst; callee; args; fty; cfi_checked } ->
-    Instr.Call { dst; callee; args; fty; cfi_checked }
+  | Instr.Call { dst; callee; args; fty; cfi_checked; cfi_set } ->
+    Instr.Call { dst; callee; args; fty; cfi_checked; cfi_set }
   | Instr.Intrin { dst; op; args } -> Instr.Intrin { dst; op; args }
 
 let clone_func (fn : func) : func =

@@ -581,7 +581,9 @@ module Sep = struct
     match w with
     | Instr.SafeFull | Instr.SafeValue | Instr.SafeDebug | Instr.SafeData ->
       true
-    | Instr.Regular | Instr.RegularMeta -> false
+    (* Crypt cells live in the regular region (ciphertext in place), so
+       they are *not* part of the separated safe region. *)
+    | Instr.Regular | Instr.RegularMeta | Instr.Crypt -> false
 end
 
 let check_separation (p : Prog.t) ~(model : separation_model)

@@ -25,6 +25,11 @@ type t = {
   check_cookies : bool;     (* honor per-function cookie flags *)
   check_libc : bool;        (* bounds-check libc memory functions (SoftBound) *)
   cps_entry_words : int;    (* safe-store entry width for footprint accounting *)
+  crypt_ptrs : bool;        (* cpi-crypt: key ret slots + jmp_buf PCs in place *)
+  crypt_cells : (string * bool array) list;
+                            (* cpi-crypt: per-global mask of init cells the
+                               loader's plaintext image must be re-encrypted
+                               at (sensitive words with non-zero inits) *)
 }
 
 
@@ -35,7 +40,7 @@ let vanilla =
     protect_jmpbuf = false; cfi_calls = false; cfi_returns = false;
     dep = false; aslr = false; store_impl = Safestore.Simple_array;
     isolation = Info_hiding; check_cookies = false; check_libc = false;
-    cps_entry_words = 4 }
+    cps_entry_words = 4; crypt_ptrs = false; crypt_cells = [] }
 
 (** DEP + ASLR + cookies: a modern stock system ("vanilla Ubuntu 13.10,
     all protections enabled"). *)
@@ -61,5 +66,18 @@ let softbound =
 
 let cfi =
   { vanilla with name = "cfi"; cfi_calls = true; cfi_returns = true; dep = true }
+
+(** Per-signature CFI (Burow et al.'s "graded precision" middle point):
+    same runtime switches as coarse CFI — the precision lives in the
+    per-call-site target sets the [cfi-type] pass bakes into the IR. *)
+let cfi_type = { cfi with name = "cfi-type" }
+
+(** In-place pointer encryption (LIPPEN / CryptSan / PAC-style): no safe
+    region and no safe stack — sensitive pointers stay in ordinary memory
+    as ciphertext under a per-run key, return slots and jmp_buf PCs
+    included. DEP stays on so a garbled decrypt traps instead of
+    executing data. [crypt_cells] is filled in per program by the pass. *)
+let cpi_crypt =
+  { vanilla with name = "cpi-crypt"; dep = true; crypt_ptrs = true }
 
 let cookies_only = { vanilla with name = "cookies"; check_cookies = true }

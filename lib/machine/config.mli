@@ -25,6 +25,10 @@ type t = {
   check_cookies : bool;
   check_libc : bool;        (** bounds-check libc memory functions (SoftBound) *)
   cps_entry_words : int;    (** store entry width for footprint accounting *)
+  crypt_ptrs : bool;        (** cpi-crypt: key ret slots + jmp_buf PCs in place *)
+  crypt_cells : (string * bool array) list;
+                            (** cpi-crypt: per-global mask of initializer cells
+                                to re-encrypt after the plaintext image load *)
 }
 
 (** Completely unprotected baseline (DEP and ASLR off). *)
@@ -38,4 +42,13 @@ val cps : ?store_impl:Safestore.impl -> unit -> t
 val cpi : ?store_impl:Safestore.impl -> unit -> t
 val softbound : t
 val cfi : t
+
+(** Per-signature CFI: same runtime switches as [cfi] — the precision is
+    in the per-call-site target sets the cfi-type pass bakes into the IR. *)
+val cfi_type : t
+
+(** In-place pointer encryption under a per-run key: no safe region, no
+    safe stack. [crypt_cells] is filled in per program by the pass. *)
+val cpi_crypt : t
+
 val cookies_only : t

@@ -58,6 +58,15 @@ let cookie_cost = 3
 (* CFI set-membership test on an indirect transfer. *)
 let cfi_cost = 3
 
+(* Extra cost of the per-signature set check in cfi-type: the target must
+   be located in the call site's sorted set, not just the global bitmap. *)
+let cfi_set_cost = 1
+
+(* Keyed encrypt/decrypt folded into a sensitive access (cpi-crypt):
+   PAC-style pointer authentication adds a few cycles of ALU latency per
+   protected load/store, with no extra memory traffic. *)
+let crypt_cost = 2
+
 (* SFI isolation: one mask per memory operation. *)
 let sfi_mask = 1
 

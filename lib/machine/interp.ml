@@ -92,6 +92,7 @@ type t = {
   image : Loader.image;
   cfg : Config.t;
   slide : int;                 (* image slide, cached off the hot path *)
+  key : int;                   (* cpi-crypt pointer-cipher key (0 = unused) *)
   mem : Mem.t;
   store : Safestore.t;
   heap : Heap.t;
@@ -366,9 +367,18 @@ let push_frame_empty st th (pf : Loader.pmeta Pr.func) ~ret_dst ~pushed_ret
      Mem.write st.mem (base_r - off) cookie_value;
      Cost.add st.cost Cost.cookie_cost
    | None -> ());
-  (* Write the return address into its slot (regular or safe stack). *)
+  (* Write the return address into its slot (regular or safe stack).
+     cpi-crypt has no safe stack: the slot stays in the regular region but
+     holds ciphertext, so an overwrite garbles rather than redirects. *)
   let ret_slot_base = if layout.Loader.fl_ret_on_safe then base_s else base_r in
-  Mem.write st.mem (ret_slot_base - layout.Loader.fl_ret_offset) pushed_ret;
+  let slot_ret =
+    if st.cfg.Config.crypt_ptrs then begin
+      Cost.add st.cost Cost.crypt_cost;
+      Ptrcipher.encrypt st.key pushed_ret
+    end
+    else pushed_ret
+  in
+  Mem.write st.mem (ret_slot_base - layout.Loader.fl_ret_offset) slot_ret;
   (* Instrumentation costs of the call itself. *)
   st.cost.Cost.calls <- st.cost.Cost.calls + 1;
   Cost.add st.cost Cost.call_base;
@@ -488,7 +498,14 @@ let divert st target ~via =
 
 (* [ret_addr] was resolved at load time: the code address of the
    instruction after the call site. *)
-let do_call st fr dst callee args cfi_checked ret_addr =
+(* Membership probe for the cfi-type per-site target set (sorted entry
+   addresses, typically tiny). *)
+let in_cfi_set (set : int array) v =
+  let n = Array.length set in
+  let rec go i = i < n && (set.(i) = v || (set.(i) < v && go (i + 1))) in
+  go 0
+
+let do_call st fr dst callee args cfi_checked cfi_set ret_addr =
   Cost.add st.cost (Array.length args);
   (* Advance the caller past the call before pushing the callee, so the
      frame resumes at the next instruction on return. *)
@@ -525,7 +542,16 @@ let do_call st fr dst callee args cfi_checked ret_addr =
       if st.cfg.Config.cfi_calls && cfi_checked then begin
         Cost.add st.cost Cost.cfi_cost;
         if not (Loader.is_function_entry st.image v) then
-          stop (Trapped (Cfi_violation "indirect call target not a function"))
+          stop (Trapped (Cfi_violation "indirect call target not a function"));
+        (* cfi-type: the target must also lie in this call site's
+           per-signature set, not just be some function entry. *)
+        (match cfi_set with
+         | Some set ->
+           Cost.add st.cost Cost.cfi_set_cost;
+           if not (in_cfi_set set v) then
+             stop
+               (Trapped (Cfi_violation "indirect call target outside type set"))
+         | None -> ())
       end;
       match Hashtbl.find_opt st.image.Loader.entry_findex v with
       | Some idx -> invoke (pf_of_index st idx)
@@ -546,6 +572,15 @@ let do_ret st rv rm =
     if fr.layout.Loader.fl_ret_on_safe then fr.base_s else fr.base_r
   in
   let stored = Mem.read st.mem (ret_slot_base - fr.layout.Loader.fl_ret_offset) in
+  (* cpi-crypt: the slot holds ciphertext; a tampered slot decrypts to a
+     garbled address and the divert below traps under DEP. *)
+  let stored =
+    if st.cfg.Config.crypt_ptrs then begin
+      Cost.add st.cost Cost.crypt_cost;
+      Ptrcipher.decrypt st.key stored
+    end
+    else stored
+  in
   let popped = pop_frame th in
   if stored = popped.pushed_ret then begin
     if stored = exit_sentinel || th.frames = [] then begin
@@ -727,7 +762,17 @@ let do_intrin st fr dst (op : I.intrin) (args : Loader.pmeta Pr.operand array) =
         { Safestore.value = resume; lower = resume; upper = resume + 1;
           tid = 0; kind = Safestore.Code }
     end;
-    plain_write st buf (m 0) resume;
+    (* cpi-crypt: the saved PC is a code pointer in ordinary memory —
+       keep it as ciphertext so a jmp_buf smash garbles instead of
+       redirecting. The context id is not a pointer and stays plain. *)
+    let saved_pc =
+      if st.cfg.Config.crypt_ptrs then begin
+        Cost.add st.cost Cost.crypt_cost;
+        Ptrcipher.encrypt st.key resume
+      end
+      else resume
+    in
+    plain_write st buf (m 0) saved_pc;
     plain_write st (buf + 1) (m 0) id;
     ret 0 None
   | I.I_longjmp ->
@@ -738,6 +783,10 @@ let do_intrin st fr dst (op : I.intrin) (args : Loader.pmeta Pr.operand array) =
         match Safestore.get st.store buf with
         | Some { Safestore.kind = Safestore.Code; value; _ } -> value
         | Some _ | None -> stop (Trapped Invalid_code_pointer)
+      end
+      else if st.cfg.Config.crypt_ptrs then begin
+        Cost.add st.cost Cost.crypt_cost;
+        Ptrcipher.decrypt st.key (plain_read st buf (m 0))
       end
       else plain_read st buf (m 0)
     in
@@ -935,6 +984,14 @@ let do_load st fr dst ~what ~universal addr_op where checked =
       | Some _ | None -> None
     in
     set_reg fr dst v m
+  | I.Crypt ->
+    (* cpi-crypt: the cell holds ciphertext in the regular region; decrypt
+       with the per-run key on the way into the register. A tampered cell
+       decrypts to a garbled value with no metadata — using it as a call
+       or jump target traps under DEP instead of hijacking. *)
+    Cost.charge_mem st.cost ~instrumented:true
+      (Cost.load_base + Cost.crypt_cost);
+    set_reg fr dst (Ptrcipher.decrypt st.key (plain_read st a ma)) None
 
 let do_store st fr ~what ~universal v_op addr_op where checked =
   let vv = eval_v fr v_op in
@@ -1002,6 +1059,13 @@ let do_store st fr ~what ~universal v_op addr_op where checked =
     race_meta st a ~write:true;
     plain_write st a ma vv;
     Safestore.set st.store a (entry_of_meta vv vm)
+  | I.Crypt ->
+    (* cpi-crypt: encrypt the value in place; no metadata survives the
+       cipher (bounds/provenance are deliberately not modelled — the
+       scheme trades them for the no-safe-region layout). *)
+    Cost.charge_mem st.cost ~instrumented:true
+      (Cost.store_base + Cost.crypt_cost);
+    plain_write st a ma (Ptrcipher.encrypt st.key vv)
 
 (* ---------- Instruction dispatch ---------- *)
 
@@ -1095,8 +1159,8 @@ let exec_instr st fr (i : Loader.pmeta Pr.instr) =
     fr.ip <- fr.ip + 1;
     Cost.add st.cost Cost.alu;
     set_reg fr dst (eval_v fr v) (eval_m fr v)
-  | Pr.Call { dst; callee; args; cfi_checked; ret_addr } ->
-    do_call st fr dst callee args cfi_checked ret_addr
+  | Pr.Call { dst; callee; args; cfi_checked; cfi_set; ret_addr } ->
+    do_call st fr dst callee args cfi_checked cfi_set ret_addr
   | Pr.Intrin { dst; op; args } ->
     fr.ip <- fr.ip + 1;
     do_intrin st fr dst op args
@@ -1134,6 +1198,10 @@ let apply_fault st = function
     let v = plain_read st addr None in
     plain_write st addr None (v lxor (1 lsl (bit land 62)))
   | Arb_write { addr; value } -> plain_write st addr None value
+  (* Keyed backends (cpi-crypt) have an empty safe store: both metadata
+     attacks below hit [None]/no-op — dropping metadata is not the same
+     as leaking the key, which is exactly the spectrum invariant the
+     fault campaign checks. *)
   | Store_desync { addr; delta } ->
     (match Safestore.get st.store addr with
      | Some e -> Safestore.set st.store addr { e with Safestore.value = e.Safestore.value + delta }
@@ -1215,6 +1283,28 @@ let create ?(input = [||]) ?(fuel = 60_000_000) ?(faults = [])
     Heap.create mem ~base:(Layout.heap_base + slide) ~limit:(Layout.heap_limit + slide)
   in
   Loader.init_globals image mem store;
+  (* cpi-crypt: derive the per-run pointer-cipher key from the scheduler
+     seed (part of the run's deterministic identity) and re-encrypt the
+     global initializer cells the crypt pass flagged — the loader writes
+     plaintext, but crypt-routed loads expect ciphertext. Zero cells are
+     fixed points of the cipher, so only flagged words need touching. *)
+  let cfg = image.Loader.cfg in
+  let key =
+    if cfg.Config.crypt_ptrs then Ptrcipher.key_of_seed sched_seed else 0
+  in
+  if key <> 0 then
+    List.iter
+      (fun (gname, mask) ->
+        match Hashtbl.find_opt image.Loader.global_addr gname with
+        | None -> ()
+        | Some base ->
+          Array.iteri
+            (fun i flagged ->
+              if flagged then
+                Mem.write mem (base + i)
+                  (Ptrcipher.encrypt key (Mem.read mem (base + i))))
+            mask)
+      cfg.Config.crypt_cells;
   let faults =
     (* Steps past the fuel budget can never fire; drop them up front so
        the sentinel arithmetic stays total. Stable sort keeps the plan's
@@ -1229,7 +1319,7 @@ let create ?(input = [||]) ?(fuel = 60_000_000) ?(faults = [])
     if Array.length faults > 0 then fuel - fst faults.(0) else min_int
   in
   let main_thread = fresh_thread ~slide 0 in
-  { image; cfg = image.Loader.cfg; slide; mem; store; heap; cost = Cost.create ();
+  { image; cfg; slide; key; mem; store; heap; cost = Cost.create ();
     running = main_thread; threads = [| main_thread |]; nthreads = 1;
     sched = Sched.create ~seed:sched_seed; mt = false; sched_left = max_int;
     live = 1;

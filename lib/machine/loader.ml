@@ -179,16 +179,30 @@ let prepare_func ~tenv ~global_addr ~global_bounds ~func_entry ~block_base
                            path) }
               | Instr.Cast { dst; kind = _; ty = _; v } ->
                 Prepared.Cast { dst; v = op v }
-              | Instr.Call { dst; callee; args; fty = _; cfi_checked } ->
+              | Instr.Call { dst; callee; args; fty = _; cfi_checked; cfi_set }
+                ->
                 let callee =
                   match callee with
                   | Instr.Direct name ->
                     Prepared.Direct (Hashtbl.find p_findex name)
                   | Instr.Indirect o -> Prepared.Indirect (op o)
                 in
+                (* Resolve the cfi-type target set to sorted entry
+                   addresses once, at load time. *)
+                let cfi_set =
+                  match cfi_set with
+                  | None -> None
+                  | Some names ->
+                    let addrs =
+                      List.map (fun n -> Hashtbl.find func_entry n) names
+                    in
+                    let arr = Array.of_list addrs in
+                    Array.sort compare arr;
+                    Some arr
+                in
                 Prepared.Call
                   { dst; callee; args = Array.of_list (List.map op args);
-                    cfi_checked;
+                    cfi_checked; cfi_set;
                     (* The return address a call pushes: the code address
                        of the instruction after the call site. *)
                     ret_addr = block_base.(b.Prog.bid) + ip + 1 }

@@ -241,7 +241,20 @@ let default_tolerances =
        bookkeeping are exact, so those gate at 0%. *)
     ("p50_cycles", 5.0); ("p99_cycles", 5.0); ("p999_cycles", 5.0);
     ("arrivals", 0.0); ("served", 0.0); ("shed", 0.0); ("timed_out", 0.0);
-    ("retried", 0.0); ("killed_workers", 0.0); ("breaker_trips", 0.0) ]
+    ("retried", 0.0); ("killed_workers", 0.0); ("breaker_trips", 0.0);
+    (* Fault-campaign records (levee-faults/3): the run classification and
+       the per-backend hijack counts over the protection spectrum are
+       exact functions of the campaign seed, so any drift is a behaviour
+       change — gate at 0%. Aggregate simulated cycles gate like every
+       other cycle metric, at 5% (the "cycles" entry above covers them).
+       The perf-harness simulated totals (levee-bench-perf/3) likewise
+       ride the existing sim_cycles/sim_instrs entries. *)
+    ("runs", 0.0); ("hijacked", 0.0); ("trapped", 0.0); ("crash", 0.0);
+    ("masked", 0.0); ("benign", 0.0); ("fuel_exhausted", 0.0);
+    ("hijacked_vanilla", 0.0); ("hijacked_cfi", 0.0);
+    ("hijacked_cfi_type", 0.0); ("hijacked_cpi", 0.0);
+    ("hijacked_cpi_crypt", 0.0);
+    ("sim_instrs", 5.0) ]
 
 type violation = {
   vfield : string;

@@ -3,14 +3,18 @@
 #
 # After the tests pass, the script appends fresh run-store records to
 # RUNS.jsonl — the serve smoke matrix (one levee-serve/1 record per
-# cell, via `levee serve --record`) and the simulator wall-clock
-# summary (bench/perf.exe appends its own record) — and then runs
-# `levee history --gate` for each appended config against the most
-# recent earlier record of the same config. The gate compares
-# field-by-field under the default tolerances (simulated cycles and
-# latency percentiles 5%, terminal accounting 0%, wall clock 50%); a
-# config with no prior record is skipped — the append itself seeds the
-# baseline the next CI run gates against.
+# cell, via `levee serve --record`), the fault campaign over the full
+# protection spectrum (one levee-faults/3 record carrying the
+# per-backend hijack counts, via `levee faults --record`) and the
+# simulator wall-clock summary (bench/perf.exe appends its own record)
+# — and then runs `levee history --gate` for each appended config
+# against the most recent earlier record of the same (schema, config,
+# seed). The gate compares field-by-field under the default tolerances
+# (simulated cycles and latency percentiles 5%, terminal accounting and
+# hijack counts 0%, wall clock 50%); a key with no prior record is
+# skipped — the append itself seeds the baseline the next CI run gates
+# against, which is also how a deliberate schema bump re-baselines
+# without tripping the gate on shape changes.
 #
 # Usage: scripts/ci.sh [perf-fuel-cap]     (default fuel cap: 20000)
 
@@ -39,23 +43,29 @@ fi
 echo "== append: serve smoke matrix =="
 $LEVEE serve --requests 12000 --record "$STORE" > /dev/null
 
+echo "== append: fault campaign (protection spectrum) =="
+$LEVEE faults --record "$STORE" > /dev/null
+
 echo "== append: perf summary (fuel cap $FUEL) =="
 dune exec --no-build bench/perf.exe -- --fuel-cap "$FUEL" > /dev/null
 
 # Gate every appended record against the most recent pre-existing
-# record with the same (config, seed) — serve appends one record per
-# matrix seed under the same config name. Records are one JSON object
-# per line; 0-based line indices are exactly the run specs
-# `levee history --gate A B` consumes.
+# record with the same (schema, config, seed) — serve appends one record
+# per matrix seed under the same config name, and the schema in the key
+# means a bumped record (new fields, new sweep shape) seeds a fresh
+# baseline instead of tripping the gate against the old shape. Records
+# are one JSON object per line; 0-based line indices are exactly the run
+# specs `levee history --gate A B` consumes.
 FAIL=0
 TOTAL=$(grep -c . "$STORE")
 i=$BASE
 while [ "$i" -lt "$TOTAL" ]; do
   line=$(sed -n "$((i + 1))p" "$STORE")
+  schema=$(printf '%s' "$line" | sed 's/.*"schema":"\([^"]*\)".*/\1/')
   config=$(printf '%s' "$line" | sed 's/.*"config":"\([^"]*\)".*/\1/')
   seed=$(printf '%s' "$line" | sed 's/.*"seed":\([0-9-]*\).*/\1/')
-  key="\"config\":\"$config\",\"seed\":$seed,"
-  prev=$(head -n "$BASE" "$STORE" | grep -nF "$key" \
+  key="\"schema\":\"$schema\",.*\"config\":\"$config\",\"seed\":$seed,"
+  prev=$(head -n "$BASE" "$STORE" | grep -n "$key" \
          | tail -n 1 | cut -d: -f1 || true)
   if [ -n "$prev" ]; then
     echo "== gate: $config seed $seed (run $((prev - 1)) -> $i) =="
@@ -63,7 +73,7 @@ while [ "$i" -lt "$TOTAL" ]; do
       FAIL=1
     fi
   else
-    echo "== gate: $config seed $seed — no prior record, baseline seeded =="
+    echo "== gate: $schema $config seed $seed — no prior record, baseline seeded =="
   fi
   i=$((i + 1))
 done

@@ -54,6 +54,75 @@ let test_invariants () =
     (Faults.invariants rep);
   Alcotest.(check bool) "invariants_ok" true (Faults.invariants_ok rep)
 
+(* The protection spectrum, asserted as ordered hijack counts plus the
+   metadata-drop separation (encryption survives what the safe region
+   does not — there is no table to drop). *)
+let test_spectrum_ordering () =
+  let rep = Lazy.force report1 in
+  let rs = Faults.runs rep in
+  let hijacked prot =
+    List.length
+      (List.filter
+         (fun r ->
+           r.Faults.r_protection = prot && r.Faults.r_class = "hijacked")
+         rs)
+  in
+  Alcotest.(check bool) "coarse cfi hijacked at least once" true
+    (hijacked P.Cfi >= 1);
+  Alcotest.(check bool) "cfi-type strictly tighter than coarse cfi" true
+    (hijacked P.Cfi_type < hijacked P.Cfi);
+  Alcotest.(check bool) "cfi-type still pierced by the same-sig swap" true
+    (hijacked P.Cfi_type >= 1);
+  Alcotest.(check int) "cpi-crypt never hijacked" 0 (hijacked P.Cpi_crypt);
+  Alcotest.(check bool) "vanilla the coarsest of all" true
+    (hijacked P.Vanilla >= hijacked P.Cfi)
+
+let test_metadata_drop_separation () =
+  let rep = Lazy.force report1 in
+  let rs = Faults.runs rep in
+  let cls prot plan =
+    List.filter_map
+      (fun r ->
+        if r.Faults.r_protection = prot && r.Faults.r_plan = plan then
+          Some r.Faults.r_class
+        else None)
+      rs
+  in
+  List.iter
+    (fun plan ->
+      Alcotest.(check bool)
+        (plan ^ " masked under cpi-crypt (no safe store to corrupt)")
+        true
+        (cls P.Cpi_crypt plan <> []
+        && List.for_all (fun c -> c = "masked") (cls P.Cpi_crypt plan)))
+    [ "gfp-desync"; "gfp-dropmeta" ];
+  Alcotest.(check bool) "cpi visibly depends on its metadata" true
+    (List.exists
+       (fun c -> c <> "masked")
+       (cls P.Cpi "gfp-desync" @ cls P.Cpi "gfp-dropmeta"))
+
+let test_record_fields () =
+  let module RS = Levee_support.Runstore in
+  let r = Faults.to_record ~commit:"t" (Lazy.force report1) in
+  Alcotest.(check string) "bumped schema" "levee-faults/3" r.RS.schema;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) ("record carries " ^ f) true
+        (List.mem_assoc f r.RS.metrics))
+    [ "hijacked_vanilla"; "hijacked_cfi"; "hijacked_cfi_type";
+      "hijacked_cpi"; "hijacked_cpi_crypt" ];
+  Alcotest.(check bool) "per-backend counts are ordered" true
+    (match
+       ( List.assoc "hijacked_vanilla" r.RS.metrics,
+         List.assoc "hijacked_cfi" r.RS.metrics,
+         List.assoc "hijacked_cfi_type" r.RS.metrics,
+         List.assoc "hijacked_cpi" r.RS.metrics,
+         List.assoc "hijacked_cpi_crypt" r.RS.metrics )
+     with
+     | RS.Int v, RS.Int c, RS.Int t, RS.Int p, RS.Int k ->
+       v >= c && c > t && t > p && p = 0 && k = 0
+     | _ -> false)
+
 let test_random_plan_deterministic () =
   let draw () =
     A.Faultplan.random ~name:"r" ~seed:9001 ~events:5 ~max_step:300
@@ -137,7 +206,11 @@ let () =
         [ Alcotest.test_case "covers all stores" `Quick test_covers_all_stores;
           Alcotest.test_case "report deterministic" `Slow
             test_report_deterministic;
-          Alcotest.test_case "invariants hold" `Slow test_invariants ] );
+          Alcotest.test_case "invariants hold" `Slow test_invariants;
+          Alcotest.test_case "spectrum ordering" `Slow test_spectrum_ordering;
+          Alcotest.test_case "metadata-drop separation" `Slow
+            test_metadata_drop_separation;
+          Alcotest.test_case "record fields" `Slow test_record_fields ] );
       ( "plans",
         [ Alcotest.test_case "random deterministic" `Quick
             test_random_plan_deterministic;

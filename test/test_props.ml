@@ -101,7 +101,7 @@ let gen_program : string QCheck.Gen.t =
 
 let protections =
   [ P.Hardened; P.Cookies; P.Safe_stack; P.Cfi; P.Cps; P.Cpi; P.Cpi_debug;
-    P.Softbound ]
+    P.Softbound; P.Cfi_type; P.Cpi_crypt ]
 
 let prop_differential =
   QCheck.Test.make ~name:"random programs behave identically under all protections"
@@ -258,6 +258,103 @@ let prop_sched_seed_sweep =
           && b.M.Interp.output = a.M.Interp.output)
         [ P.Vanilla; P.Safe_stack; P.Cpi ])
 
+(* ---------- the protection spectrum on RIPE ----------
+   Burow et al.'s precision ordering, checked as literal set inclusion
+   over the hijacked (victim, payload) instances: every attack that gets
+   past a more precise member also gets past every coarser one.
+   vanilla ⊇ cfi ⊇ cfi-type ⊇ cpi = cpi-crypt = ∅. *)
+
+module R = Levee_attacks.Ripe
+module Atk = Levee_attacks.Attack
+module V = Levee_attacks.Victims
+
+let spectrum = [ P.Vanilla; P.Cfi; P.Cfi_type; P.Cpi; P.Cpi_crypt ]
+
+let hijack_set summaries prot =
+  match
+    List.find_opt (fun (s : R.summary) -> s.R.protection = prot) summaries
+  with
+  | None -> Alcotest.fail ("missing RIPE summary for " ^ P.protection_name prot)
+  | Some s ->
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (r : R.run) ->
+           if R.succeeded r then
+             Some
+               ( r.R.instance.R.victim.V.vid,
+                 Atk.payload_name r.R.instance.R.payload )
+           else None)
+         s.R.runs)
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+let test_ripe_spectrum_ordering () =
+  let summaries = R.run_matrix ~protections:spectrum () in
+  let v = hijack_set summaries P.Vanilla in
+  let cfi = hijack_set summaries P.Cfi in
+  let cfi_t = hijack_set summaries P.Cfi_type in
+  let cpi = hijack_set summaries P.Cpi in
+  let crypt = hijack_set summaries P.Cpi_crypt in
+  Alcotest.(check bool) "vanilla hijacked somewhere" true (v <> []);
+  Alcotest.(check bool) "cfi subset of vanilla" true (subset cfi v);
+  Alcotest.(check bool) "cfi-type subset of cfi" true (subset cfi_t cfi);
+  Alcotest.(check bool) "cfi strictly coarser than cfi-type" true
+    (List.length cfi_t < List.length cfi);
+  Alcotest.(check bool) "cpi subset of cfi-type" true (subset cpi cfi_t);
+  Alcotest.(check bool) "cpi-crypt subset of cfi-type" true
+    (subset crypt cfi_t);
+  Alcotest.(check (list (pair string string))) "cpi hijack-free" [] cpi;
+  Alcotest.(check (list (pair string string))) "cpi-crypt hijack-free" []
+    crypt
+
+(* ---------- mem_ops_demoted: pin the firing subject ----------
+   BENCH_perf.json reports mem_ops_demoted = 0 over the table1 matrix,
+   which looks like a dead metric. It is not: the refinement only demotes
+   sensitivity-typed accesses it can prove data-only (the void*-handle
+   pattern), and the synthetic SPEC workloads never traffic code-typed
+   or void* data through demotable cells — every universal-pointer
+   access in them actually reaches code. Pin both facts so a refinement
+   regression (demotion stops firing) and a workload change (table1
+   starts demoting) are each visible. *)
+
+let opaque_handle_src =
+  {|void *cache0; void *cache1;
+    int lookup(void *h) {
+      if (cache0 == h) { return 1; }
+      return 0;
+    }
+    int main() {
+      void *a = malloc(4);
+      void *b = malloc(4);
+      cache0 = a;
+      cache1 = b;
+      int r = lookup(a) + lookup(b);
+      free(a);
+      free(b);
+      print_int(r);
+      return 0;
+    }|}
+
+let test_demotion_fires_on_handles () =
+  let prog = Levee_minic.Lower.compile opaque_handle_src in
+  let cpi = P.build P.Cpi prog in
+  let crypt = P.build P.Cpi_crypt prog in
+  Alcotest.(check bool) "cpi demotes the opaque handles" true
+    (cpi.P.stats.Levee_core.Stats.mem_ops_demoted > 0);
+  Alcotest.(check bool) "cpi-crypt demotes the same accesses" true
+    (crypt.P.stats.Levee_core.Stats.mem_ops_demoted > 0)
+
+let test_table1_demotes_nothing () =
+  let module W = Levee_workloads in
+  let total =
+    List.fold_left
+      (fun acc w ->
+        let b = P.build P.Cpi (W.Workload.compile w) in
+        acc + b.P.stats.Levee_core.Stats.mem_ops_demoted)
+      0 W.Spec.all
+  in
+  Alcotest.(check int) "table1 workloads have no demotable accesses" 0 total
+
 let () =
   Alcotest.run "props"
     [ ("differential",
@@ -265,5 +362,12 @@ let () =
          QCheck_alcotest.to_alcotest prop_store_isolation_cross;
          QCheck_alcotest.to_alcotest prop_overhead_ordering;
          QCheck_alcotest.to_alcotest prop_elision_invisible ]);
+      ("spectrum",
+       [ Alcotest.test_case "ripe hijack-set ordering" `Quick
+           test_ripe_spectrum_ordering;
+         Alcotest.test_case "demotion fires on opaque handles" `Quick
+           test_demotion_fires_on_handles;
+         Alcotest.test_case "table1 demotes nothing (documented)" `Quick
+           test_table1_demotes_nothing ]);
       ("scheduler",
        [ QCheck_alcotest.to_alcotest prop_sched_seed_sweep ]) ]

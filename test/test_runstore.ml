@@ -38,7 +38,9 @@ let perf_int_fields =
 
 let faults_fields =
   [ "runs"; "hijacked"; "trapped"; "crash"; "masked"; "benign";
-    "fuel_exhausted"; "cycles"; "invariants_ok" ]
+    "fuel_exhausted"; "hijacked_vanilla"; "hijacked_cfi";
+    "hijacked_cfi_type"; "hijacked_cpi"; "hijacked_cpi_crypt"; "cycles";
+    "invariants_ok" ]
 
 let gen_journal rng =
   RS.make ~schema:"levee-bench-journal/4" ~kind:"bench"
@@ -47,13 +49,13 @@ let gen_journal rng =
     (List.map (fun k -> (k, RS.Int (rand_int rng))) journal_fields)
 
 let gen_perf rng =
-  RS.make ~schema:"levee-bench-perf/2" ~kind:"perf"
+  RS.make ~schema:"levee-bench-perf/3" ~kind:"perf"
     ~commit:(rand_string rng) ~config:"perf" ~wall_us:(R.int rng 1_000_000)
     (List.map (fun k -> (k, RS.Int (rand_int rng))) perf_int_fields
     @ [ ("cells_per_sec", RS.Float (rand_float rng)) ])
 
 let gen_faults rng =
-  RS.make ~schema:"levee-faults/2" ~kind:"faults" ~commit:(rand_string rng)
+  RS.make ~schema:"levee-faults/3" ~kind:"faults" ~commit:(rand_string rng)
     ~config:(rand_string rng) ~seed:(R.int rng 10_000) ~wall_us:0
     (List.map (fun k -> (k, RS.Int (rand_int rng))) faults_fields)
 
